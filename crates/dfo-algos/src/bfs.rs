@@ -1,0 +1,80 @@
+//! Breadth-First Search (paper §5.1: "the number of iterations equals the
+//! longest distance from the starting vertex, and each edge is only scanned
+//! once within a run").
+
+use dfo_core::{NodeCtx, VertexArray};
+use dfo_types::{Result, VertexId};
+
+/// Level value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS from `root`; returns the level array (`UNREACHED` = not reachable).
+pub fn bfs(ctx: &mut NodeCtx, root: VertexId) -> Result<VertexArray<u32>> {
+    let level = ctx.vertex_array::<u32>("bfs_level")?;
+    let active = ctx.vertex_array::<bool>("bfs_active")?;
+
+    {
+        let (l, a) = (level.clone(), active.clone());
+        ctx.process_vertices(&["bfs_level", "bfs_active"], None, move |v, c| {
+            c.set(&l, v, if v == root { 0 } else { UNREACHED });
+            c.set(&a, v, v == root);
+            0u64
+        })?;
+    }
+    let mut depth: u32 = 0;
+    loop {
+        depth += 1;
+        let (l1, a1) = (level.clone(), active.clone());
+        let (l2, a2) = (level.clone(), active.clone());
+        let n_new = ctx.process_edges(
+            &["bfs_active"],
+            &["bfs_level", "bfs_active"],
+            Some(&active),
+            move |v, c| {
+                let _ = &l1; // frontier vertices only signal their presence
+                c.set(&a1, v, false);
+                Some(())
+            },
+            move |_msg: (), _src, dst, _e: &(), c| {
+                if c.get(&l2, dst) == UNREACHED {
+                    c.set(&l2, dst, depth);
+                    c.set(&a2, dst, true);
+                    1u64
+                } else {
+                    0u64
+                }
+            },
+        )?;
+        if n_new == 0 {
+            break;
+        }
+    }
+    Ok(level)
+}
+
+/// In-memory BFS oracle.
+pub fn bfs_oracle(g: &dfo_graph::EdgeList<()>, root: VertexId) -> Vec<u32> {
+    let n = g.n_vertices as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in &g.edges {
+        adj[e.src as usize].push(e.dst as u32);
+    }
+    let mut level = vec![UNREACHED; n];
+    level[root as usize] = 0;
+    let mut frontier = vec![root as u32];
+    let mut d = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for v in frontier {
+            for &u in &adj[v as usize] {
+                if level[u as usize] == UNREACHED {
+                    level[u as usize] = d;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}

@@ -1,0 +1,44 @@
+//! Graph algorithms on the DFOGraph API (paper §5.1).
+//!
+//! The four evaluation workloads — PageRank, BFS, WCC, SSSP — plus the
+//! extensions the introduction motivates (vector-valued vertex data for
+//! machine-learning-style propagation, degree centrality, label
+//! propagation). Each is an SPMD function taking the per-node [`NodeCtx`];
+//! call them inside [`dfo_core::Cluster::run`].
+//!
+//! All functions return the algorithm's per-node view of its result arrays
+//! so callers (tests, benches) can verify against oracles.
+
+pub mod bfs;
+pub mod degree;
+pub mod embedding;
+pub mod labelprop;
+pub mod pagerank;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::bfs;
+pub use degree::out_degree_array;
+pub use embedding::embedding_propagation;
+pub use labelprop::label_propagation;
+pub use pagerank::pagerank;
+pub use sssp::sssp;
+pub use wcc::wcc;
+
+use dfo_core::{NodeCtx, VertexArray};
+use dfo_types::{Pod, Result, VertexId};
+
+/// Copies this node's slice of `arr` into a `Vec` (verification helper).
+pub fn read_local<T: Pod>(ctx: &mut NodeCtx, arr: &VertexArray<T>) -> Result<Vec<T>> {
+    let range = ctx.plan().partitions[ctx.rank()];
+    let mut out = vec![dfo_types::pod::pod_zeroed::<T>(); range.len() as usize];
+    let h = arr.clone();
+    let name = h.name().to_string();
+    let sink = std::sync::Mutex::new(&mut out);
+    ctx.process_vertices(&[name.as_str()], None, |v: VertexId, c| {
+        let val = c.get(&h, v);
+        sink.lock().unwrap()[(v - range.start) as usize] = val;
+        0u64
+    })?;
+    Ok(out)
+}

@@ -1,0 +1,72 @@
+//! Single-Source Shortest Paths — the paper's running example (Figure 2b),
+//! implemented verbatim on the Rust API.
+
+use dfo_core::{NodeCtx, VertexArray};
+use dfo_types::{Result, VertexId};
+
+/// Bellman-Ford-style SSSP with active sets from `root` over `f32` edge
+/// weights; returns the distance array (`f32::INFINITY` = unreachable).
+pub fn sssp(ctx: &mut NodeCtx, root: VertexId) -> Result<VertexArray<f32>> {
+    let dist = ctx.vertex_array::<f32>("sssp_dist")?;
+    let active = ctx.vertex_array::<bool>("sssp_active")?;
+    {
+        let (d, a) = (dist.clone(), active.clone());
+        ctx.process_vertices(&["sssp_dist", "sssp_active"], None, move |v, c| {
+            if v == root {
+                c.set(&a, v, true);
+                c.set(&d, v, 0.0);
+            } else {
+                c.set(&a, v, false);
+                c.set(&d, v, f32::INFINITY);
+            }
+            0u64
+        })?;
+    }
+    loop {
+        let (d1, a1) = (dist.clone(), active.clone());
+        let (d2, a2) = (dist.clone(), active.clone());
+        let n_update = ctx.process_edges(
+            &["sssp_dist", "sssp_active"],
+            &["sssp_dist", "sssp_active"],
+            Some(&active),
+            move |v, c| {
+                c.set(&a1, v, false);
+                Some(c.get(&d1, v))
+            },
+            move |msg: f32, _src, dst, data: &f32, c| {
+                if msg + data < c.get(&d2, dst) {
+                    c.set(&a2, dst, true);
+                    c.set(&d2, dst, msg + data);
+                    1u64
+                } else {
+                    0u64
+                }
+            },
+        )?;
+        if n_update == 0 {
+            break;
+        }
+    }
+    Ok(dist)
+}
+
+/// Bellman-Ford oracle.
+pub fn sssp_oracle(g: &dfo_graph::EdgeList<f32>, root: VertexId) -> Vec<f32> {
+    let n = g.n_vertices as usize;
+    let mut dist = vec![f32::INFINITY; n];
+    dist[root as usize] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in &g.edges {
+            let nd = dist[e.src as usize] + e.data;
+            if nd < dist[e.dst as usize] {
+                dist[e.dst as usize] = nd;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}

@@ -1,0 +1,99 @@
+//! Weakly Connected Components via min-label propagation (paper §5.1:
+//! "each iteration may not scan the whole graph, and an edge is likely to
+//! be accessed multiple times in each run").
+//!
+//! Labels must travel both edge directions. DFOGraph's push-only engine
+//! handles that the way the paper describes in footnote 4 — run over both
+//! orientations. Operationally, that is equivalent to preprocessing the
+//! **symmetrized** graph (each edge stored both ways, which is exactly what
+//! storing "the graph and the reversed graph" amounts to on disk) and
+//! pushing labels over it; [`symmetrize`] performs that preprocessing step.
+
+use dfo_core::{NodeCtx, VertexArray};
+use dfo_types::Result;
+
+/// Min-label WCC over a symmetrized graph; returns the label array, where
+/// each vertex's label is the smallest vertex ID in its component.
+pub fn wcc(ctx: &mut NodeCtx) -> Result<VertexArray<u64>> {
+    let label = ctx.vertex_array::<u64>("wcc_label")?;
+    let active = ctx.vertex_array::<bool>("wcc_active")?;
+    {
+        let (l, a) = (label.clone(), active.clone());
+        ctx.process_vertices(&["wcc_label", "wcc_active"], None, move |v, c| {
+            c.set(&l, v, v);
+            c.set(&a, v, true);
+            0u64
+        })?;
+    }
+    loop {
+        let (l1, a1) = (label.clone(), active.clone());
+        let (l2, a2) = (label.clone(), active.clone());
+        let updates = ctx.process_edges(
+            &["wcc_label", "wcc_active"],
+            &["wcc_label", "wcc_active"],
+            Some(&active),
+            move |v, c| {
+                c.set(&a1, v, false);
+                Some(c.get(&l1, v))
+            },
+            move |msg: u64, _src, dst, _e: &(), c| {
+                if msg < c.get(&l2, dst) {
+                    c.set(&l2, dst, msg);
+                    c.set(&a2, dst, true);
+                    1u64
+                } else {
+                    0u64
+                }
+            },
+        )?;
+        if updates == 0 {
+            break;
+        }
+    }
+    Ok(label)
+}
+
+/// Adds the reverse of every edge — the preprocessing step that lets a
+/// push-only engine propagate labels "both ways".
+pub fn symmetrize(g: &dfo_graph::EdgeList<()>) -> dfo_graph::EdgeList<()> {
+    let mut edges = g.edges.clone();
+    edges.extend(g.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, e.data)));
+    dfo_graph::EdgeList::new(g.n_vertices, edges)
+}
+
+/// Union-find oracle (treats edges as undirected, like WCC); labels are the
+/// minimum vertex ID per component.
+pub fn wcc_oracle(g: &dfo_graph::EdgeList<()>) -> Vec<u64> {
+    let n = g.n_vertices as usize;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        let mut r = x;
+        while p[r] != r {
+            r = p[r];
+        }
+        let mut c = x;
+        while p[c] != c {
+            let next = p[c];
+            p[c] = r;
+            c = next;
+        }
+        r
+    }
+    for e in &g.edges {
+        let (a, b) = (find(&mut parent, e.src as usize), find(&mut parent, e.dst as usize));
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    let mut min_of_root = vec![u64::MAX; n];
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        min_of_root[r] = min_of_root[r].min(v as u64);
+    }
+    (0..n)
+        .map(|v| {
+            let r = find(&mut parent, v);
+            min_of_root[r]
+        })
+        .collect()
+}

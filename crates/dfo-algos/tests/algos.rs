@@ -1,0 +1,239 @@
+//! Algorithm correctness on the DFOGraph engine vs exact oracles.
+
+use dfo_algos::{bfs, embedding, label_propagation, pagerank, read_local, sssp, wcc};
+use dfo_core::Cluster;
+use dfo_graph::gen::{grid2d, rmat, uniform, web_chain, GenConfig};
+use dfo_graph::EdgeList;
+use dfo_types::{BatchPolicy, EngineConfig};
+use tempfile::TempDir;
+
+fn cfg(nodes: usize, batch: u64) -> EngineConfig {
+    let mut c = EngineConfig::for_test(nodes);
+    c.batch_policy = BatchPolicy::FixedVertices(batch);
+    c
+}
+
+#[test]
+fn pagerank_matches_oracle() {
+    let g = rmat(GenConfig::new(9, 6, 77));
+    let want = dfo_algos::pagerank::pagerank_oracle(&g, 5);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(3, 64), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<f64> = cluster
+        .run(|ctx| {
+            let rank = pagerank(ctx, 5)?;
+            read_local(ctx, &rank)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(got.len(), want.len());
+    for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+        assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn bfs_matches_oracle_on_rmat() {
+    let g = rmat(GenConfig::new(9, 5, 13));
+    let want = dfo_algos::bfs::bfs_oracle(&g, 0);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 48), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<u32> = cluster
+        .run(|ctx| {
+            let level = bfs(ctx, 0)?;
+            read_local(ctx, &level)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bfs_long_diameter_web_chain() {
+    // the uk-2014-like regime: many sparse iterations
+    let g = web_chain(40, 12, 2, 2, 5);
+    let want = dfo_algos::bfs::bfs_oracle(&g, 0);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 32), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<u32> = cluster
+        .run(|ctx| {
+            let level = bfs(ctx, 0)?;
+            read_local(ctx, &level)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn wcc_matches_union_find() {
+    // two grids + isolated vertices => several components
+    let g1 = grid2d(5, 6);
+    let mut edges = g1.edges.clone();
+    for e in &grid2d(4, 4).edges {
+        edges.push(dfo_graph::Edge::new(e.src + 40, e.dst + 40, ()));
+    }
+    let g = EdgeList::new(64, edges);
+    let sym = dfo_algos::wcc::symmetrize(&g);
+    let want = dfo_algos::wcc::wcc_oracle(&g);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 16), td.path()).unwrap();
+    cluster.preprocess(&sym).unwrap();
+    let got: Vec<u64> = cluster
+        .run(|ctx| {
+            let label = wcc(ctx)?;
+            read_local(ctx, &label)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn sssp_matches_bellman_ford() {
+    let g0 = uniform(200, 1200, 31);
+    let g: EdgeList<f32> = g0.map_data(|e| ((e.src * 3 + e.dst) % 17 + 1) as f32);
+    let want = dfo_algos::sssp::sssp_oracle(&g, 5);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(3, 32), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<f32> = cluster
+        .run(|ctx| {
+            let dist = sssp(ctx, 5)?;
+            read_local(ctx, &dist)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+            "vertex {v}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_baselines_cross_check() {
+    // one graph, three independent implementations, one answer
+    let g = rmat(GenConfig::new(8, 5, 99));
+    let td = TempDir::new().unwrap();
+
+    let cluster = Cluster::create(cfg(2, 32), td.path().join("dfo")).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let dfo: Vec<u32> = cluster
+        .run(|ctx| {
+            let level = bfs(ctx, 0)?;
+            read_local(ctx, &level)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let bd = dfo_storage::NodeDisk::new(td.path().join("gg"), None, false).unwrap();
+    let gg = dfo_baselines::GridGraphEngine::preprocess(bd, &g, 4).unwrap();
+    let (grid, _) = gg.run_push(&dfo_baselines::bfs_spec(0)).unwrap();
+
+    let bc =
+        dfo_baselines::BaselineCluster::create(2, td.path().join("ch"), None, None, false)
+            .unwrap();
+    let chaos = dfo_baselines::ChaosEngine::preprocess(bc, &g).unwrap();
+    let (cs, _) = chaos.run_push(&dfo_baselines::bfs_spec(0)).unwrap();
+    let chaos_flat: Vec<u32> = cs.into_iter().flatten().collect();
+
+    assert_eq!(dfo, grid);
+    assert_eq!(dfo, chaos_flat);
+}
+
+#[test]
+fn label_propagation_converges() {
+    let g = dfo_algos::wcc::symmetrize(&uniform(120, 500, 3));
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 32), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let rounds = cluster
+        .run(|ctx| {
+            let (_labels, rounds) = label_propagation(ctx, 100)?;
+            Ok(rounds as u64)
+        })
+        .unwrap();
+    assert!(rounds[0] > 1 && rounds[0] < 100);
+}
+
+#[test]
+fn embedding_propagation_shrinks_neighbour_distance() {
+    let g = rmat(GenConfig::new(8, 6, 55));
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 48), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let embs: Vec<embedding::Embedding> = cluster
+        .run(|ctx| {
+            let e = dfo_algos::embedding_propagation(ctx, 3, 0.5)?;
+            read_local(ctx, &e)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    // propagation is a contraction: neighbours must be closer on average
+    // than random pairs
+    let dist = |a: &embedding::Embedding, b: &embedding::Embedding| -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+    };
+    let mut neigh = 0.0f64;
+    let mut cnt = 0;
+    for e in g.edges.iter().take(2000) {
+        if e.src != e.dst {
+            neigh += dist(&embs[e.src as usize], &embs[e.dst as usize]) as f64;
+            cnt += 1;
+        }
+    }
+    neigh /= cnt as f64;
+    let mut rand_d = 0.0f64;
+    let mut rcnt = 0;
+    for i in 0..2000u64 {
+        let a = (i * 2654435761) % g.n_vertices;
+        let b = (i * 40503 + 7) % g.n_vertices;
+        if a != b {
+            rand_d += dist(&embs[a as usize], &embs[b as usize]) as f64;
+            rcnt += 1;
+        }
+    }
+    rand_d /= rcnt as f64;
+    assert!(
+        neigh < rand_d * 0.9,
+        "neighbours should be closer after propagation: {neigh} vs random {rand_d}"
+    );
+}
+
+#[test]
+fn pagerank_ranks_sum_near_one_minus_dangling_leak() {
+    let g = uniform(150, 600, 8);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2, 32), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<f64> = cluster
+        .run(|ctx| {
+            let rank = pagerank(ctx, 5)?;
+            read_local(ctx, &rank)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    let total: f64 = got.iter().sum();
+    assert!(total > 0.3 && total <= 1.0 + 1e-9, "rank mass {total}");
+}

@@ -1,0 +1,88 @@
+//! Algorithm specifications shared by every baseline engine.
+//!
+//! The four evaluation workloads all fit one *push* template: vertices hold
+//! state `S`, active vertices emit a message `M`, and receiving an `(M,
+//! edge)` pair may update the destination's state and re-activate it.
+//! PageRank additionally runs a fixed number of all-active rounds with an
+//! apply step; [`pagerank_rounds`] captures that.
+
+use dfo_types::Pod;
+
+/// An active-set push algorithm (BFS / WCC / SSSP shape).
+pub struct PushSpec<S, M, E> {
+    /// Initial state and activity of vertex `v`.
+    pub init: Box<dyn Fn(u64) -> (S, bool) + Sync>,
+    /// Message an active vertex emits (deactivating itself this round).
+    pub signal: Box<dyn Fn(&S) -> M + Sync>,
+    /// Applies a message; returns `true` if `dst` changed (re-activates).
+    pub slot: Box<dyn Fn(&mut S, M, &E) -> bool + Sync>,
+}
+
+/// BFS levels (state = level, `u32::MAX` unreached).
+pub fn bfs_spec(root: u64) -> PushSpec<u32, u32, ()> {
+    PushSpec {
+        init: Box::new(move |v| if v == root { (0, true) } else { (u32::MAX, false) }),
+        signal: Box::new(|lvl| *lvl),
+        slot: Box::new(|s, msg, _| {
+            if *s == u32::MAX {
+                *s = msg + 1;
+                true
+            } else {
+                false
+            }
+        }),
+    }
+}
+
+/// Min-label WCC (run on a symmetrized graph).
+pub fn wcc_spec() -> PushSpec<u64, u64, ()> {
+    PushSpec {
+        init: Box::new(|v| (v, true)),
+        signal: Box::new(|l| *l),
+        slot: Box::new(|s, msg, _| {
+            if msg < *s {
+                *s = msg;
+                true
+            } else {
+                false
+            }
+        }),
+    }
+}
+
+/// Bellman-Ford SSSP over `f32` weights.
+pub fn sssp_spec(root: u64) -> PushSpec<f32, f32, f32> {
+    PushSpec {
+        init: Box::new(move |v| if v == root { (0.0, true) } else { (f32::INFINITY, false) }),
+        signal: Box::new(|d| *d),
+        slot: Box::new(|s, msg, w| {
+            if msg + w < *s {
+                *s = msg + w;
+                true
+            } else {
+                false
+            }
+        }),
+    }
+}
+
+/// PageRank as repeated all-active rounds: `contrib = rank/deg` pushed along
+/// out-edges, then `rank = (1−d)/n + d·Σ`. Engines drive it through their
+/// push primitive with an explicit apply step between rounds.
+pub struct PagerankRounds {
+    pub iters: usize,
+    pub damping: f64,
+}
+
+pub fn pagerank_rounds(iters: usize) -> PagerankRounds {
+    PagerankRounds { iters, damping: 0.85 }
+}
+
+/// Helper all engines share: out-degrees of a graph.
+pub fn out_degrees<E: Pod>(g: &dfo_graph::EdgeList<E>) -> Vec<u64> {
+    let mut d = vec![0u64; g.n_vertices as usize];
+    for e in &g.edges {
+        d[e.src as usize] += 1;
+    }
+    d
+}

@@ -1,0 +1,85 @@
+//! Figure 5 — disk and network traffic over time: DFOGraph vs Chaos-like
+//! running five PageRank iterations on 8 nodes.
+//!
+//! Expected shape (paper): DFOGraph moves ~38.6 % of Chaos's disk bytes and
+//! ~1.9 % of its network bytes. The harness prints the totals and writes
+//! the bucketed bandwidth series to `fig5_dfograph.csv` / `fig5_chaos.csv`
+//! next to the bench output.
+
+use dfo_baselines::{pagerank_rounds, spec::out_degrees, BaselineCluster, ChaosEngine};
+use dfo_bench::{describe, fmt_bytes, rmat_like, DISK_BW, NET_BW};
+use dfo_core::Cluster;
+use std::io::Write;
+use tempfile::TempDir;
+
+const P: usize = 4;
+const BUCKET_MS: u64 = 500;
+
+fn dump_series(path: &str, label: &str, series: &[(String, Vec<(u64, u64)>)]) {
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "series,at_ms,bytes").unwrap();
+    for (name, buckets) in series {
+        for (at, b) in buckets {
+            writeln!(f, "{name},{at},{b}").unwrap();
+        }
+    }
+    println!("  {label} series written to {path}");
+}
+
+fn main() {
+    let g = rmat_like();
+    println!("=== Figure 5: traffic over time, 5 PR iterations (P={P}) ===");
+    println!("{}", describe("RMAT-like", &g));
+    let td = TempDir::new().unwrap();
+    let deg = out_degrees(&g);
+
+    // --- DFOGraph ----------------------------------------------------------
+    let mut cfg = dfo_bench::dfo_config(P);
+    cfg.record_traffic = true;
+    let cluster = Cluster::create(cfg, td.path().join("dfo")).unwrap();
+    cluster.preprocess(&g).unwrap();
+    cluster.reset_disk_stats(); // count iterations only, like the figure
+    cluster
+        .run(|ctx| {
+            dfo_algos::pagerank(ctx, 5)?;
+            Ok(0u64)
+        })
+        .unwrap();
+    let dfo_disk = cluster.total_disk_bytes();
+    let dfo_net = cluster.total_net_sent();
+    let disk0 = &cluster.disks()[0].stats();
+    let dfo_series = vec![
+        ("disk_read".to_string(), disk0.read_traffic.bucketed(BUCKET_MS)),
+        ("disk_write".to_string(), disk0.write_traffic.bucketed(BUCKET_MS)),
+        ("net_send".to_string(), cluster.net_stats()[0].sent_traffic.bucketed(BUCKET_MS)),
+    ];
+
+    // --- Chaos --------------------------------------------------------------
+    let bc = BaselineCluster::create(P, td.path().join("chaos"), Some(DISK_BW), Some(NET_BW), true)
+        .unwrap();
+    let chaos = ChaosEngine::preprocess(bc, &g).unwrap();
+    chaos.cluster.reset_disk_stats();
+    chaos.pagerank(&pagerank_rounds(5), &deg).unwrap();
+    let chaos_disk = chaos.cluster.total_disk_bytes();
+    let chaos_net = chaos.cluster.total_net_sent();
+    let cdisk0 = &chaos.cluster.disks()[0].stats();
+    let chaos_series = vec![
+        ("disk_read".to_string(), cdisk0.read_traffic.bucketed(BUCKET_MS)),
+        ("disk_write".to_string(), cdisk0.write_traffic.bucketed(BUCKET_MS)),
+        ("net_send".to_string(), chaos.cluster.net_stats()[0].sent_traffic.bucketed(BUCKET_MS)),
+    ];
+
+    println!("\n{:<12} {:>14} {:>14}", "system", "disk total", "net total");
+    println!("{:<12} {:>14} {:>14}", "DFOGraph", fmt_bytes(dfo_disk), fmt_bytes(dfo_net));
+    println!("{:<12} {:>14} {:>14}", "Chaos", fmt_bytes(chaos_disk), fmt_bytes(chaos_net));
+    println!(
+        "\nDFOGraph / Chaos: disk {:.1}%, network {:.1}%   (paper: 38.6%, 1.9%)",
+        100.0 * dfo_disk as f64 / chaos_disk as f64,
+        100.0 * dfo_net as f64 / chaos_net as f64
+    );
+    dump_series("fig5_dfograph.csv", "DFOGraph", &dfo_series);
+    dump_series("fig5_chaos.csv", "Chaos", &chaos_series);
+
+    assert!(dfo_net < chaos_net / 3, "DFOGraph must send far fewer bytes than Chaos");
+    assert!(dfo_disk < chaos_disk, "DFOGraph must move fewer disk bytes than Chaos");
+}

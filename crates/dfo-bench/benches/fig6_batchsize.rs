@@ -1,0 +1,63 @@
+//! Figure 6 — impact of vertex batch size operating semi-out-of-core:
+//! preprocessing, PageRank and BFS time as the average number of batches
+//! per node sweeps 3 … 192 (uk-like graph).
+//!
+//! Expected shape (paper, T=12): too few batches hurt load balancing; the
+//! optimum sits a small multiple of T; very small batches hurt BFS because
+//! fewer chunks pass the CSR inflate ratio and DCSR-only access costs more.
+
+use dfo_bench::{describe, dfo_config, fmt_secs, timed, uk_like};
+use dfo_core::Cluster;
+use dfo_types::BatchPolicy;
+use tempfile::TempDir;
+
+const P: usize = 2;
+
+fn main() {
+    let g = uk_like();
+    println!("=== Figure 6: batch-size sweep, semi-out-of-core (P={P}, T=2) ===");
+    println!("{}", describe("uk-like", &g));
+    let td = TempDir::new().unwrap();
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>10} {:>14}",
+        "batches/node", "Prep", "PR", "BFS", "CSR chunks %"
+    );
+    let per_node = g.n_vertices / P as u64;
+    for batches in [3u64, 6, 12, 24, 48, 96, 192] {
+        let batch_size = (per_node / batches).max(1);
+        let mut cfg = dfo_config(P);
+        cfg.batch_policy = BatchPolicy::FixedVertices(batch_size);
+        let dir = td.path().join(format!("b{batches}"));
+        let cluster = Cluster::create(cfg, &dir).unwrap();
+        let (plan, prep) = timed(|| cluster.preprocess(&g).unwrap());
+        let (_, pr) = timed(|| {
+            cluster
+                .run(|ctx| {
+                    dfo_algos::pagerank(ctx, 5)?;
+                    Ok(0u64)
+                })
+                .unwrap()
+        });
+        let (_, bfs) = timed(|| {
+            cluster
+                .run(|ctx| {
+                    dfo_algos::bfs(ctx, 0)?;
+                    Ok(0u64)
+                })
+                .unwrap()
+        });
+        let (csr, total) = plan
+            .node_meta
+            .iter()
+            .flat_map(|m| m.chunks.iter())
+            .fold((0u64, 0u64), |(c, t), ch| (c + ch.has_csr as u64, t + 1));
+        println!(
+            "{batches:<16} {:>10} {:>10} {:>10} {:>13.1}%",
+            fmt_secs(prep),
+            fmt_secs(pr),
+            fmt_secs(bfs),
+            100.0 * csr as f64 / total.max(1) as f64
+        );
+    }
+    println!("(paper: optimum between 2T and 4T batches; tiny batches lose CSR acceptance)");
+}

@@ -1,0 +1,78 @@
+//! §4.3 ablation — message filtering: merge cost across |L|/|M| ratios and
+//! the traffic saved with filtering on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfo_core::Cluster;
+use dfo_graph::gen::{rmat, GenConfig};
+use dfo_part::filter::FilterCursor;
+use dfo_types::BatchPolicy;
+use std::hint::black_box;
+use tempfile::TempDir;
+
+fn bench_merge_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_merge");
+    group.sample_size(20);
+    let n_msgs = 100_000u32;
+    let msgs: Vec<u32> = (0..n_msgs).collect();
+    for &ratio in &[0.1f64, 0.5, 1.0, 2.0, 4.0] {
+        let list_len = (n_msgs as f64 * ratio) as u32;
+        let list: Vec<u32> = (0..list_len).map(|i| i * 2).collect();
+        group.bench_with_input(BenchmarkId::new("merge", format!("L/M={ratio}")), &list, |b, list| {
+            b.iter(|| {
+                let mut cur = FilterCursor::new(list);
+                let mut kept = 0u64;
+                for &m in &msgs {
+                    if cur.contains(m) {
+                        kept += 1;
+                    }
+                }
+                black_box(kept)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traffic_saved(c: &mut Criterion) {
+    let g = rmat(GenConfig::new(11, 8, 7));
+    let mut group = c.benchmark_group("filter_traffic");
+    group.sample_size(10);
+    for filtering in [true, false] {
+        let td = TempDir::new().unwrap();
+        let mut cfg = dfo_types::EngineConfig::for_test(4);
+        cfg.batch_policy = BatchPolicy::FixedVertices(128);
+        cfg.filtering_enabled = filtering;
+        let cluster = Cluster::create(cfg, td.path()).unwrap();
+        cluster.preprocess(&g).unwrap();
+        // sparse frontier: filtering should cut most of the wire bytes
+        let run = || {
+            cluster
+                .run(|ctx| {
+                    let acc = ctx.vertex_array::<u64>("acc")?;
+                    let a = acc.clone();
+                    ctx.process_edges(
+                        &[],
+                        &["acc"],
+                        None,
+                        |v, _c| (v % 97 == 0).then_some(1u64),
+                        move |m: u64, _s, d, _e: &(), cx| {
+                            let cur = cx.get(&a, d);
+                            cx.set(&a, d, cur + m);
+                            1u64
+                        },
+                    )
+                })
+                .unwrap()
+        };
+        run();
+        let bytes = cluster.total_net_sent();
+        println!("filtering={filtering}: {bytes} wire bytes for a 1/97 frontier");
+        group.bench_function(BenchmarkId::new("process_edges", filtering), |b| {
+            b.iter(|| black_box(run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_cost, bench_traffic_saved);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 6 — importance of intra-node batching: one PageRank iteration with
+//! batching enabled/disabled under sufficient and insufficient memory.
+//!
+//! Expected shape (paper, KRON-34 on 4 nodes): without batching and with
+//! memory short of the vertex data, random page traffic makes the run
+//! >15× slower; with ample memory batching costs only ~8 % overhead.
+
+use dfo_bench::{describe, fmt_secs, rmat_like, timed};
+use dfo_core::Cluster;
+use dfo_types::BatchPolicy;
+use tempfile::TempDir;
+
+const P: usize = 2;
+
+fn run_one(g: &dfo_graph::EdgeList<()>, batching: bool, mem: u64, dir: &std::path::Path) -> f64 {
+    let mut cfg = dfo_bench::dfo_config(P);
+    cfg.batching_enabled = batching;
+    cfg.mem_budget = mem;
+    cfg.batch_policy = BatchPolicy::FullyOutOfCore { widest_vertex_bytes: 8 };
+    cfg.disk_bw = Some(256 << 20);
+    cfg.net_bw = Some(256 << 20);
+    cfg.page_size = 4096;
+    let cluster = Cluster::create(cfg, dir).unwrap();
+    cluster.preprocess(g).unwrap();
+    let (_, t) = timed(|| {
+        cluster
+            .run(|ctx| {
+                dfo_algos::pagerank(ctx, 1)?;
+                Ok(0u64)
+            })
+            .unwrap()
+    });
+    t
+}
+
+fn main() {
+    let g = rmat_like();
+    println!("=== Table 6: intra-node batching ablation (P={P}, 1 PR iteration) ===");
+    println!("{}", describe("RMAT-like", &g));
+    let vertex_bytes = g.n_vertices / P as u64 * 8 * 3; // three f64/u64 arrays
+    let low_mem = (vertex_bytes / 8).max(64 << 10); // well below vertex data
+    let high_mem = 512u64 << 20;
+    println!(
+        "vertex data per node ≈ {}, low budget {}, high budget {}",
+        dfo_bench::fmt_bytes(vertex_bytes),
+        dfo_bench::fmt_bytes(low_mem),
+        dfo_bench::fmt_bytes(high_mem)
+    );
+    let td = TempDir::new().unwrap();
+
+    println!("\n{:<22} {:>14} {:>14} {:>10}", "memory per node", "No batching", "Batching", "speedup");
+    for (label, mem) in [("insufficient", low_mem), ("sufficient", high_mem)] {
+        let no_b = run_one(&g, false, mem, &td.path().join(format!("nb_{label}")));
+        let with_b = run_one(&g, true, mem, &td.path().join(format!("b_{label}")));
+        println!(
+            "{label:<22} {:>14} {:>14} {:>9.2}x",
+            fmt_secs(no_b),
+            fmt_secs(with_b),
+            no_b / with_b
+        );
+    }
+    println!("(paper: >15.48x with insufficient memory, 0.92x with sufficient)");
+}

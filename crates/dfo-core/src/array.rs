@@ -1,0 +1,346 @@
+//! Vertex arrays (the paper's `VertexArray<T>`) and the per-batch UDF view.
+//!
+//! A vertex array lives on disk in per-batch blocks managed by the
+//! copy-on-write [`dfo_storage::VersionedArrayStore`]. During a `Process`
+//! call the engine loads exactly the blocks of the batch being worked on —
+//! this is the mechanism that bounds the span of random access (§2.2).
+//!
+//! In the Table 6 "no batching" ablation, arrays are instead accessed
+//! through a bounded [`dfo_storage::PageCache`], modeling the memory-mapped
+//! arrays of semi-out-of-core systems under memory pressure.
+
+use dfo_storage::{NodeDisk, PageCache, VersionedArrayStore};
+use dfo_types::{bytes_of, pod_from_bytes, Pod, Result, VertexId, VertexRange};
+use parking_lot::{Mutex, MutexGuard};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Typed handle to a named vertex array. Cheap to clone; the data lives in
+/// the node's array registry.
+#[derive(Clone, Debug)]
+pub struct VertexArray<T> {
+    name: Arc<str>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> VertexArray<T> {
+    pub(crate) fn new(name: &str) -> Self {
+        Self { name: Arc::from(name), _marker: PhantomData }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn elem_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+/// Storage backend of one array on one node.
+pub(crate) enum ArrayBackend {
+    /// Per-batch blocks (the normal fully-out-of-core path).
+    Blocks(Mutex<VersionedArrayStore>),
+    /// One bounded page cache over a flat file (no-batching ablation).
+    Paged(Mutex<PageCache>),
+}
+
+/// Registry entry for one array.
+pub(crate) struct ArrayEntry {
+    pub name: String,
+    pub elem_bytes: usize,
+    pub backend: ArrayBackend,
+}
+
+impl ArrayEntry {
+    pub fn create_blocks(
+        disk: &NodeDisk,
+        name: &str,
+        elem_bytes: usize,
+        batches: &[VertexRange],
+        checkpointing: bool,
+        keep: usize,
+    ) -> Result<Self> {
+        let dir = format!("arrays/{name}");
+        let store = if checkpointing && VersionedArrayStore::checkpoint_exists(disk, &dir) {
+            VersionedArrayStore::recover(disk.clone(), dir, batches.len(), keep)?
+        } else if !checkpointing && VersionedArrayStore::in_place_exists(disk, &dir) {
+            VersionedArrayStore::open_in_place(disk.clone(), dir, batches.len())
+        } else {
+            VersionedArrayStore::create(
+                disk.clone(),
+                dir,
+                batches.len(),
+                |b| vec![0u8; (batches[b].len() as usize) * elem_bytes],
+                checkpointing,
+                keep,
+            )?
+        };
+        Ok(Self {
+            name: name.to_string(),
+            elem_bytes,
+            backend: ArrayBackend::Blocks(Mutex::new(store)),
+        })
+    }
+
+    pub fn create_paged(
+        disk: &NodeDisk,
+        name: &str,
+        elem_bytes: usize,
+        partition: VertexRange,
+        page_size: usize,
+        cache_pages: usize,
+    ) -> Result<Self> {
+        let file = disk.open_random(&format!("arrays/{name}/paged.bin"), true)?;
+        let len = partition.len() * elem_bytes as u64;
+        let cache = PageCache::new(file, page_size, cache_pages.max(1), len);
+        Ok(Self {
+            name: name.to_string(),
+            elem_bytes,
+            backend: ArrayBackend::Paged(Mutex::new(cache)),
+        })
+    }
+
+    /// Reads batch `b` bytes (blocks backend only).
+    pub fn read_block(&self, b: usize) -> Result<Vec<u8>> {
+        match &self.backend {
+            ArrayBackend::Blocks(s) => s.lock().read_batch(b),
+            ArrayBackend::Paged(_) => unreachable!("read_block on paged array"),
+        }
+    }
+
+    pub fn begin_epoch(&self) {
+        if let ArrayBackend::Blocks(s) = &self.backend {
+            s.lock().begin_epoch();
+        }
+    }
+
+    pub fn commit(&self) -> Result<()> {
+        match &self.backend {
+            ArrayBackend::Blocks(s) => s.lock().commit(),
+            ArrayBackend::Paged(c) => c.lock().flush(),
+        }
+    }
+}
+
+/// One array's data as seen while working on one batch.
+enum SlotData<'a> {
+    InMem { buf: Vec<u8>, dirty: bool },
+    Paged { cache: MutexGuard<'a, PageCache>, partition_start: VertexId },
+}
+
+struct ArraySlot<'a> {
+    entry: &'a ArrayEntry,
+    data: SlotData<'a>,
+}
+
+/// The view a UDF gets of the vertex arrays of **one batch** (the paper's
+/// guarantee: random access never leaves the batch).
+///
+/// `get`/`set` address vertices by global ID; the context checks they fall
+/// inside the batch (`debug_assert` on release-hot paths).
+pub struct BatchCtx<'a> {
+    batch: VertexRange,
+    slots: Vec<ArraySlot<'a>>,
+}
+
+impl<'a> BatchCtx<'a> {
+    /// Loads the named arrays for `batch`. `preloaded` supplies bytes that
+    /// the engine already read (the active bitmap, re-used instead of read
+    /// twice). `batch_index` selects the block for block-backed arrays.
+    pub(crate) fn load(
+        entries: &[&'a ArrayEntry],
+        batch: VertexRange,
+        batch_index: usize,
+        partition_start: VertexId,
+        mut preloaded: Option<(&str, Vec<u8>)>,
+    ) -> Result<Self> {
+        let mut slots = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let data = match &entry.backend {
+                ArrayBackend::Blocks(store) => {
+                    let buf = match &mut preloaded {
+                        Some((name, bytes)) if *name == entry.name => std::mem::take(bytes),
+                        _ => store.lock().read_batch(batch_index)?,
+                    };
+                    debug_assert_eq!(buf.len(), batch.len() as usize * entry.elem_bytes);
+                    SlotData::InMem { buf, dirty: false }
+                }
+                ArrayBackend::Paged(cache) => {
+                    SlotData::Paged { cache: cache.lock(), partition_start }
+                }
+            };
+            slots.push(ArraySlot { entry, data });
+        }
+        Ok(Self { batch, slots })
+    }
+
+    /// The vertex range of the batch being processed.
+    pub fn batch(&self) -> VertexRange {
+        self.batch
+    }
+
+    #[inline]
+    fn slot_index(&self, name: &str, elem: usize) -> usize {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.entry.name == name {
+                assert_eq!(
+                    s.entry.elem_bytes, elem,
+                    "array {name} accessed with wrong element type"
+                );
+                return i;
+            }
+        }
+        panic!("array {name:?} was not listed in this Process call");
+    }
+
+    /// Reads vertex `v`'s value from `arr`.
+    #[inline]
+    pub fn get<T: Pod>(&mut self, arr: &VertexArray<T>, v: VertexId) -> T {
+        debug_assert!(self.batch.contains(v), "vertex {v} outside batch {:?}", self.batch);
+        let i = self.slot_index(arr.name(), std::mem::size_of::<T>());
+        let elem = std::mem::size_of::<T>();
+        match &mut self.slots[i].data {
+            SlotData::InMem { buf, .. } => {
+                let off = (v - self.batch.start) as usize * elem;
+                pod_from_bytes(&buf[off..off + elem])
+            }
+            SlotData::Paged { cache, partition_start } => {
+                let off = (v - *partition_start) * elem as u64;
+                let mut tmp = vec![0u8; elem];
+                cache.read_at(off, &mut tmp).expect("page cache read");
+                pod_from_bytes(&tmp)
+            }
+        }
+    }
+
+    /// Writes vertex `v`'s value in `arr`.
+    #[inline]
+    pub fn set<T: Pod>(&mut self, arr: &VertexArray<T>, v: VertexId, value: T) {
+        debug_assert!(self.batch.contains(v), "vertex {v} outside batch {:?}", self.batch);
+        let i = self.slot_index(arr.name(), std::mem::size_of::<T>());
+        let elem = std::mem::size_of::<T>();
+        match &mut self.slots[i].data {
+            SlotData::InMem { buf, dirty } => {
+                let off = (v - self.batch.start) as usize * elem;
+                buf[off..off + elem].copy_from_slice(bytes_of(&value));
+                *dirty = true;
+            }
+            SlotData::Paged { cache, partition_start } => {
+                let off = (v - *partition_start) * elem as u64;
+                cache.write_at(off, bytes_of(&value)).expect("page cache write");
+            }
+        }
+    }
+
+    /// Writes every dirty in-memory slot back to its store (paged slots are
+    /// flushed when the Process call commits).
+    pub(crate) fn write_back(self, batch_index: usize) -> Result<()> {
+        for slot in self.slots {
+            if let SlotData::InMem { buf, dirty: true } = slot.data {
+                match &slot.entry.backend {
+                    ArrayBackend::Blocks(store) => {
+                        let mut s = store.lock();
+                        s.write_batch(batch_index, &buf)?;
+                    }
+                    ArrayBackend::Paged(_) => unreachable!(),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn blocks_entry(td: &TempDir) -> ArrayEntry {
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        let batches = vec![VertexRange::new(0, 4), VertexRange::new(4, 7)];
+        ArrayEntry::create_blocks(&disk, "dist", 4, &batches, false, 1).unwrap()
+    }
+
+    #[test]
+    fn get_set_roundtrip_in_batch() {
+        let td = TempDir::new().unwrap();
+        let entry = blocks_entry(&td);
+        let arr = VertexArray::<f32>::new("dist");
+        let batch = VertexRange::new(4, 7);
+        let mut ctx = BatchCtx::load(&[&entry], batch, 1, 0, None).unwrap();
+        assert_eq!(ctx.get(&arr, 5), 0.0);
+        ctx.set(&arr, 5, 2.5);
+        assert_eq!(ctx.get(&arr, 5), 2.5);
+        ctx.write_back(1).unwrap();
+        // reload sees the persisted value
+        let mut ctx2 = BatchCtx::load(&[&entry], batch, 1, 0, None).unwrap();
+        assert_eq!(ctx2.get(&arr, 5), 2.5);
+        assert_eq!(ctx2.get(&arr, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong element type")]
+    fn type_confusion_caught() {
+        let td = TempDir::new().unwrap();
+        let entry = blocks_entry(&td);
+        let wrong = VertexArray::<u64>::new("dist");
+        let mut ctx =
+            BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
+        let _ = ctx.get(&wrong, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not listed")]
+    fn unlisted_array_caught() {
+        let td = TempDir::new().unwrap();
+        let entry = blocks_entry(&td);
+        let other = VertexArray::<f32>::new("rank");
+        let mut ctx =
+            BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
+        let _ = ctx.get(&other, 0);
+    }
+
+    #[test]
+    fn paged_backend_get_set() {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        let partition = VertexRange::new(10, 110);
+        let entry =
+            ArrayEntry::create_paged(&disk, "val", 8, partition, 64, 2).unwrap();
+        let arr = VertexArray::<u64>::new("val");
+        {
+            let mut ctx = BatchCtx::load(&[&entry], partition, 0, 10, None).unwrap();
+            for v in 10..110 {
+                ctx.set(&arr, v, v * 3);
+            }
+            for v in (10..110).rev() {
+                assert_eq!(ctx.get(&arr, v), v * 3);
+            }
+        }
+        entry.commit().unwrap(); // flush pages
+    }
+
+    #[test]
+    fn preloaded_bytes_are_reused() {
+        let td = TempDir::new().unwrap();
+        let entry = blocks_entry(&td);
+        let arr = VertexArray::<f32>::new("dist");
+        // hand the loader fabricated bytes: it must use them, not re-read
+        let fake = bytes_of(&7.0f32)
+            .iter()
+            .copied()
+            .cycle()
+            .take(16)
+            .collect::<Vec<u8>>();
+        let mut ctx = BatchCtx::load(
+            &[&entry],
+            VertexRange::new(0, 4),
+            0,
+            0,
+            Some(("dist", fake)),
+        )
+        .unwrap();
+        assert_eq!(ctx.get(&arr, 2), 7.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cluster lifecycle: builds the per-node disks and network, preprocesses
+//! graphs, and runs SPMD node programs.
+
+use crate::node::NodeCtx;
+use dfo_graph::edge::EdgeList;
+use dfo_net::{NetStats, SimCluster};
+use dfo_part::plan::Plan;
+use dfo_part::preprocess::preprocess;
+use dfo_storage::NodeDisk;
+use dfo_types::{DfoError, EngineConfig, Pod, Result};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A simulated DFOGraph cluster rooted at a base directory; node `i`'s disk
+/// lives under `<base>/n<i>/`.
+pub struct Cluster {
+    cfg: EngineConfig,
+    base: PathBuf,
+    disks: Vec<NodeDisk>,
+    last_net: Mutex<Vec<Arc<NetStats>>>,
+}
+
+impl Cluster {
+    /// Creates (or reopens) a cluster. Disk bandwidth throttles and traffic
+    /// recording follow the config.
+    pub fn create(cfg: EngineConfig, base: impl Into<PathBuf>) -> Result<Self> {
+        cfg.validate().map_err(DfoError::Config)?;
+        let base = base.into();
+        let disks = (0..cfg.nodes)
+            .map(|i| {
+                NodeDisk::new(base.join(format!("n{i}")), cfg.disk_bw, cfg.record_traffic)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { cfg, base, disks, last_net: Mutex::new(Vec::new()) })
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    pub fn base(&self) -> &PathBuf {
+        &self.base
+    }
+
+    pub fn disks(&self) -> &[NodeDisk] {
+        &self.disks
+    }
+
+    /// Runs DFOGraph preprocessing for `g` onto the node disks (§2.2, §4).
+    pub fn preprocess<E: Pod + PartialEq>(&self, g: &EdgeList<E>) -> Result<Plan> {
+        Ok(preprocess(g, &self.cfg, &self.disks)?.plan)
+    }
+
+    /// Runs `f` once per node, SPMD-style, each on its own OS thread with
+    /// its own [`NodeCtx`]. Returns the per-node results in rank order.
+    ///
+    /// A panicking node drops its endpoint, which surfaces as
+    /// `DfoError::NetClosed` on peers — the failure model the checkpointing
+    /// tests exercise.
+    pub fn run<T, F>(&self, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> Result<T> + Sync,
+    {
+        let endpoints = SimCluster::build(self.cfg.nodes, self.cfg.net_bw, self.cfg.record_traffic);
+        *self.last_net.lock() = endpoints.iter().map(|e| e.stats_arc()).collect();
+        let mut results: Vec<Option<Result<T>>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(rank, ep)| {
+                    let disk = self.disks[rank].clone();
+                    let cfg = self.cfg.clone();
+                    let f = &f;
+                    s.spawn(move || -> Result<T> {
+                        let mut ctx = NodeCtx::new(rank, cfg, disk, ep)?;
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&mut ctx)
+                        }));
+                        match res {
+                            Ok(Ok(v)) => Ok(v),
+                            Ok(Err(e)) => {
+                                // a failed node can't serve its peers: abort
+                                // the collectives so they error out too
+                                ctx.net().poison_collective();
+                                Err(e)
+                            }
+                            Err(panic) => {
+                                ctx.net().poison_collective();
+                                let msg = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "<non-string panic>".into());
+                                Err(DfoError::NetClosed(format!("node {rank} panicked: {msg}")))
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(Some(h.join().unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    Err(DfoError::NetClosed(format!("node thread panicked: {msg}")))
+                })));
+            }
+        });
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Aggregate disk bytes (read + written) across all nodes.
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats().total_bytes()).sum()
+    }
+
+    pub fn total_disk_read(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats().read_bytes.get()).sum()
+    }
+
+    pub fn total_disk_written(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats().write_bytes.get()).sum()
+    }
+
+    /// Aggregate bytes sent on the wire during the most recent `run`.
+    pub fn total_net_sent(&self) -> u64 {
+        self.last_net.lock().iter().map(|s| s.sent_bytes.get()).sum()
+    }
+
+    /// Per-node network stats of the most recent `run`.
+    pub fn net_stats(&self) -> Vec<Arc<NetStats>> {
+        self.last_net.lock().clone()
+    }
+
+    /// Zeroes disk counters (between preprocessing and timed runs).
+    pub fn reset_disk_stats(&self) {
+        for d in &self.disks {
+            d.stats().reset();
+        }
+    }
+}

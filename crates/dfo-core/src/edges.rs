@@ -1,0 +1,885 @@
+//! `ProcessEdges`: the four-phase push pipeline (paper §3.1, §4).
+//!
+//! ```text
+//! 1 generating   each batch runs `signal` over its active vertices and
+//!                spills (src, msg) records to disk              [T workers]
+//! 2 passing      the sender streams the node's messages to each peer in
+//!                round-robin order, filtered against the §4.3 lists
+//!                                                               [1 thread]
+//! 3 dispatching  incoming streams are routed to per-batch message files
+//!                via the dispatching graph (push), staged and pulled, or
+//!                stored raw (none) — chosen adaptively (§4.2); the node's
+//!                own messages are dispatched concurrently      [2 threads]
+//! 4 processing   each batch replays its message segments in source order,
+//!                looks edges up through CSR or DCSR (§4.1 cost model) and
+//!                runs `slot`; no atomics needed — one thread per batch
+//!                                                               [T workers]
+//! ```
+//!
+//! Phases 2 and 3 overlap fully (a node sends to one peer while receiving
+//! from another and dispatching its own messages), which is where the
+//! paper's disk/network overlap comes from. Generation completes before
+//! passing starts: the filter skip rule needs `|M_i|`, and the loss of that
+//! overlap is one batch of latency, not throughput.
+
+use crate::accum::Accum;
+use crate::array::{ArrayEntry, BatchCtx, VertexArray};
+use crate::messages::{
+    parse_record, record_bytes, FrameBuilder, RecordIter, RecordReader,
+};
+use crate::node::NodeCtx;
+use bytes::Bytes;
+use dfo_part::csr::{choose_repr, IndexedChunk, MergeCursor};
+use dfo_part::filter::{should_filter, FilterCursor};
+use dfo_part::plan::ChunkInfo;
+use dfo_part::preprocess::paths;
+use dfo_types::{
+    DfoError, DispatchKind, PhaseStats, Pod, Rank, ReprKind, Result, VertexId,
+};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Target network frame size; 256 KB keeps header overhead ≪ 1 %.
+const FRAME_BYTES: usize = 256 << 10;
+/// Buffer for per-batch dispatch writers (many are open at once).
+const DISPATCH_BUF: usize = 32 << 10;
+
+/// Per-call counters for the phases that run concurrently (pass/dispatch);
+/// the sequential phases (generate/process) are measured as disk-stat
+/// deltas around their barriers.
+#[derive(Default)]
+struct CallStats {
+    pass_disk_read: AtomicU64,
+    dispatch_disk_read: AtomicU64,
+    dispatch_disk_write: AtomicU64,
+    messages_sent: AtomicU64,
+}
+
+/// How an incoming stream is handled (§4.2 + a drain case for streams that
+/// carry nothing we need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Strategy {
+    Push,
+    Pull,
+    NoDispatch,
+    Drain,
+}
+
+impl NodeCtx {
+    /// The paper's `ProcessEdges` (§3): active vertices `signal` messages
+    /// along outgoing edges; `slot` consumes them at destination vertices.
+    ///
+    /// * `signal_arrays` / `slot_arrays` name the vertex arrays the UDFs
+    ///   may access (signal sees the *source* vertex, slot the
+    ///   *destination* — never the other way round).
+    /// * `active` restricts signalling to active vertices.
+    /// * Returns the cluster-wide sum of `slot` return values.
+    ///
+    /// Within one call, `slot` invocations for a given destination batch
+    /// happen on one thread, with messages from source partitions applied
+    /// in a fixed order — UDFs need no atomics (§4.5 "data contention").
+    pub fn process_edges<A, M, E>(
+        &mut self,
+        signal_arrays: &[&str],
+        slot_arrays: &[&str],
+        active: Option<&VertexArray<bool>>,
+        signal: impl Fn(VertexId, &mut BatchCtx) -> Option<M> + Sync,
+        slot: impl Fn(M, VertexId, VertexId, &E, &mut BatchCtx) -> A + Sync,
+    ) -> Result<A>
+    where
+        A: Accum,
+        M: Pod,
+        E: Pod + PartialEq,
+    {
+        assert_eq!(
+            self.plan.edge_data_bytes as usize,
+            std::mem::size_of::<E>(),
+            "edge data type {} does not match the preprocessed graph",
+            std::any::type_name::<E>()
+        );
+        let seq = self.call_seq;
+        self.call_seq += 1;
+        let rank = self.rank;
+        let p_nodes = self.cfg.nodes;
+        let b_count = self.plan.n_batches(rank);
+
+        // previous call's message spill is garbage now
+        let _ = std::fs::remove_dir_all(self.disk.root().join("msgs"));
+
+        let signal_entries = self.entries(signal_arrays);
+        let slot_entries = self.entries(slot_arrays);
+        let active_entry = active.map(|a| self.entries(&[a.name()]).remove(0));
+        let mut epoch_set: Vec<Arc<ArrayEntry>> = Vec::new();
+        for e in signal_entries.iter().chain(&slot_entries).chain(active_entry.iter()) {
+            if !epoch_set.iter().any(|x| x.name == e.name) {
+                epoch_set.push(e.clone());
+            }
+        }
+        self.begin_epochs(&epoch_set);
+
+        let mut stats = PhaseStats::default();
+        let disk_stats = self.disk.stats();
+        let (r0, w0) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
+
+        // ---------------- phase 1: generating --------------------------------
+        let gen_counts: Vec<AtomicU64> = (0..b_count).map(|_| AtomicU64::new(0)).collect();
+        {
+            let next = AtomicUsize::new(0);
+            let err: Mutex<Option<DfoError>> = Mutex::new(None);
+            std::thread::scope(|s| {
+                for _ in 0..self.cfg.threads_per_node {
+                    s.spawn(|| loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= b_count {
+                            break;
+                        }
+                        match self.generate_batch(
+                            b,
+                            &signal_entries,
+                            signal_arrays,
+                            active_entry.as_deref(),
+                            &signal,
+                        ) {
+                            Ok(n) => gen_counts[b].store(n, Ordering::Relaxed),
+                            Err(e) => {
+                                *err.lock() = Some(e);
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+            let pending = err.lock().take();
+            if let Some(e) = pending {
+                return Err(e);
+            }
+        }
+        let m_total: u64 = gen_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        stats.messages_generated = m_total;
+        stats.generate_disk_read = disk_stats.read_bytes.get() - r0;
+        stats.generate_disk_write = disk_stats.write_bytes.get() - w0;
+
+        // ---------------- phases 2+3: passing & dispatching ------------------
+        let call = CallStats::default();
+        let msg_counts: Vec<Vec<AtomicU64>> =
+            (0..b_count).map(|_| (0..p_nodes).map(|_| AtomicU64::new(0)).collect()).collect();
+        let none_mode: Vec<AtomicBool> = (0..p_nodes).map(|_| AtomicBool::new(false)).collect();
+        let none_counts: Vec<AtomicU64> = (0..p_nodes).map(|_| AtomicU64::new(0)).collect();
+        let net_sent0 = self.net.stats().sent_bytes.get();
+        let net_recv0 = self.net.stats().recv_bytes.get();
+
+        {
+            let err: Mutex<Option<DfoError>> = Mutex::new(None);
+            let record_err = |e: DfoError| {
+                *err.lock() = Some(e);
+            };
+            std::thread::scope(|s| {
+                // sender: round-robin over peers (§4.4)
+                s.spawn(|| {
+                    for j in self.cfg.send_order(rank) {
+                        if let Err(e) =
+                            self.send_to::<M>(j, seq, m_total, &gen_counts, &call)
+                        {
+                            record_err(e);
+                            return;
+                        }
+                    }
+                });
+                // self-dispatch: the node's own messages never touch the wire
+                s.spawn(|| {
+                    if let Err(e) = self.dispatch_self::<M>(
+                        m_total,
+                        &gen_counts,
+                        &msg_counts,
+                        &none_mode,
+                        &none_counts,
+                        &call,
+                    ) {
+                        record_err(e);
+                    }
+                });
+                // receiver: peers in mirrored order (§4.5)
+                s.spawn(|| {
+                    for p in self.cfg.recv_order(rank) {
+                        if let Err(e) = self.recv_dispatch::<M>(
+                            p,
+                            seq,
+                            &msg_counts,
+                            &none_mode,
+                            &none_counts,
+                            &call,
+                        ) {
+                            record_err(e);
+                            return;
+                        }
+                    }
+                });
+            });
+            let pending = err.lock().take();
+            if let Some(e) = pending {
+                return Err(e);
+            }
+        }
+        stats.pass_net_sent = self.net.stats().sent_bytes.get() - net_sent0;
+        stats.dispatch_net_recv = self.net.stats().recv_bytes.get() - net_recv0;
+        stats.pass_disk_read = call.pass_disk_read.load(Ordering::Relaxed);
+        stats.dispatch_disk_read = call.dispatch_disk_read.load(Ordering::Relaxed);
+        stats.dispatch_disk_write = call.dispatch_disk_write.load(Ordering::Relaxed);
+        stats.messages_sent = call.messages_sent.load(Ordering::Relaxed);
+
+        // ---------------- phase 4: processing --------------------------------
+        let (r1, w1) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
+        let result: Mutex<A> = Mutex::new(A::zero());
+        {
+            let next = AtomicUsize::new(0);
+            let err: Mutex<Option<DfoError>> = Mutex::new(None);
+            std::thread::scope(|s| {
+                for _ in 0..self.cfg.threads_per_node {
+                    s.spawn(|| {
+                        let mut local = A::zero();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= b_count {
+                                break;
+                            }
+                            match self.process_batch::<A, M, E>(
+                                b,
+                                &slot_entries,
+                                &msg_counts,
+                                &none_mode,
+                                &none_counts,
+                                &gen_counts,
+                                &slot,
+                            ) {
+                                Ok(a) => local = local.merge(a),
+                                Err(e) => {
+                                    *err.lock() = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        let mut r = result.lock();
+                        let cur = std::mem::replace(&mut *r, A::zero());
+                        *r = cur.merge(local);
+                    });
+                }
+            });
+            let pending = err.lock().take();
+            if let Some(e) = pending {
+                return Err(e);
+            }
+        }
+        stats.process_disk_read = disk_stats.read_bytes.get() - r1;
+        stats.process_disk_write = disk_stats.write_bytes.get() - w1;
+
+        self.commit_epochs(&epoch_set)?;
+        self.last_stats = stats;
+        let local = std::mem::replace(&mut *result.lock(), A::zero());
+        Ok(local.allreduce(&self.net))
+    }
+
+    /// Phase 1 for one batch: run `signal` over active vertices, spill
+    /// records to `msgs/gen_b{b}.bin`, write back dirty signal arrays.
+    fn generate_batch<M: Pod>(
+        &self,
+        b: usize,
+        signal_entries: &[Arc<ArrayEntry>],
+        signal_names: &[&str],
+        active_entry: Option<&ArrayEntry>,
+        signal: &(impl Fn(VertexId, &mut BatchCtx) -> Option<M> + Sync),
+    ) -> Result<u64> {
+        let range = self.plan.batches[self.rank][b];
+        if range.is_empty() {
+            return Ok(0);
+        }
+        let partition_start = self.plan.partitions[self.rank].start;
+        let active_bytes = match active_entry {
+            Some(e) if self.cfg.batching_enabled => {
+                let bytes = e.read_block(b)?;
+                if !bytes.iter().any(|&x| x != 0) {
+                    return Ok(0);
+                }
+                Some(bytes)
+            }
+            _ => None,
+        };
+        let mut refs: Vec<&ArrayEntry> = signal_entries.iter().map(|e| e.as_ref()).collect();
+        let paged_active = match active_entry {
+            Some(e) if !self.cfg.batching_enabled => {
+                if !signal_names.contains(&e.name.as_str()) {
+                    refs.push(e);
+                }
+                Some(VertexArray::<bool>::new(&e.name))
+            }
+            _ => None,
+        };
+        let preloaded = match (&active_bytes, active_entry) {
+            (Some(bytes), Some(e)) if signal_names.contains(&e.name.as_str()) => {
+                Some((e.name.as_str(), bytes.clone()))
+            }
+            _ => None,
+        };
+        let mut ctx = BatchCtx::load(&refs, range, b, partition_start, preloaded)?;
+        let mut writer = None;
+        let mut count = 0u64;
+        let mut rec_buf: Vec<u8> = Vec::with_capacity(record_bytes::<M>());
+        for v in range.iter() {
+            let is_active = match (&active_bytes, &paged_active) {
+                (Some(bytes), _) => bytes[(v - range.start) as usize] != 0,
+                (None, Some(h)) => ctx.get(h, v),
+                (None, None) => true,
+            };
+            if !is_active {
+                continue;
+            }
+            if let Some(msg) = signal(v, &mut ctx) {
+                let w = match &mut writer {
+                    Some(w) => w,
+                    None => {
+                        writer = Some(self.disk.create(&gen_path(b))?);
+                        writer.as_mut().unwrap()
+                    }
+                };
+                rec_buf.clear();
+                // source stored local to the *partition*: receivers resolve
+                // it against the sender's partition range
+                crate::messages::push_record(&mut rec_buf, (v - partition_start) as u32, &msg);
+                w.write_all(&rec_buf)
+                    .map_err(|e| DfoError::io("writing generated message", e))?;
+                count += 1;
+            }
+        }
+        if let Some(w) = writer {
+            w.finish()?;
+        }
+        ctx.write_back(b)?;
+        Ok(count)
+    }
+
+    /// Phase 2 to one peer: stream the node's generated messages, filtered
+    /// against `L_{rank,j}` unless the §4.3 skip rule fires.
+    fn send_to<M: Pod>(
+        &self,
+        j: Rank,
+        seq: u64,
+        m_total: u64,
+        gen_counts: &[AtomicU64],
+        call: &CallStats,
+    ) -> Result<()> {
+        let l_len = self.plan.node_meta[self.rank].filter_lens[j];
+        let do_filter = self.cfg.filtering_enabled
+            && should_filter(l_len, m_total, self.cfg.filter_skip_ratio);
+        let list = if do_filter {
+            dfo_part::filter::read_filter_list(&self.disk, &paths::filter(j))?
+        } else {
+            Vec::new()
+        };
+        let mut cursor = FilterCursor::new(&list);
+
+        // header frame: an upper bound on the records to follow, so the
+        // receiver can pick its dispatch strategy before data arrives
+        let bound = if do_filter { l_len.min(m_total) } else { m_total };
+        self.net.send(j, seq, Bytes::copy_from_slice(&bound.to_le_bytes()), false)?;
+
+        let rec = record_bytes::<M>();
+        let mut fb = FrameBuilder::new(FRAME_BYTES, rec);
+        let mut sent = 0u64;
+        for (b, c) in gen_counts.iter().enumerate() {
+            if c.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
+            while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                call.pass_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                if !do_filter || cursor.contains(src) {
+                    sent += 1;
+                    if let Some(frame) = fb.push(src, &msg) {
+                        self.net.send(j, seq, frame, false)?;
+                    }
+                }
+            }
+        }
+        if let Some(tail) = fb.finish() {
+            self.net.send(j, seq, tail, false)?;
+        }
+        self.net.finish_stream(j, seq)?;
+        call.messages_sent.fetch_add(sent, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Phase 3 for the node's own messages: they are already on disk (the
+    /// gen files), so dispatching reads them locally.
+    fn dispatch_self<M: Pod>(
+        &self,
+        m_total: u64,
+        gen_counts: &[AtomicU64],
+        msg_counts: &[Vec<AtomicU64>],
+        none_mode: &[AtomicBool],
+        none_counts: &[AtomicU64],
+        call: &CallStats,
+    ) -> Result<()> {
+        let rank = self.rank;
+        let dinfo = self.plan.node_meta[rank].dispatch[rank];
+        let strategy = self.choose_strategy(dinfo.as_ref(), rank, m_total);
+        match strategy {
+            Strategy::Drain => Ok(()),
+            Strategy::NoDispatch => {
+                // batches will read the gen files directly in phase 4
+                none_mode[rank].store(true, Ordering::Release);
+                none_counts[rank].store(m_total, Ordering::Release);
+                Ok(())
+            }
+            Strategy::Push => {
+                let dinfo = dinfo.expect("push strategy requires a dispatch graph");
+                let mut access = self.open_dispatch_access(rank, m_total, &dinfo)?;
+                let mut sink = PushSink::new(self, rank);
+                let rec = record_bytes::<M>();
+                for (b, c) in gen_counts.iter().enumerate() {
+                    if c.load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
+                    while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                        call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                        for batch in access.batches_of(src)? {
+                            sink.write::<M>(batch as usize, src, &msg, msg_counts, call)?;
+                        }
+                    }
+                }
+                sink.finish()
+            }
+            Strategy::Pull => {
+                // each batch merges its pull list against the gen stream
+                for b in 0..self.plan.n_batches(rank) {
+                    if self.chunk_map[rank][b].is_none() {
+                        continue;
+                    }
+                    let list =
+                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(rank, b))?;
+                    let mut cursor = FilterCursor::new(&list);
+                    let mut writer: Option<dfo_storage::DiskWriter> = None;
+                    let mut matched = 0u64;
+                    let rec = record_bytes::<M>();
+                    for (gb, c) in gen_counts.iter().enumerate() {
+                        if c.load(Ordering::Relaxed) == 0 {
+                            continue;
+                        }
+                        let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
+                        while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                            call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                            if cursor.contains(src) {
+                                let w = match &mut writer {
+                                    Some(w) => w,
+                                    None => {
+                                        writer = Some(self.disk.create_with_buffer(
+                                            &seg_path(b, rank),
+                                            DISPATCH_BUF,
+                                        )?);
+                                        writer.as_mut().unwrap()
+                                    }
+                                };
+                                crate::messages::write_record(w, src, &msg)?;
+                                call.dispatch_disk_write
+                                    .fetch_add(rec as u64, Ordering::Relaxed);
+                                matched += 1;
+                            }
+                        }
+                    }
+                    if let Some(w) = writer {
+                        w.finish()?;
+                    }
+                    msg_counts[b][rank].store(matched, Ordering::Release);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Phase 3 for one remote stream.
+    fn recv_dispatch<M: Pod>(
+        &self,
+        p: Rank,
+        seq: u64,
+        msg_counts: &[Vec<AtomicU64>],
+        none_mode: &[AtomicBool],
+        none_counts: &[AtomicU64],
+        call: &CallStats,
+    ) -> Result<()> {
+        let mut stream = self.net.recv_stream(p, seq);
+        let header = stream
+            .next_chunk()?
+            .ok_or_else(|| DfoError::Corrupt(format!("stream from {p} missing header")))?;
+        let bound = u64::from_le_bytes(header[..8].try_into().unwrap());
+        let dinfo = self.plan.node_meta[self.rank].dispatch[p];
+        let strategy = self.choose_strategy(dinfo.as_ref(), p, bound);
+        let rec = record_bytes::<M>();
+
+        match strategy {
+            Strategy::Drain => {
+                while stream.next_chunk()?.is_some() {}
+                Ok(())
+            }
+            Strategy::NoDispatch => {
+                let mut w = self.disk.create(&none_path(p))?;
+                let mut total = 0u64;
+                while let Some(chunk) = stream.next_chunk()? {
+                    w.write_all(&chunk).map_err(|e| DfoError::io("spilling raw stream", e))?;
+                    call.dispatch_disk_write.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    total += chunk.len() as u64 / rec as u64;
+                }
+                w.finish()?;
+                none_counts[p].store(total, Ordering::Release);
+                none_mode[p].store(true, Ordering::Release);
+                Ok(())
+            }
+            Strategy::Push => {
+                let dinfo = dinfo.expect("push strategy requires a dispatch graph");
+                let mut access = self.open_dispatch_access(p, bound, &dinfo)?;
+                let mut sink = PushSink::new(self, p);
+                while let Some(chunk) = stream.next_chunk()? {
+                    debug_assert_eq!(chunk.len() % rec, 0, "frames carry whole records");
+                    let mut off = 0;
+                    while off < chunk.len() {
+                        let (src, msg) = parse_record::<M>(&chunk, off);
+                        off += rec;
+                        for batch in access.batches_of(src)? {
+                            sink.write::<M>(batch as usize, src, &msg, msg_counts, call)?;
+                        }
+                    }
+                }
+                sink.finish()
+            }
+            Strategy::Pull => {
+                // stage the stream, then batches pull what they need
+                let stage = format!("msgs/stage_p{p}.bin");
+                {
+                    let mut w = self.disk.create(&stage)?;
+                    while let Some(chunk) = stream.next_chunk()? {
+                        w.write_all(&chunk).map_err(|e| DfoError::io("staging stream", e))?;
+                        call.dispatch_disk_write
+                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    }
+                    w.finish()?;
+                }
+                for b in 0..self.plan.n_batches(self.rank) {
+                    if self.chunk_map[p][b].is_none() {
+                        continue;
+                    }
+                    let list =
+                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(p, b))?;
+                    let mut cursor = FilterCursor::new(&list);
+                    let mut r = RecordReader::new(self.disk.open(&stage)?);
+                    let mut writer: Option<dfo_storage::DiskWriter> = None;
+                    let mut matched = 0u64;
+                    while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                        call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                        if cursor.contains(src) {
+                            let w = match &mut writer {
+                                Some(w) => w,
+                                None => {
+                                    writer = Some(self.disk.create_with_buffer(
+                                        &seg_path(b, p),
+                                        DISPATCH_BUF,
+                                    )?);
+                                    writer.as_mut().unwrap()
+                                }
+                            };
+                            crate::messages::write_record(w, src, &msg)?;
+                            call.dispatch_disk_write.fetch_add(rec as u64, Ordering::Relaxed);
+                            matched += 1;
+                        }
+                    }
+                    if let Some(w) = writer {
+                        w.finish()?;
+                    }
+                    msg_counts[b][p].store(matched, Ordering::Release);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// §4.2 adaptive choice. Push pays the index plus one read and one write
+    /// of the messages; no-dispatch makes every interested batch rescan the
+    /// whole stream in phase 4. Pull is only selected by explicit override:
+    /// its benefit over push is *latency* (a batch can start processing as
+    /// soon as it has pulled), which this engine's phase barrier before
+    /// processing does not exploit.
+    fn choose_strategy(&self, dinfo: Option<&ChunkInfo>, p: Rank, bound: u64) -> Strategy {
+        let Some(dinfo) = dinfo else {
+            return Strategy::Drain;
+        };
+        if bound == 0 {
+            return Strategy::Drain;
+        }
+        if let Some(kind) = self.cfg.dispatch_override {
+            return match kind {
+                DispatchKind::Push => Strategy::Push,
+                DispatchKind::Pull => Strategy::Pull,
+                DispatchKind::None => Strategy::NoDispatch,
+            };
+        }
+        let n_src = self.plan.partitions[p].len();
+        let interested_batches =
+            self.chunk_map[p].iter().filter(|c| c.is_some()).count() as u64;
+        let index_cost = if dinfo.has_csr {
+            (2 * dinfo.n_nonzero_src).min((self.cfg.gamma.saturating_mul(bound)).min(n_src))
+        } else {
+            2 * dinfo.n_nonzero_src
+        };
+        let push_cost = index_cost + 2 * bound;
+        let none_cost = interested_batches * bound;
+        if push_cost < none_cost {
+            Strategy::Push
+        } else {
+            Strategy::NoDispatch
+        }
+    }
+
+    /// Opens the dispatching graph from partition `p`, either fully loaded
+    /// or in positioned-read seek mode when messages are few (§4.1).
+    fn open_dispatch_access(
+        &self,
+        p: Rank,
+        bound: u64,
+        dinfo: &ChunkInfo,
+    ) -> Result<DispatchAccess> {
+        let n_src = self.plan.partitions[p].len();
+        if self.cfg.repr_override.is_none()
+            && dfo_part::csr::should_seek(dinfo.has_csr, bound, n_src, self.cfg.gamma)
+        {
+            let seeker = dfo_part::csr::ChunkSeeker::<()>::open(&self.disk, &paths::dispatch(p))?
+                .expect("seek mode requires a stored CSR");
+            return Ok(DispatchAccess::Seek(seeker));
+        }
+        let want = self.cfg.repr_override.unwrap_or_else(|| {
+            choose_repr(dinfo.has_csr, dinfo.n_nonzero_src, n_src, bound, self.cfg.gamma)
+        });
+        let mut r = self.disk.open(&paths::dispatch(p))?;
+        let dg = IndexedChunk::read_from(&mut r, Some(want))?;
+        Ok(DispatchAccess::Loaded { dg, cursor: MergeCursor::new() })
+    }
+
+    /// Phase 4 for one destination batch.
+    #[allow(clippy::too_many_arguments)]
+    fn process_batch<A, M, E>(
+        &self,
+        b: usize,
+        slot_entries: &[Arc<ArrayEntry>],
+        msg_counts: &[Vec<AtomicU64>],
+        none_mode: &[AtomicBool],
+        none_counts: &[AtomicU64],
+        gen_counts: &[AtomicU64],
+        slot: &(impl Fn(M, VertexId, VertexId, &E, &mut BatchCtx) -> A + Sync),
+    ) -> Result<A>
+    where
+        A: Accum,
+        M: Pod,
+        E: Pod + PartialEq,
+    {
+        let rank = self.rank;
+        let range = self.plan.batches[rank][b];
+        if range.is_empty() {
+            return Ok(A::zero());
+        }
+        // processing order: own messages first (they were dispatched first),
+        // then peers in receive order (§4.5)
+        let mut order = vec![rank];
+        order.extend(self.cfg.recv_order(rank));
+
+        // anything for this batch at all? (skip = no I/O for idle batches)
+        let has_work = order.iter().any(|&p| {
+            msg_counts[b][p].load(Ordering::Acquire) > 0
+                || (none_mode[p].load(Ordering::Acquire)
+                    && none_counts[p].load(Ordering::Acquire) > 0
+                    && self.chunk_map[p][b].is_some())
+        });
+        if !has_work {
+            return Ok(A::zero());
+        }
+
+        let refs: Vec<&ArrayEntry> = slot_entries.iter().map(|e| e.as_ref()).collect();
+        let mut ctx =
+            BatchCtx::load(&refs, range, b, self.plan.partitions[rank].start, None)?;
+        let mut acc = A::zero();
+        let dst_base = self.plan.partitions[rank].start;
+
+        for &p in &order {
+            let Some(cinfo) = self.chunk_map[p][b] else { continue };
+            let pushed = msg_counts[b][p].load(Ordering::Acquire);
+            let in_none = none_mode[p].load(Ordering::Acquire);
+            let count = if pushed > 0 { pushed } else { none_counts[p].load(Ordering::Acquire) };
+            if pushed == 0 && (!in_none || count == 0) {
+                continue;
+            }
+            // §4.1: with few messages and a stored CSR, *seek* into the
+            // chunk with positioned reads instead of streaming it whole
+            let n_src_len = self.plan.partitions[p].len();
+            let use_seek = self.cfg.repr_override.is_none()
+                && dfo_part::csr::should_seek(cinfo.has_csr, count, n_src_len, self.cfg.gamma);
+            let (chunk, seeker) = if use_seek {
+                let s = dfo_part::csr::ChunkSeeker::<E>::open(&self.disk, &paths::chunk(p, b))?
+                    .expect("seek mode requires a stored CSR");
+                (None, Some(s))
+            } else {
+                let want = self.cfg.repr_override.unwrap_or_else(|| {
+                    choose_repr(
+                        cinfo.has_csr,
+                        cinfo.n_nonzero_src,
+                        n_src_len,
+                        count,
+                        self.cfg.gamma,
+                    )
+                });
+                let mut r = self.disk.open(&paths::chunk(p, b))?;
+                (Some(IndexedChunk::<E>::read_from(&mut r, Some(want))?), None)
+            };
+            let use_csr = chunk.as_ref().map(|c| c.csr_idx.is_some()).unwrap_or(false);
+            let src_base = self.plan.partitions[p].start;
+            let mut mc = MergeCursor::new();
+            let mut apply = |src: u32, msg: M, ctx: &mut BatchCtx, acc: &mut A| -> Result<()> {
+                if let Some(seeker) = &seeker {
+                    for (dst_local, data) in seeker.edges_of(src)? {
+                        let a = slot(
+                            msg,
+                            src_base + src as VertexId,
+                            dst_base + dst_local as VertexId,
+                            &data,
+                            ctx,
+                        );
+                        let cur = std::mem::replace(acc, A::zero());
+                        *acc = cur.merge(a);
+                    }
+                    return Ok(());
+                }
+                let chunk = chunk.as_ref().unwrap();
+                let edges = if use_csr { chunk.edges_of_csr(src) } else { mc.edges_of(chunk, src) };
+                for e in edges {
+                    let a = slot(
+                        msg,
+                        src_base + src as VertexId,
+                        dst_base + chunk.dst[e] as VertexId,
+                        &chunk.data[e],
+                        ctx,
+                    );
+                    let cur = std::mem::replace(acc, A::zero());
+                    *acc = cur.merge(a);
+                }
+                Ok(())
+            };
+            if pushed > 0 {
+                let mut r = RecordReader::new(self.disk.open(&seg_path(b, p))?);
+                while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                    apply(src, msg, &mut ctx, &mut acc)?;
+                }
+            } else if p == rank {
+                // no-dispatch over our own messages: replay the gen files
+                for (gb, c) in gen_counts.iter().enumerate() {
+                    if c.load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
+                    while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                        apply(src, msg, &mut ctx, &mut acc)?;
+                    }
+                }
+            } else {
+                let mut r = RecordReader::new(self.disk.open(&none_path(p))?);
+                while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                    apply(src, msg, &mut ctx, &mut acc)?;
+                }
+            }
+        }
+        ctx.write_back(b)?;
+        Ok(acc)
+    }
+}
+
+/// Access mode to a dispatching graph during push dispatching.
+enum DispatchAccess {
+    Loaded { dg: IndexedChunk<()>, cursor: MergeCursor },
+    Seek(dfo_part::csr::ChunkSeeker<()>),
+}
+
+impl DispatchAccess {
+    /// Destination batches of `src`'s messages.
+    fn batches_of(&mut self, src: u32) -> Result<Vec<u32>> {
+        match self {
+            DispatchAccess::Loaded { dg, cursor } => {
+                let range = if dg.csr_idx.is_some() {
+                    dg.edges_of_csr(src)
+                } else {
+                    cursor.edges_of(dg, src)
+                };
+                Ok(dg.dst[range].to_vec())
+            }
+            DispatchAccess::Seek(seeker) => {
+                Ok(seeker.edges_of(src)?.into_iter().map(|(b, _)| b).collect())
+            }
+        }
+    }
+}
+
+/// Lazily-opened per-batch segment writers for push dispatching.
+struct PushSink<'a> {
+    node: &'a NodeCtx,
+    src_partition: Rank,
+    writers: Vec<Option<dfo_storage::DiskWriter>>,
+}
+
+impl<'a> PushSink<'a> {
+    fn new(node: &'a NodeCtx, src_partition: Rank) -> Self {
+        let b = node.plan.n_batches(node.rank);
+        Self { node, src_partition, writers: (0..b).map(|_| None).collect() }
+    }
+
+    fn write<M: Pod>(
+        &mut self,
+        batch: usize,
+        src: u32,
+        msg: &M,
+        msg_counts: &[Vec<AtomicU64>],
+        call: &CallStats,
+    ) -> Result<()> {
+        let w = match &mut self.writers[batch] {
+            Some(w) => w,
+            None => {
+                self.writers[batch] = Some(self.node.disk.create_with_buffer(
+                    &seg_path(batch, self.src_partition),
+                    DISPATCH_BUF,
+                )?);
+                self.writers[batch].as_mut().unwrap()
+            }
+        };
+        crate::messages::write_record(w, src, msg)?;
+        call.dispatch_disk_write.fetch_add(record_bytes::<M>() as u64, Ordering::Relaxed);
+        msg_counts[batch][self.src_partition].fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<()> {
+        for w in self.writers.into_iter().flatten() {
+            w.finish()?;
+        }
+        Ok(())
+    }
+}
+
+fn gen_path(b: usize) -> String {
+    format!("msgs/gen_b{b}.bin")
+}
+
+fn seg_path(b: usize, p: Rank) -> String {
+    format!("msgs/in_b{b}_p{p}.bin")
+}
+
+fn none_path(p: Rank) -> String {
+    format!("msgs/in_all_p{p}.bin")
+}
+
+#[allow(unused)]
+fn repr_is_csr(want: ReprKind) -> bool {
+    want == ReprKind::Csr
+}

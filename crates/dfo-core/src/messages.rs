@@ -1,0 +1,156 @@
+//! On-disk and on-wire message records.
+//!
+//! A message is a `(src_local: u32, payload: M)` pair — the source vertex
+//! stored local to its partition (the receiving side always knows which
+//! partition a stream came from, so 4 bytes suffice regardless of graph
+//! size). Message files are flat concatenations of records; network frames
+//! carry whole records only.
+
+use bytes::{Bytes, BytesMut};
+use dfo_types::codec::read_exact_or_eof;
+use dfo_types::{bytes_of, pod_from_bytes, DfoError, Pod, Result};
+use std::io::{Read, Write};
+
+/// Bytes per record for message type `M`.
+pub const fn record_bytes<M: Pod>() -> usize {
+    4 + std::mem::size_of::<M>()
+}
+
+/// Serializes one record into `out`.
+#[inline]
+pub fn push_record<M: Pod>(out: &mut Vec<u8>, src_local: u32, msg: &M) {
+    out.extend_from_slice(&src_local.to_le_bytes());
+    out.extend_from_slice(bytes_of(msg));
+}
+
+/// Writes one record to a stream.
+#[inline]
+pub fn write_record<W: Write, M: Pod>(w: &mut W, src_local: u32, msg: &M) -> Result<()> {
+    w.write_all(&src_local.to_le_bytes())
+        .and_then(|_| w.write_all(bytes_of(msg)))
+        .map_err(|e| DfoError::io("writing message record", e))
+}
+
+/// Parses the record at `buf[off..]`.
+#[inline]
+pub fn parse_record<M: Pod>(buf: &[u8], off: usize) -> (u32, M) {
+    let src = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    let msg = pod_from_bytes(&buf[off + 4..off + record_bytes::<M>()]);
+    (src, msg)
+}
+
+/// Streaming reader over a message file.
+pub struct RecordReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read, M: Pod> RecordIter<M> for RecordReader<R> {
+    fn next_record(&mut self) -> Result<Option<(u32, M)>> {
+        let rec = record_bytes::<M>();
+        if self.buf.len() != rec {
+            self.buf.resize(rec, 0);
+        }
+        if !read_exact_or_eof(&mut self.inner, &mut self.buf)
+            .map_err(|e| DfoError::io("reading message record", e))?
+        {
+            return Ok(None);
+        }
+        Ok(Some(parse_record(&self.buf, 0)))
+    }
+}
+
+impl<R: Read> RecordReader<R> {
+    pub fn new(inner: R) -> Self {
+        Self { inner, buf: Vec::new() }
+    }
+}
+
+/// Anything that yields `(src_local, M)` records in order.
+pub trait RecordIter<M: Pod> {
+    fn next_record(&mut self) -> Result<Option<(u32, M)>>;
+}
+
+/// Packs records into bounded frames for the wire. Frame capacity is rounded
+/// down to a whole number of records so receivers never see a split record.
+pub struct FrameBuilder {
+    buf: BytesMut,
+    cap: usize,
+}
+
+impl FrameBuilder {
+    /// `target_bytes` ≈ frame size; `rec` = record size.
+    pub fn new(target_bytes: usize, rec: usize) -> Self {
+        let cap = (target_bytes / rec).max(1) * rec;
+        Self { buf: BytesMut::with_capacity(cap), cap }
+    }
+
+    /// Adds a record; returns a full frame when capacity is reached.
+    #[inline]
+    pub fn push<M: Pod>(&mut self, src_local: u32, msg: &M) -> Option<Bytes> {
+        self.buf.extend_from_slice(&src_local.to_le_bytes());
+        self.buf.extend_from_slice(bytes_of(msg));
+        if self.buf.len() >= self.cap {
+            Some(self.buf.split().freeze())
+        } else {
+            None
+        }
+    }
+
+    /// Remaining partial frame, if any.
+    pub fn finish(mut self) -> Option<Bytes> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.split().freeze())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn record_roundtrip_through_file() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, 7, &3.5f64).unwrap();
+        write_record(&mut buf, 1000, &-1.0f64).unwrap();
+        let mut r = RecordReader::new(Cursor::new(buf));
+        assert_eq!(RecordIter::<f64>::next_record(&mut r).unwrap(), Some((7, 3.5)));
+        assert_eq!(RecordIter::<f64>::next_record(&mut r).unwrap(), Some((1000, -1.0)));
+        assert_eq!(RecordIter::<f64>::next_record(&mut r).unwrap(), None::<(u32, f64)>);
+    }
+
+    #[test]
+    fn frame_builder_aligns_to_records() {
+        let rec = record_bytes::<u64>(); // 12
+        let mut fb = FrameBuilder::new(30, rec); // cap = 24 = 2 records
+        assert!(fb.push(1, &10u64).is_none());
+        let frame = fb.push(2, &20u64).expect("second record fills the frame");
+        assert_eq!(frame.len(), 2 * rec);
+        assert_eq!(parse_record::<u64>(&frame, 0), (1, 10));
+        assert_eq!(parse_record::<u64>(&frame, rec), (2, 20));
+        assert!(fb.finish().is_none());
+    }
+
+    #[test]
+    fn frame_builder_flushes_partial() {
+        let rec = record_bytes::<u32>();
+        let mut fb = FrameBuilder::new(100 * rec, rec);
+        fb.push(5, &55u32);
+        let tail = fb.finish().unwrap();
+        assert_eq!(parse_record::<u32>(&tail, 0), (5, 55));
+    }
+
+    #[test]
+    fn zero_sized_message() {
+        // BFS sends unit messages: record is just the 4-byte source
+        let mut buf = Vec::new();
+        write_record(&mut buf, 9, &()).unwrap();
+        assert_eq!(buf.len(), 4);
+        let mut r = RecordReader::new(Cursor::new(buf));
+        assert_eq!(RecordIter::<()>::next_record(&mut r).unwrap(), Some((9, ())));
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-node engine state and `ProcessVertices`.
+//!
+//! A [`NodeCtx`] is what the SPMD closure passed to
+//! [`crate::Cluster::run`] receives: the node's rank, its throttled disk,
+//! its network endpoint, the replicated preprocessing plan, and the vertex
+//! array registry. All engine APIs hang off it.
+
+use crate::accum::Accum;
+use crate::array::{ArrayEntry, BatchCtx, VertexArray};
+use dfo_net::Endpoint;
+use dfo_part::plan::{ChunkInfo, Plan};
+use dfo_storage::NodeDisk;
+use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+pub struct NodeCtx {
+    pub(crate) rank: Rank,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) disk: NodeDisk,
+    pub(crate) net: Endpoint,
+    pub(crate) plan: Plan,
+    pub(crate) arrays: HashMap<String, Arc<ArrayEntry>>,
+    /// `chunk_map[p][b]`: metadata of the edge chunk from partition `p` to
+    /// local batch `b`, if it has edges.
+    pub(crate) chunk_map: Vec<Vec<Option<ChunkInfo>>>,
+    pub(crate) call_seq: u64,
+    pub(crate) last_stats: PhaseStats,
+}
+
+impl NodeCtx {
+    /// Builds the context for `rank`, loading the plan replicated by
+    /// preprocessing.
+    pub fn new(rank: Rank, cfg: EngineConfig, disk: NodeDisk, net: Endpoint) -> Result<Self> {
+        let plan = Plan::load(&disk)?;
+        let mut chunk_map: Vec<Vec<Option<ChunkInfo>>> =
+            (0..plan.nodes()).map(|_| vec![None; plan.n_batches(rank)]).collect();
+        for c in &plan.node_meta[rank].chunks {
+            chunk_map[c.src_partition][c.batch] = Some(*c);
+        }
+        Ok(Self {
+            rank,
+            cfg,
+            disk,
+            net,
+            plan,
+            arrays: HashMap::new(),
+            chunk_map,
+            call_seq: 0,
+            last_stats: PhaseStats::default(),
+        })
+    }
+
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    pub fn disk(&self) -> &NodeDisk {
+        &self.disk
+    }
+
+    pub fn net(&self) -> &Endpoint {
+        &self.net
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Per-phase I/O and traffic of the most recent `ProcessEdges` call
+    /// (the Table 2 measurement).
+    pub fn last_phase_stats(&self) -> &PhaseStats {
+        &self.last_stats
+    }
+
+    /// The paper's `GetVertexArray<T>`: creates the named array (zeroed) or
+    /// reopens it — recovering the last committed checkpoint when
+    /// checkpointing is on (§3.2).
+    pub fn vertex_array<T: Pod>(&mut self, name: &str) -> Result<VertexArray<T>> {
+        let elem = std::mem::size_of::<T>();
+        assert!(elem > 0, "vertex data must not be zero-sized");
+        if let Some(entry) = self.arrays.get(name) {
+            if entry.elem_bytes != elem {
+                return Err(DfoError::Config(format!(
+                    "vertex array {name:?} reopened with element size {elem}, stored {}",
+                    entry.elem_bytes
+                )));
+            }
+            return Ok(VertexArray::new(name));
+        }
+        let entry = if self.cfg.batching_enabled {
+            ArrayEntry::create_blocks(
+                &self.disk,
+                name,
+                elem,
+                &self.plan.batches[self.rank],
+                self.cfg.checkpointing,
+                self.cfg.checkpoints_kept,
+            )?
+        } else {
+            // Table 6 ablation: memory-mapped-style access through a bounded
+            // page cache (a quarter of the budget per array, mirroring an OS
+            // page cache shared by a handful of hot mmapped arrays)
+            let pages =
+                (self.cfg.mem_budget as usize / self.cfg.page_size / 4).max(1);
+            ArrayEntry::create_paged(
+                &self.disk,
+                name,
+                elem,
+                self.plan.partitions[self.rank],
+                self.cfg.page_size,
+                pages,
+            )?
+        };
+        self.arrays.insert(name.to_string(), Arc::new(entry));
+        Ok(VertexArray::new(name))
+    }
+
+    /// Resolves registered array entries by name (panics on typos — a
+    /// programming error, like the paper's C++ API would segfault).
+    pub(crate) fn entries(&self, names: &[&str]) -> Vec<Arc<ArrayEntry>> {
+        names
+            .iter()
+            .map(|n| {
+                self.arrays
+                    .get(*n)
+                    .unwrap_or_else(|| panic!("vertex array {n:?} was never created on this node"))
+                    .clone()
+            })
+            .collect()
+    }
+
+    pub(crate) fn begin_epochs(&self, entries: &[Arc<ArrayEntry>]) {
+        if self.cfg.checkpointing {
+            for e in entries {
+                e.begin_epoch();
+            }
+        }
+    }
+
+    pub(crate) fn commit_epochs(&self, entries: &[Arc<ArrayEntry>]) -> Result<()> {
+        for e in entries {
+            e.commit()?;
+        }
+        Ok(())
+    }
+
+    /// The paper's `ProcessVertices`: runs `work` on every vertex (or every
+    /// *active* vertex), batches processed in parallel by the node's worker
+    /// threads, each batch's arrays loaded at most once (§4.4
+    /// "vertex-parallel jobs").
+    ///
+    /// `arrays` lists the vertex arrays `work` may access through the
+    /// [`BatchCtx`]. Returns the sum of `work`'s return values across the
+    /// whole cluster.
+    pub fn process_vertices<A: Accum>(
+        &mut self,
+        arrays: &[&str],
+        active: Option<&VertexArray<bool>>,
+        work: impl Fn(VertexId, &mut BatchCtx) -> A + Sync,
+    ) -> Result<A> {
+        let entries = self.entries(arrays);
+        let active_entry = active.map(|a| self.entries(&[a.name()]).remove(0));
+        // open one epoch over everything this call may write
+        let mut epoch_set: Vec<Arc<ArrayEntry>> = entries.clone();
+        if let Some(ae) = &active_entry {
+            if !arrays.contains(&ae.name.as_str()) {
+                epoch_set.push(ae.clone());
+            }
+        }
+        self.begin_epochs(&epoch_set);
+
+        let b_count = self.plan.n_batches(self.rank);
+        let partition_start = self.plan.partitions[self.rank].start;
+        let next = AtomicUsize::new(0);
+        let result: parking_lot::Mutex<A> = parking_lot::Mutex::new(A::zero());
+        let err: parking_lot::Mutex<Option<DfoError>> = parking_lot::Mutex::new(None);
+
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.threads_per_node {
+                s.spawn(|| {
+                    let mut local = A::zero();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= b_count {
+                            break;
+                        }
+                        match self.run_vertex_batch(
+                            b,
+                            partition_start,
+                            &entries,
+                            arrays,
+                            active_entry.as_deref(),
+                            &work,
+                        ) {
+                            Ok(a) => local = local.merge(a),
+                            Err(e) => {
+                                *err.lock() = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let mut r = result.lock();
+                    let cur = std::mem::replace(&mut *r, A::zero());
+                    *r = cur.merge(local);
+                });
+            }
+        });
+        if let Some(e) = err.lock().take() {
+            return Err(e);
+        }
+        self.commit_epochs(&epoch_set)?;
+        let local = std::mem::replace(&mut *result.lock(), A::zero());
+        Ok(local.allreduce(&self.net))
+    }
+
+    /// All-to-all byte exchange: sends `outgoing[j]` to node `j` and returns
+    /// what every node sent here (`result[rank] == outgoing[rank]`).
+    ///
+    /// Uses the same round-robin pairing as `ProcessEdges` (§4.4), with the
+    /// sender on its own thread so bounded channels cannot deadlock. Used
+    /// for preprocessing by-products such as shipping out-degree counts to
+    /// their owning partitions.
+    pub fn exchange_bytes(&mut self, outgoing: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
+        assert_eq!(outgoing.len(), self.cfg.nodes);
+        let seq = self.call_seq;
+        self.call_seq += 1;
+        let rank = self.rank;
+        let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); self.cfg.nodes];
+        let err: parking_lot::Mutex<Option<DfoError>> = parking_lot::Mutex::new(None);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for j in self.cfg.send_order(rank) {
+                    let payload = &outgoing[j];
+                    for chunk in payload.chunks(256 << 10) {
+                        if let Err(e) = self.net.send(
+                            j,
+                            seq,
+                            bytes::Bytes::copy_from_slice(chunk),
+                            false,
+                        ) {
+                            *err.lock() = Some(e);
+                            return;
+                        }
+                    }
+                    if let Err(e) = self.net.finish_stream(j, seq) {
+                        *err.lock() = Some(e);
+                        return;
+                    }
+                }
+            });
+            for p in self.cfg.recv_order(rank) {
+                match self.net.recv_all(p, seq) {
+                    Ok(bytes) => incoming[p] = bytes,
+                    Err(e) => {
+                        *err.lock() = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        let pending = err.lock().take();
+        if let Some(e) = pending {
+            return Err(e);
+        }
+        incoming[rank] = outgoing.into_iter().nth(rank).unwrap();
+        Ok(incoming)
+    }
+
+    fn run_vertex_batch<A: Accum>(
+        &self,
+        b: usize,
+        partition_start: VertexId,
+        entries: &[Arc<ArrayEntry>],
+        names: &[&str],
+        active_entry: Option<&ArrayEntry>,
+        work: &(impl Fn(VertexId, &mut BatchCtx) -> A + Sync),
+    ) -> Result<A> {
+        let range = self.plan.batches[self.rank][b];
+        if range.is_empty() {
+            return Ok(A::zero());
+        }
+        // §4.4: load `active` first and finish early if the batch is idle
+        let active_bytes = match active_entry {
+            Some(e) if self.cfg.batching_enabled => {
+                let bytes = e.read_block(b)?;
+                if !bytes.iter().any(|&x| x != 0) {
+                    return Ok(A::zero());
+                }
+                Some(bytes)
+            }
+            _ => None, // paged mode reads the bitmap through the cache below
+        };
+        let mut refs: Vec<&ArrayEntry> = entries.iter().map(|e| e.as_ref()).collect();
+        // paged mode: read activity through the page cache inside the ctx
+        let paged_active = match active_entry {
+            Some(e) if !self.cfg.batching_enabled => {
+                if !names.contains(&e.name.as_str()) {
+                    refs.push(e);
+                }
+                Some(VertexArray::<bool>::new(&e.name))
+            }
+            _ => None,
+        };
+        let preloaded = match (&active_bytes, active_entry) {
+            (Some(bytes), Some(e)) if names.contains(&e.name.as_str()) => {
+                Some((e.name.as_str(), bytes.clone()))
+            }
+            _ => None,
+        };
+        let mut ctx = BatchCtx::load(&refs, range, b, partition_start, preloaded)?;
+        let mut acc = A::zero();
+        for v in range.iter() {
+            let is_active = match (&active_bytes, &paged_active) {
+                (Some(bytes), _) => bytes[(v - range.start) as usize] != 0,
+                (None, Some(h)) => ctx.get(h, v),
+                (None, None) => true,
+            };
+            if is_active {
+                acc = acc.merge(work(v, &mut ctx));
+            }
+        }
+        ctx.write_back(b)?;
+        Ok(acc)
+    }
+}

@@ -1,0 +1,431 @@
+//! End-to-end engine tests: the full four-phase pipeline against
+//! brute-force oracles, across cluster sizes, batch sizes, dispatch
+//! strategies and representations.
+
+use dfo_core::Cluster;
+use dfo_graph::edge::{Edge, EdgeList};
+use dfo_graph::gen::{rmat, uniform, GenConfig};
+use dfo_types::{BatchPolicy, DispatchKind, EngineConfig, ReprKind, VertexId};
+use tempfile::TempDir;
+
+/// In-degree via the engine: every vertex signals 1 along out-edges.
+fn engine_in_degrees(cfg: EngineConfig, g: &EdgeList<()>) -> Vec<u64> {
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    let plan = cluster.preprocess(g).unwrap();
+    let results = cluster
+        .run(|ctx| {
+            let deg = ctx.vertex_array::<u64>("deg")?;
+            ctx.process_edges(
+                &[],
+                &["deg"],
+                None,
+                |_v, _c| Some(1u64),
+                |msg, _s, dst, _d: &(), c| {
+                    let cur = c.get(&deg, dst);
+                    c.set(&deg, dst, cur + msg);
+                    1u64
+                },
+            )?;
+            // read the array back out for verification
+            let r = ctx.plan().partitions[ctx.rank()];
+            let mut out = vec![0u64; r.len() as usize];
+            let handle = deg.clone();
+            ctx.process_vertices(&["deg"], None, |v, c| {
+                // collected below via a second pass; here just touch
+                let _ = c.get(&handle, v);
+                0u64
+            })?;
+            // direct read through a per-batch sweep
+            let deg2 = deg.clone();
+            let collected = std::sync::Mutex::new(&mut out);
+            ctx.process_vertices(&["deg"], None, |v, c| {
+                let val = c.get(&deg2, v);
+                collected.lock().unwrap()[(v - r.start) as usize] = val;
+                0u64
+            })?;
+            Ok(out)
+        })
+        .unwrap();
+    assert_eq!(plan.nodes(), results.len());
+    results.into_iter().flatten().collect()
+}
+
+fn brute_in_degrees(g: &EdgeList<()>) -> Vec<u64> {
+    let mut d = vec![0u64; g.n_vertices as usize];
+    for e in &g.edges {
+        d[e.dst as usize] += 1;
+    }
+    d
+}
+
+#[test]
+fn in_degrees_match_on_figure1_graph() {
+    let g = EdgeList::new(
+        7,
+        vec![
+            Edge::new(0, 5, ()),
+            Edge::new(0, 6, ()),
+            Edge::new(1, 2, ()),
+            Edge::new(2, 4, ()),
+            Edge::new(2, 5, ()),
+            Edge::new(4, 3, ()),
+            Edge::new(5, 0, ()),
+            Edge::new(5, 4, ()),
+            Edge::new(6, 5, ()),
+        ],
+    );
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(2);
+    assert_eq!(engine_in_degrees(cfg, &g), brute_in_degrees(&g));
+}
+
+#[test]
+fn in_degrees_match_on_rmat_various_cluster_sizes() {
+    let g = rmat(GenConfig::new(9, 6, 11));
+    let want = brute_in_degrees(&g);
+    for nodes in [1, 2, 3, 5] {
+        let mut cfg = EngineConfig::for_test(nodes);
+        cfg.batch_policy = BatchPolicy::FixedVertices(37);
+        assert_eq!(engine_in_degrees(cfg, &g), want, "nodes={nodes}");
+    }
+}
+
+#[test]
+fn in_degrees_match_without_filtering() {
+    let g = uniform(300, 2000, 3);
+    let want = brute_in_degrees(&g);
+    let mut cfg = EngineConfig::for_test(3);
+    cfg.filtering_enabled = false;
+    assert_eq!(engine_in_degrees(cfg, &g), want);
+}
+
+#[test]
+fn in_degrees_match_under_forced_strategies() {
+    let g = uniform(200, 1500, 5);
+    let want = brute_in_degrees(&g);
+    for kind in [DispatchKind::Push, DispatchKind::Pull, DispatchKind::None] {
+        let mut cfg = EngineConfig::for_test(2);
+        cfg.dispatch_override = Some(kind);
+        assert_eq!(engine_in_degrees(cfg, &g), want, "dispatch {kind:?}");
+    }
+    for repr in [ReprKind::Csr, ReprKind::Dcsr] {
+        let mut cfg = EngineConfig::for_test(2);
+        cfg.repr_override = Some(repr);
+        assert_eq!(engine_in_degrees(cfg, &g), want, "repr {repr:?}");
+    }
+}
+
+#[test]
+fn in_degrees_match_with_seek_mode_gamma() {
+    // gamma=1 makes the engine take the positioned-read CSR seek path for
+    // any message count where a CSR exists
+    let g = uniform(300, 2500, 21);
+    let want = brute_in_degrees(&g);
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.gamma = 1;
+    cfg.batch_policy = BatchPolicy::FixedVertices(32);
+    assert_eq!(engine_in_degrees(cfg, &g), want);
+}
+
+#[test]
+fn sparse_frontier_with_seek_mode_matches() {
+    let g = rmat(GenConfig::new(9, 6, 77));
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.gamma = 2;
+    cfg.batch_policy = BatchPolicy::FixedVertices(64);
+    // oracle over one-hop frontier of vertex 0
+    let expect: u64 = g.edges.iter().filter(|e| e.src == 0).count() as u64;
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got = cluster
+        .run(|ctx| {
+            let active = ctx.vertex_array::<bool>("active")?;
+            let a = active.clone();
+            ctx.process_vertices(&["active"], None, move |v, c| {
+                c.set(&a, v, v == 0);
+                0u64
+            })?;
+            ctx.process_edges(
+                &[],
+                &[],
+                Some(&active),
+                |_v, _c| Some(1u8),
+                |_m: u8, src, _d, _e: &(), _c| {
+                    assert_eq!(src, 0);
+                    1u64
+                },
+            )
+        })
+        .unwrap();
+    assert_eq!(got[0], expect);
+}
+
+#[test]
+fn in_degrees_match_with_tiny_batches_and_many_threads() {
+    let g = rmat(GenConfig::new(8, 4, 2));
+    let want = brute_in_degrees(&g);
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(3);
+    cfg.threads_per_node = 4;
+    assert_eq!(engine_in_degrees(cfg, &g), want);
+}
+
+/// Weighted SSSP on the engine vs Bellman-Ford, exercising active sets,
+/// signal-side writes and multi-iteration convergence — the paper's
+/// Figure 2b program almost verbatim.
+#[test]
+fn sssp_matches_bellman_ford() {
+    let base = uniform(150, 900, 17);
+    let g: EdgeList<f32> = base.map_data(|e| ((e.src * 7 + e.dst * 13) % 29 + 1) as f32);
+
+    // oracle
+    let mut dist = vec![f32::INFINITY; g.n_vertices as usize];
+    dist[0] = 0.0;
+    for _ in 0..g.n_vertices {
+        let mut changed = false;
+        for e in &g.edges {
+            let nd = dist[e.src as usize] + e.data;
+            if nd < dist[e.dst as usize] {
+                dist[e.dst as usize] = nd;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut cfg = EngineConfig::for_test(3);
+    cfg.batch_policy = BatchPolicy::FixedVertices(16);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let got: Vec<Vec<f32>> = cluster
+        .run(|ctx| {
+            let dist = ctx.vertex_array::<f32>("dist")?;
+            let active = ctx.vertex_array::<bool>("active")?;
+            let (d, a) = (dist.clone(), active.clone());
+            ctx.process_vertices(&["dist", "active"], None, |v, c| {
+                if v == 0 {
+                    c.set(&a, v, true);
+                    c.set(&d, v, 0.0);
+                } else {
+                    c.set(&a, v, false);
+                    c.set(&d, v, f32::INFINITY);
+                }
+                0u64
+            })?;
+            loop {
+                let (d1, a1) = (dist.clone(), active.clone());
+                let (d2, a2) = (dist.clone(), active.clone());
+                let n_update = ctx.process_edges(
+                    &["dist", "active"],
+                    &["dist", "active"],
+                    Some(&active),
+                    move |v, c| {
+                        c.set(&a1, v, false);
+                        Some(c.get(&d1, v))
+                    },
+                    move |msg: f32, _src, dst, w: &f32, c| {
+                        if msg + w < c.get(&d2, dst) {
+                            c.set(&a2, dst, true);
+                            c.set(&d2, dst, msg + w);
+                            1u64
+                        } else {
+                            0u64
+                        }
+                    },
+                )?;
+                if n_update == 0 {
+                    break;
+                }
+            }
+            let r = ctx.plan().partitions[ctx.rank()];
+            let mut out = vec![0f32; r.len() as usize];
+            let dd = dist.clone();
+            let sink = std::sync::Mutex::new(&mut out);
+            ctx.process_vertices(&["dist"], None, |v, c| {
+                let val = c.get(&dd, v);
+                sink.lock().unwrap()[(v - r.start) as usize] = val;
+                0u64
+            })?;
+            Ok(out)
+        })
+        .unwrap();
+    let got: Vec<f32> = got.into_iter().flatten().collect();
+    for (v, (a, b)) in got.iter().zip(&dist).enumerate() {
+        assert!(
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+            "vertex {v}: engine {a}, oracle {b}"
+        );
+    }
+}
+
+/// Selective scheduling: with only one active vertex, only its messages may
+/// flow, and slot must fire exactly out_degree(v) times.
+#[test]
+fn single_active_vertex_touches_only_its_edges() {
+    let g = rmat(GenConfig::new(8, 4, 23));
+    let hub: VertexId = {
+        // pick the vertex with the most out-edges
+        let mut d = vec![0u32; g.n_vertices as usize];
+        for e in &g.edges {
+            d[e.src as usize] += 1;
+        }
+        d.iter().enumerate().max_by_key(|(_, &x)| x).unwrap().0 as VertexId
+    };
+    let out_deg = g.edges.iter().filter(|e| e.src == hub).count() as u64;
+
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(8);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let slot_calls = cluster
+        .run(|ctx| {
+            let active = ctx.vertex_array::<bool>("active")?;
+            let a = active.clone();
+            ctx.process_vertices(&["active"], None, move |v, c| {
+                c.set(&a, v, v == hub);
+                0u64
+            })?;
+            ctx.process_edges(
+                &[],
+                &[],
+                Some(&active),
+                |_v, _c| Some(1u8),
+                |_m: u8, src, _dst, _d: &(), _c| {
+                    assert_eq!(src, hub, "slot fired for an inactive source");
+                    1u64
+                },
+            )
+        })
+        .unwrap();
+    assert_eq!(slot_calls[0], out_deg);
+}
+
+/// Messages must arrive even when the graph has edges in only one direction
+/// between two specific nodes (regression guard for stream pairing).
+#[test]
+fn asymmetric_traffic_pattern() {
+    // all edges flow 0 -> partition of the highest vertices
+    let edges: Vec<Edge<()>> = (0..50).map(|i| Edge::new(i % 10, 90 + i % 10, ())).collect();
+    let g = EdgeList::new(100, edges);
+    let want = brute_in_degrees(&g);
+    let mut cfg = EngineConfig::for_test(4);
+    cfg.batch_policy = BatchPolicy::FixedVertices(7);
+    assert_eq!(engine_in_degrees(cfg, &g), want);
+}
+
+/// ProcessVertices sums its work return values across the cluster.
+#[test]
+fn process_vertices_accumulates_globally() {
+    let g = uniform(123, 400, 9);
+    let cfg = EngineConfig::for_test(3);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let sums = cluster
+        .run(|ctx| {
+            let _x = ctx.vertex_array::<u32>("x")?;
+            ctx.process_vertices(&["x"], None, |_v, _c| 1u64)
+        })
+        .unwrap();
+    assert!(sums.iter().all(|&s| s == 123));
+}
+
+/// Self-loops and duplicate edges must be preserved (multigraph semantics:
+/// one slot call per edge).
+#[test]
+fn multigraph_and_self_loops() {
+    let g = EdgeList::new(
+        6,
+        vec![
+            Edge::new(2, 2, ()),
+            Edge::new(2, 2, ()),
+            Edge::new(0, 5, ()),
+            Edge::new(0, 5, ()),
+            Edge::new(0, 5, ()),
+            Edge::new(4, 1, ()),
+        ],
+    );
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(2);
+    let got = engine_in_degrees(cfg, &g);
+    assert_eq!(got, vec![0, 1, 2, 0, 0, 3]);
+}
+
+/// Empty graphs and graphs with no active vertices terminate cleanly.
+#[test]
+fn empty_active_set_is_a_noop() {
+    let g = uniform(64, 256, 1);
+    let cfg = EngineConfig::for_test(2);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let res = cluster
+        .run(|ctx| {
+            let active = ctx.vertex_array::<bool>("active")?;
+            // nobody active
+            ctx.process_edges(
+                &[],
+                &[],
+                Some(&active),
+                |_v, _c| Some(1u8),
+                |_m: u8, _s, _d, _e: &(), _c| 1u64,
+            )
+        })
+        .unwrap();
+    assert_eq!(res, vec![0, 0]);
+}
+
+/// Two consecutive ProcessEdges calls must not leak state (message files,
+/// stream tags) into each other.
+#[test]
+fn consecutive_calls_are_isolated() {
+    let g = uniform(100, 700, 8);
+    let want = brute_in_degrees(&g);
+    let cfg = EngineConfig::for_test(2);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let rounds = cluster
+        .run(|ctx| {
+            let deg = ctx.vertex_array::<u64>("deg")?;
+            let mut totals = Vec::new();
+            for _ in 0..3 {
+                let d = deg.clone();
+                // reset
+                ctx.process_vertices(&["deg"], None, {
+                    let d = d.clone();
+                    move |v, c| {
+                        c.set(&d, v, 0);
+                        0u64
+                    }
+                })?;
+                ctx.process_edges(
+                    &[],
+                    &["deg"],
+                    None,
+                    |_v, _c| Some(1u64),
+                    {
+                        let d = d.clone();
+                        move |m: u64, _s, dst, _e: &(), c| {
+                            let cur = c.get(&d, dst);
+                            c.set(&d, dst, cur + m);
+                            m
+                        }
+                    },
+                )
+                .map(|t: u64| totals.push(t))?;
+            }
+            Ok(totals)
+        })
+        .unwrap();
+    let expected: u64 = want.iter().sum();
+    for node_totals in rounds {
+        assert_eq!(node_totals, vec![expected; 3]);
+    }
+}

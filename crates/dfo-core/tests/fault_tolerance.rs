@@ -1,0 +1,195 @@
+//! Checkpointing and recovery (paper §3.2): a crashed run resumes from the
+//! state after the last successful `Process` call, losing at most one call.
+//!
+//! Recovery discipline (as in any distributed checkpointing system): nodes
+//! may have committed different numbers of calls when the failure hit, so a
+//! recovering program first agrees on the minimum committed round via an
+//! all-reduce, then re-executes deterministically from there — which is why
+//! the round bodies below are idempotent (set, not increment).
+
+use dfo_core::Cluster;
+use dfo_graph::gen::uniform;
+use dfo_types::{BatchPolicy, EngineConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tempfile::TempDir;
+
+fn cfg_ckpt(nodes: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::for_test(nodes);
+    cfg.checkpointing = true;
+    cfg.checkpoints_kept = 2;
+    cfg.batch_policy = BatchPolicy::FixedVertices(16);
+    cfg
+}
+
+/// Runs `iters` idempotent rounds (`acc[v] = (v+1)·round`); optionally
+/// panics on node 1 before round `crash_at` commits.
+fn run_rounds(
+    cluster: &Cluster,
+    iters: u64,
+    crash_at: Option<u64>,
+) -> dfo_types::Result<Vec<Vec<u64>>> {
+    cluster.run(|ctx| {
+        let acc = ctx.vertex_array::<u64>("acc")?;
+        let round = ctx.vertex_array::<u64>("round")?;
+        // local committed round = min over vertices; global resume point =
+        // min over nodes (a node that committed further simply re-executes)
+        let local_round = {
+            let h = round.clone();
+            let min = AtomicU64::new(u64::MAX);
+            ctx.process_vertices(&["round"], None, |v, c| {
+                min.fetch_min(c.get(&h, v), Ordering::Relaxed);
+                let _ = v;
+                0u64
+            })?;
+            let m = min.load(Ordering::Relaxed);
+            if m == u64::MAX {
+                0
+            } else {
+                m
+            }
+        };
+        let r0 = ctx.net().allreduce_min_u64(local_round);
+        for it in r0..iters {
+            if crash_at == Some(it) && ctx.rank() == 1 {
+                panic!("injected failure at round {it}");
+            }
+            let (a, r) = (acc.clone(), round.clone());
+            ctx.process_vertices(&["acc", "round"], None, move |v, c| {
+                c.set(&a, v, (v + 1) * (it + 1));
+                c.set(&r, v, it + 1);
+                0u64
+            })?;
+        }
+        // read back this node's slice
+        let range = ctx.plan().partitions[ctx.rank()];
+        let mut out = vec![0u64; range.len() as usize];
+        let h = acc.clone();
+        let sink = std::sync::Mutex::new(&mut out);
+        ctx.process_vertices(&["acc"], None, |v, c| {
+            let val = c.get(&h, v);
+            sink.lock().unwrap()[(v - range.start) as usize] = val;
+            0u64
+        })?;
+        Ok(out)
+    })
+}
+
+#[test]
+fn crash_and_recover_loses_at_most_one_call() {
+    let g = uniform(96, 400, 4);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg_ckpt(2), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+
+    // first attempt crashes on node 1 before round 3 commits
+    let crashed = run_rounds(&cluster, 5, Some(3));
+    assert!(crashed.is_err(), "injected failure must surface");
+
+    // recovery: resumes from the globally agreed round and completes
+    let recovered = run_rounds(&cluster, 5, None).expect("recovery run");
+    let mut v = 0u64;
+    for vals in recovered {
+        for got in vals {
+            assert_eq!(got, (v + 1) * 5, "vertex {v} after recovery");
+            v += 1;
+        }
+    }
+    assert_eq!(v, 96);
+}
+
+#[test]
+fn process_edges_state_survives_crash_in_later_call() {
+    let g = uniform(64, 300, 7);
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg_ckpt(2), td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+
+    // run 1: one full ProcessEdges (commits), then crash mid second call
+    let crashed_once = AtomicBool::new(false);
+    let r = cluster.run(|ctx| {
+        let deg = ctx.vertex_array::<u64>("deg")?;
+        let d = deg.clone();
+        ctx.process_edges(
+            &[],
+            &["deg"],
+            None,
+            |_v, _c| Some(1u64),
+            move |m: u64, _s, dst, _e: &(), c| {
+                let cur = c.get(&d, dst);
+                c.set(&d, dst, cur + m);
+                m
+            },
+        )?;
+        if ctx.rank() == 0 && !crashed_once.swap(true, Ordering::SeqCst) {
+            panic!("crash after first call commits");
+        }
+        Ok(0u64)
+    });
+    assert!(r.is_err());
+
+    // run 2: degree data from the committed first call must be intact
+    let sums = cluster
+        .run(|ctx| {
+            let deg = ctx.vertex_array::<u64>("deg")?;
+            let h = deg.clone();
+            ctx.process_vertices(&["deg"], None, move |v, c| {
+                let _ = v;
+                c.get(&h, v)
+            })
+        })
+        .unwrap();
+    assert_eq!(sums[0], g.n_edges(), "first call's in-degrees must survive the crash");
+}
+
+#[test]
+fn checkpoints_bound_disk_usage() {
+    let g = uniform(64, 200, 2);
+    let mut cfg = cfg_ckpt(1);
+    cfg.checkpoints_kept = 1;
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    cluster
+        .run(|ctx| {
+            let x = ctx.vertex_array::<u64>("x")?;
+            for i in 0..10u64 {
+                let h = x.clone();
+                ctx.process_vertices(&["x"], None, move |v, c| {
+                    c.set(&h, v, v + i);
+                    0u64
+                })?;
+            }
+            Ok(0u64)
+        })
+        .unwrap();
+    // with keep=1 only one checkpoint's blocks may remain per array
+    let blocks_dir = td.path().join("n0/arrays/x/blocks");
+    let n_blocks = std::fs::read_dir(&blocks_dir).unwrap().count();
+    let n_batches = 64usize.div_ceil(16);
+    assert!(
+        n_blocks <= n_batches + 1,
+        "GC must bound block files: found {n_blocks} for {n_batches} batches"
+    );
+}
+
+#[test]
+fn no_checkpointing_means_no_checkpoint_files() {
+    let g = uniform(32, 100, 3);
+    let mut cfg = EngineConfig::for_test(1);
+    cfg.checkpointing = false;
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    cluster
+        .run(|ctx| {
+            let x = ctx.vertex_array::<u32>("x")?;
+            let h = x.clone();
+            ctx.process_vertices(&["x"], None, move |v, c| {
+                c.set(&h, v, 1);
+                0u64
+            })
+        })
+        .unwrap();
+    assert!(!td.path().join("n0/arrays/x/CURRENT").exists());
+    assert!(!td.path().join("n0/arrays/x/meta").exists());
+}

@@ -1,0 +1,76 @@
+//! Degree computation used by the inter-node partitioner.
+
+use crate::edge::EdgeList;
+use dfo_types::Pod;
+
+/// Out-degree of every vertex.
+pub fn out_degrees<E: Pod>(g: &EdgeList<E>) -> Vec<u32> {
+    let mut d = vec![0u32; g.n_vertices as usize];
+    for e in &g.edges {
+        d[e.src as usize] += 1;
+    }
+    d
+}
+
+/// In-degree of every vertex.
+pub fn in_degrees<E: Pod>(g: &EdgeList<E>) -> Vec<u32> {
+    let mut d = vec![0u32; g.n_vertices as usize];
+    for e in &g.edges {
+        d[e.dst as usize] += 1;
+    }
+    d
+}
+
+/// `(in, out)` degrees in one pass.
+pub fn degrees<E: Pod>(g: &EdgeList<E>) -> (Vec<u32>, Vec<u32>) {
+    let mut din = vec![0u32; g.n_vertices as usize];
+    let mut dout = vec![0u32; g.n_vertices as usize];
+    for e in &g.edges {
+        dout[e.src as usize] += 1;
+        din[e.dst as usize] += 1;
+    }
+    (din, dout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{Edge, EdgeList};
+
+    fn toy() -> EdgeList<()> {
+        EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1, ()),
+                Edge::new(0, 2, ()),
+                Edge::new(1, 2, ()),
+                Edge::new(3, 3, ()),
+            ],
+        )
+    }
+
+    #[test]
+    fn out_and_in() {
+        let g = toy();
+        assert_eq!(out_degrees(&g), vec![2, 1, 0, 1]);
+        assert_eq!(in_degrees(&g), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn combined_matches_individual() {
+        let g = toy();
+        let (din, dout) = degrees(&g);
+        assert_eq!(din, in_degrees(&g));
+        assert_eq!(dout, out_degrees(&g));
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count() {
+        let g = toy();
+        let (din, dout) = degrees(&g);
+        let si: u32 = din.iter().sum();
+        let so: u32 = dout.iter().sum();
+        assert_eq!(si as u64, g.n_edges());
+        assert_eq!(so as u64, g.n_edges());
+    }
+}

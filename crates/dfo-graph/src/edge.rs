@@ -1,0 +1,111 @@
+//! Edge and edge-list types.
+
+use dfo_types::{Pod, VertexId};
+
+/// A directed edge with attached data (`()` for unweighted graphs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge<E> {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub data: E,
+}
+
+impl<E: Pod> Edge<E> {
+    pub fn new(src: VertexId, dst: VertexId, data: E) -> Self {
+        Self { src, dst, data }
+    }
+}
+
+/// An in-memory edge list with its vertex-count bound.
+///
+/// Preprocessing-scale graphs fit in host memory in this reproduction (the
+/// engine itself never loads a full edge list); the list is the interchange
+/// format between generators, the partitioner and the baselines.
+#[derive(Clone, Debug)]
+pub struct EdgeList<E> {
+    pub n_vertices: u64,
+    pub edges: Vec<Edge<E>>,
+}
+
+impl<E: Pod> EdgeList<E> {
+    pub fn new(n_vertices: u64, edges: Vec<Edge<E>>) -> Self {
+        debug_assert!(edges.iter().all(|e| e.src < n_vertices && e.dst < n_vertices));
+        Self { n_vertices, edges }
+    }
+
+    pub fn n_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Sorts edges by `(src, dst)` — DFOGraph "needs input edges in order"
+    /// (§5.2); sorting happens before preprocessing and is not timed.
+    pub fn sort_by_src(&mut self) {
+        self.edges.sort_unstable_by_key(|e| (e.src, e.dst));
+    }
+
+    /// The same graph with every edge reversed (paper footnote 4: algorithms
+    /// that need messages along incoming edges run on the reversed graph).
+    pub fn reversed(&self) -> Self {
+        Self {
+            n_vertices: self.n_vertices,
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge::new(e.dst, e.src, e.data))
+                .collect(),
+        }
+    }
+
+    /// Maps edge data, e.g. attaching weights to an unweighted graph.
+    pub fn map_data<F: Pod>(&self, mut f: impl FnMut(&Edge<E>) -> F) -> EdgeList<F> {
+        EdgeList {
+            n_vertices: self.n_vertices,
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge::new(e.src, e.dst, f(e)))
+                .collect(),
+        }
+    }
+
+    /// Total bytes of the raw binary representation (Table 3 "Size" column:
+    /// "(source, destination) pair in binary formats of each edge").
+    pub fn raw_pair_bytes(&self) -> u64 {
+        self.n_edges() * 2 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> EdgeList<u32> {
+        EdgeList::new(
+            4,
+            vec![Edge::new(2, 1, 21), Edge::new(0, 3, 3), Edge::new(0, 1, 1)],
+        )
+    }
+
+    #[test]
+    fn sort_orders_by_src_then_dst() {
+        let mut g = toy();
+        g.sort_by_src();
+        let pairs: Vec<_> = g.edges.iter().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints_keeps_data() {
+        let g = toy();
+        let r = g.reversed();
+        assert!(r.edges.contains(&Edge::new(1, 2, 21)));
+        assert_eq!(r.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn map_data_attaches_weights() {
+        let g = toy();
+        let w = g.map_data(|e| (e.src + e.dst) as f32);
+        assert_eq!(w.edges[1].data, 3.0);
+    }
+}

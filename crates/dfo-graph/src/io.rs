@@ -1,0 +1,184 @@
+//! Binary edge-file format.
+//!
+//! DFOGraph's preprocessing consumes "input edges in order" from binary
+//! files (§5.2). Layout: a fixed header followed by packed records of
+//! `(src: u64 LE, dst: u64 LE, data: E)`.
+
+use crate::edge::{Edge, EdgeList};
+use dfo_types::codec::{read_exact_or_eof, read_u32, read_u64, write_u32, write_u64};
+use dfo_types::{pod_from_bytes, DfoError, Pod, Result};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4446_4F45; // "DFOE"
+const VERSION: u32 = 1;
+
+/// Header of a binary edge file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeFileHeader {
+    pub n_vertices: u64,
+    pub n_edges: u64,
+    pub edge_data_bytes: u32,
+}
+
+/// Writes an edge list to `path`.
+pub fn write_edges<E: Pod>(path: &Path, g: &EdgeList<E>) -> Result<()> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| DfoError::io(format!("creating edge file {}", path.display()), e))?;
+    let mut w = BufWriter::with_capacity(1 << 20, f);
+    let data_bytes = std::mem::size_of::<E>() as u32;
+    write_u32(&mut w, MAGIC).map_err(|e| DfoError::io("edge header", e))?;
+    write_u32(&mut w, VERSION).map_err(|e| DfoError::io("edge header", e))?;
+    write_u64(&mut w, g.n_vertices).map_err(|e| DfoError::io("edge header", e))?;
+    write_u64(&mut w, g.n_edges()).map_err(|e| DfoError::io("edge header", e))?;
+    write_u32(&mut w, data_bytes).map_err(|e| DfoError::io("edge header", e))?;
+    for e in &g.edges {
+        write_u64(&mut w, e.src).map_err(|er| DfoError::io("edge record", er))?;
+        write_u64(&mut w, e.dst).map_err(|er| DfoError::io("edge record", er))?;
+        w.write_all(dfo_types::bytes_of(&e.data))
+            .map_err(|er| DfoError::io("edge record", er))?;
+    }
+    w.flush().map_err(|e| DfoError::io("flushing edge file", e))?;
+    Ok(())
+}
+
+/// Streaming reader over a binary edge file.
+pub struct EdgeFileReader<E> {
+    header: EdgeFileHeader,
+    inner: BufReader<std::fs::File>,
+    read_so_far: u64,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Pod> EdgeFileReader<E> {
+    pub fn open(path: &Path) -> Result<Self> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| DfoError::io(format!("opening edge file {}", path.display()), e))?;
+        let mut inner = BufReader::with_capacity(1 << 20, f);
+        let magic = read_u32(&mut inner).map_err(|e| DfoError::io("edge magic", e))?;
+        if magic != MAGIC {
+            return Err(DfoError::Corrupt(format!("bad edge-file magic {magic:#x}")));
+        }
+        let version = read_u32(&mut inner).map_err(|e| DfoError::io("edge version", e))?;
+        if version != VERSION {
+            return Err(DfoError::Corrupt(format!("unsupported edge-file version {version}")));
+        }
+        let n_vertices = read_u64(&mut inner).map_err(|e| DfoError::io("edge nv", e))?;
+        let n_edges = read_u64(&mut inner).map_err(|e| DfoError::io("edge ne", e))?;
+        let edge_data_bytes = read_u32(&mut inner).map_err(|e| DfoError::io("edge width", e))?;
+        if edge_data_bytes as usize != std::mem::size_of::<E>() {
+            return Err(DfoError::Corrupt(format!(
+                "edge data width mismatch: file {} vs type {} ({})",
+                edge_data_bytes,
+                std::mem::size_of::<E>(),
+                std::any::type_name::<E>()
+            )));
+        }
+        Ok(Self {
+            header: EdgeFileHeader { n_vertices, n_edges, edge_data_bytes },
+            inner,
+            read_so_far: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    pub fn header(&self) -> EdgeFileHeader {
+        self.header
+    }
+
+    /// Reads the next edge, or `None` at end of file.
+    pub fn next_edge(&mut self) -> Result<Option<Edge<E>>> {
+        let rec = 16 + std::mem::size_of::<E>();
+        let mut buf = vec![0u8; rec];
+        if !read_exact_or_eof(&mut self.inner, &mut buf).map_err(|e| DfoError::io("edge record", e))? {
+            if self.read_so_far != self.header.n_edges {
+                return Err(DfoError::Corrupt(format!(
+                    "edge file ended after {} of {} edges",
+                    self.read_so_far, self.header.n_edges
+                )));
+            }
+            return Ok(None);
+        }
+        self.read_so_far += 1;
+        let src = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let dst = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let data: E = if std::mem::size_of::<E>() > 0 {
+            pod_from_bytes(&buf[16..])
+        } else {
+            dfo_types::pod::pod_zeroed()
+        };
+        Ok(Some(Edge { src, dst, data }))
+    }
+}
+
+/// Reads a whole edge file into memory.
+pub fn read_edges<E: Pod>(path: &Path) -> Result<EdgeList<E>> {
+    let mut r = EdgeFileReader::<E>::open(path)?;
+    let mut edges = Vec::with_capacity(r.header().n_edges as usize);
+    while let Some(e) = r.next_edge()? {
+        edges.push(e);
+    }
+    Ok(EdgeList { n_vertices: r.header().n_vertices, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, GenConfig};
+    use tempfile::TempDir;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let td = TempDir::new().unwrap();
+        let p = td.path().join("g.edges");
+        let g = rmat(GenConfig::new(8, 4, 5));
+        write_edges(&p, &g).unwrap();
+        let back: EdgeList<()> = read_edges(&p).unwrap();
+        assert_eq!(back.n_vertices, g.n_vertices);
+        assert_eq!(back.edges, g.edges);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let td = TempDir::new().unwrap();
+        let p = td.path().join("g.edges");
+        let g = rmat(GenConfig::new(6, 2, 5)).map_data(|e| (e.src % 7) as f32);
+        write_edges(&p, &g).unwrap();
+        let back: EdgeList<f32> = read_edges(&p).unwrap();
+        assert_eq!(back.edges, g.edges);
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let td = TempDir::new().unwrap();
+        let p = td.path().join("g.edges");
+        let g = rmat(GenConfig::new(4, 2, 5));
+        write_edges(&p, &g).unwrap();
+        assert!(matches!(EdgeFileReader::<f32>::open(&p), Err(DfoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let td = TempDir::new().unwrap();
+        let p = td.path().join("g.edges");
+        let g = rmat(GenConfig::new(4, 2, 5));
+        write_edges(&p, &g).unwrap();
+        // chop the last 8 bytes off
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 8).unwrap();
+        let mut r = EdgeFileReader::<()>::open(&p).unwrap();
+        let mut err = None;
+        loop {
+            match r.next_edge() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.is_some(), "truncation must surface as an error");
+    }
+}

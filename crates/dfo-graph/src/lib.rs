@@ -1,0 +1,19 @@
+//! Graph toolkit: edge representations, binary edge files, and the synthetic
+//! generators standing in for the paper's datasets (Table 3).
+//!
+//! The paper evaluates on twitter-2010, uk-2014, RMAT-32 and KRON-38. The
+//! real crawls are not redistributable at reproduction scale, so this crate
+//! provides generators matching their *relevant shape*: R-MAT for the
+//! power-law social graphs, a Graph500-style Kronecker generator for the
+//! trillion-edge synthetic, and a `web_chain` generator whose huge diameter
+//! reproduces the ~2500-iteration regime of uk-2014 that dominates Table 4.
+
+pub mod degree;
+pub mod edge;
+pub mod gen;
+pub mod io;
+
+pub use degree::{degrees, in_degrees, out_degrees};
+pub use edge::{Edge, EdgeList};
+pub use gen::{grid2d, kronecker, rmat, uniform, web_chain, GenConfig};
+pub use io::{read_edges, write_edges, EdgeFileHeader, EdgeFileReader};

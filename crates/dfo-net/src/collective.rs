@@ -1,0 +1,171 @@
+//! Barrier and all-reduce collectives shared by all node threads.
+//!
+//! DFOGraph needs exactly two collectives: phase barriers and summing the
+//! per-node partial results of `ProcessEdges`/`ProcessVertices` UDFs. Both
+//! are implemented over a shared slot array with two barrier rounds (write
+//! slots → barrier → read all → barrier), which keeps consecutive
+//! collectives from racing each other.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// Shared collective state for a `P`-node cluster.
+///
+/// The barrier is *poisonable*: when a node dies (panic or error), the
+/// cluster runner poisons the collective so surviving nodes blocked in a
+/// barrier abort instead of hanging — the moral equivalent of an MPI job
+/// abort, and what the §3.2 recovery tests rely on.
+pub struct Collective {
+    p: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    slots_u64: Mutex<Vec<u64>>,
+    slots_f64: Mutex<Vec<f64>>,
+}
+
+impl Collective {
+    pub fn new(p: usize) -> Arc<Self> {
+        Arc::new(Self {
+            p,
+            state: Mutex::new(BarrierState { waiting: 0, generation: 0, poisoned: false }),
+            cv: Condvar::new(),
+            slots_u64: Mutex::new(vec![0; p]),
+            slots_f64: Mutex::new(vec![0.0; p]),
+        })
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    /// Blocks until all `P` node threads arrive. Panics if the collective
+    /// was poisoned (a peer died) — surfacing the cluster failure instead
+    /// of deadlocking.
+    pub fn barrier(&self) {
+        let mut st = self.state.lock();
+        assert!(!st.poisoned, "cluster collective poisoned: a peer node died");
+        st.waiting += 1;
+        if st.waiting == self.p {
+            st.waiting = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            self.cv.wait(&mut st);
+        }
+        assert!(!st.poisoned, "cluster collective poisoned: a peer node died");
+    }
+
+    /// Marks the collective dead and wakes all waiters.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// All-reduce over `u64` with an arbitrary associative fold.
+    pub fn allreduce_u64(&self, rank: usize, v: u64, fold: impl Fn(u64, u64) -> u64) -> u64 {
+        self.slots_u64.lock()[rank] = v;
+        self.barrier();
+        let out = {
+            let slots = self.slots_u64.lock();
+            slots.iter().copied().reduce(&fold).expect("p >= 1")
+        };
+        self.barrier();
+        out
+    }
+
+    /// Sum all-reduce over `f64` (used for PageRank-style accumulators).
+    pub fn allreduce_sum_f64(&self, rank: usize, v: f64) -> f64 {
+        self.slots_f64.lock()[rank] = v;
+        self.barrier();
+        let out = {
+            let slots = self.slots_f64.lock();
+            slots.iter().sum()
+        };
+        self.barrier();
+        out
+    }
+
+    pub fn allreduce_sum_u64(&self, rank: usize, v: u64) -> u64 {
+        self.allreduce_u64(rank, v, |a, b| a + b)
+    }
+
+    pub fn allreduce_max_u64(&self, rank: usize, v: u64) -> u64 {
+        self.allreduce_u64(rank, v, |a, b| a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_across_threads() {
+        let c = Collective::new(4);
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|r| {
+                    let c = c.clone();
+                    s.spawn(move || c.allreduce_sum_u64(r, (r as u64 + 1) * 10))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&x| x == 100));
+    }
+
+    #[test]
+    fn consecutive_reduces_do_not_race() {
+        let c = Collective::new(3);
+        std::thread::scope(|s| {
+            for r in 0..3 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let got = c.allreduce_sum_u64(r, round);
+                        assert_eq!(got, round * 3, "round {round} on rank {r}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn max_reduce() {
+        let c = Collective::new(2);
+        let res: Vec<u64> = std::thread::scope(|s| {
+            let h: Vec<_> = (0..2)
+                .map(|r| {
+                    let c = c.clone();
+                    s.spawn(move || c.allreduce_max_u64(r, if r == 0 { 7 } else { 3 }))
+                })
+                .collect();
+            h.into_iter().map(|x| x.join().unwrap()).collect()
+        });
+        assert_eq!(res, vec![7, 7]);
+    }
+
+    #[test]
+    fn f64_sum() {
+        let c = Collective::new(2);
+        let res: Vec<f64> = std::thread::scope(|s| {
+            let h: Vec<_> = (0..2)
+                .map(|r| {
+                    let c = c.clone();
+                    s.spawn(move || c.allreduce_sum_f64(r, 0.5 + r as f64))
+                })
+                .collect();
+            h.into_iter().map(|x| x.join().unwrap()).collect()
+        });
+        assert!((res[0] - 2.0).abs() < 1e-12);
+    }
+}

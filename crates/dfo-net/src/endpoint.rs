@@ -1,0 +1,353 @@
+//! Per-node network endpoints of the simulated cluster.
+//!
+//! Streams are point-to-point and FIFO per (sender, receiver) pair: exactly
+//! one stream may be live per direction of a pair at a time, identified by a
+//! tag both sides agree on (the engine derives it from the `ProcessEdges`
+//! call sequence number). Frames are throttled on egress at the sender and
+//! on ingress at the receiver, so a node's aggregate send (receive) rate
+//! never exceeds its NIC bandwidth no matter how many peers it talks to —
+//! matching §4.5: "a node can simultaneously send/receive messages from/to
+//! only one peer node at a time (communication with more peers only happens
+//! given extra bandwidth)".
+
+use crate::collective::Collective;
+use crate::frame::Frame;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dfo_storage::Throttle;
+use dfo_types::{Counter, DfoError, Rank, Result, TrafficRecorder};
+use std::sync::Arc;
+
+/// Frames in flight per (src, dst) pair; bounds receive-buffer memory like
+/// the fixed in-memory buffers of the original implementation (Figure 3).
+const CHANNEL_DEPTH: usize = 16;
+
+/// Byte/message counters plus optional traffic time series for one node.
+pub struct NetStats {
+    pub sent_bytes: Counter,
+    pub recv_bytes: Counter,
+    pub sent_frames: Counter,
+    pub sent_traffic: TrafficRecorder,
+    pub recv_traffic: TrafficRecorder,
+}
+
+impl NetStats {
+    fn new(record_traffic: bool) -> Self {
+        Self {
+            sent_bytes: Counter::new(),
+            recv_bytes: Counter::new(),
+            sent_frames: Counter::new(),
+            sent_traffic: TrafficRecorder::new(record_traffic),
+            recv_traffic: TrafficRecorder::new(record_traffic),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.sent_bytes.reset();
+        self.recv_bytes.reset();
+        self.sent_frames.reset();
+        self.sent_traffic.reset();
+        self.recv_traffic.reset();
+    }
+}
+
+/// Builder for the in-process cluster: constructs `P` connected endpoints.
+pub struct SimCluster;
+
+impl SimCluster {
+    /// Creates `p` endpoints. `net_bw` paces each node's egress and ingress
+    /// independently (full duplex), `None` = unthrottled.
+    pub fn build(p: usize, net_bw: Option<u64>, record_traffic: bool) -> Vec<Endpoint> {
+        assert!(p >= 1);
+        // matrix of channels: chan[src][dst]
+        let mut senders: Vec<Vec<Option<Sender<Frame>>>> = (0..p).map(|_| vec![None; p]).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Frame>>>> =
+            (0..p).map(|_| vec![None; p]).collect();
+        for src in 0..p {
+            for dst in 0..p {
+                if src == dst {
+                    continue;
+                }
+                let (tx, rx) = bounded(CHANNEL_DEPTH);
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let collective = Collective::new(p);
+        let mut endpoints = Vec::with_capacity(p);
+        for (rank, (out, inb)) in senders.into_iter().zip(receivers).enumerate() {
+            endpoints.push(Endpoint {
+                rank,
+                p,
+                out,
+                inb,
+                egress: Throttle::from_option(net_bw),
+                ingress: Throttle::from_option(net_bw),
+                stats: Arc::new(NetStats::new(record_traffic)),
+                collective: collective.clone(),
+            });
+        }
+        endpoints
+    }
+}
+
+/// One node's connection to the simulated cluster.
+pub struct Endpoint {
+    rank: Rank,
+    p: usize,
+    out: Vec<Option<Sender<Frame>>>,
+    inb: Vec<Option<Receiver<Frame>>>,
+    egress: Throttle,
+    ingress: Throttle,
+    stats: Arc<NetStats>,
+    collective: Arc<Collective>,
+}
+
+impl Endpoint {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Shared handle to the stats, outliving the endpoint (harnesses read
+    /// totals after the node threads have finished).
+    pub fn stats_arc(&self) -> Arc<NetStats> {
+        self.stats.clone()
+    }
+
+    /// Sends one frame of the stream `tag` to `dst`. Blocks while the
+    /// egress throttle paces the transfer or the peer's buffer is full.
+    pub fn send(&self, dst: Rank, tag: u64, payload: Bytes, last: bool) -> Result<()> {
+        assert_ne!(dst, self.rank, "self-sends are handled node-locally by the engine");
+        let frame = Frame { src: self.rank, tag, payload, last };
+        let wire = frame.wire_bytes();
+        self.egress.acquire(wire);
+        self.stats.sent_bytes.add(wire);
+        self.stats.sent_frames.add(1);
+        self.stats.sent_traffic.record(wire);
+        self.out[dst]
+            .as_ref()
+            .expect("no channel to dst")
+            .send(frame)
+            .map_err(|_| DfoError::NetClosed(format!("send {} -> {}", self.rank, dst)))
+    }
+
+    /// Convenience: sends an empty final frame, closing stream `tag`.
+    pub fn finish_stream(&self, dst: Rank, tag: u64) -> Result<()> {
+        self.send(dst, tag, Bytes::new(), true)
+    }
+
+    /// Opens the receiving side of stream `tag` from `src`.
+    pub fn recv_stream(&self, src: Rank, tag: u64) -> StreamRecv<'_> {
+        assert_ne!(src, self.rank);
+        StreamRecv { ep: self, src, tag, done: false }
+    }
+
+    /// Receives an entire stream into one buffer (tests and small payloads).
+    pub fn recv_all(&self, src: Rank, tag: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut stream = self.recv_stream(src, tag);
+        while let Some(chunk) = stream.next_chunk()? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    pub fn barrier(&self) {
+        self.collective.barrier();
+    }
+
+    /// Poisons the cluster collective: peers blocked in barriers abort
+    /// instead of waiting for a node that will never arrive.
+    pub fn poison_collective(&self) {
+        self.collective.poison();
+    }
+
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.collective.allreduce_sum_u64(self.rank, v)
+    }
+
+    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
+        self.collective.allreduce_sum_f64(self.rank, v)
+    }
+
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        self.collective.allreduce_max_u64(self.rank, v)
+    }
+
+    /// Minimum across nodes — recovery uses it to agree on the last round
+    /// committed *everywhere*.
+    pub fn allreduce_min_u64(&self, v: u64) -> u64 {
+        self.collective.allreduce_u64(self.rank, v, |a, b| a.min(b))
+    }
+}
+
+/// Receiving half of one stream; yields payload chunks until the sender's
+/// final frame.
+pub struct StreamRecv<'a> {
+    ep: &'a Endpoint,
+    src: Rank,
+    tag: u64,
+    done: bool,
+}
+
+impl StreamRecv<'_> {
+    /// Returns the next payload chunk, or `None` once the stream is closed.
+    /// Empty final frames are swallowed (they carry no data).
+    pub fn next_chunk(&mut self) -> Result<Option<Bytes>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            let frame = self.ep.inb[self.src]
+                .as_ref()
+                .expect("no channel from src")
+                .recv()
+                .map_err(|_| {
+                    DfoError::NetClosed(format!("recv {} <- {}", self.ep.rank, self.src))
+                })?;
+            if frame.tag != self.tag {
+                return Err(DfoError::Corrupt(format!(
+                    "stream tag mismatch from {}: got {}, want {} (overlapping streams?)",
+                    self.src, frame.tag, self.tag
+                )));
+            }
+            let wire = frame.wire_bytes();
+            self.ep.ingress.acquire(wire);
+            self.ep.stats.recv_bytes.add(wire);
+            self.ep.stats.recv_traffic.record(wire);
+            if frame.last {
+                self.done = true;
+                if frame.payload.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(frame.payload));
+            }
+            if !frame.payload.is_empty() {
+                return Ok(Some(frame.payload));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let mut eps = SimCluster::build(2, None, false);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                e0.send(1, 7, Bytes::from_static(b"hello "), false).unwrap();
+                e0.send(1, 7, Bytes::from_static(b"world"), true).unwrap();
+            });
+            let got = e1.recv_all(0, 7).unwrap();
+            assert_eq!(got, b"hello world");
+        });
+    }
+
+    #[test]
+    fn streams_preserve_order() {
+        let mut eps = SimCluster::build(2, None, false);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100u8 {
+                    e0.send(1, 1, Bytes::copy_from_slice(&[i]), false).unwrap();
+                }
+                e0.finish_stream(1, 1).unwrap();
+            });
+            let got = e1.recv_all(0, 1).unwrap();
+            assert_eq!(got, (0..100u8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn tag_mismatch_is_error() {
+        let mut eps = SimCluster::build(2, None, false);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                e0.send(1, 99, Bytes::from_static(b"x"), true).unwrap();
+            });
+            let mut stream = e1.recv_stream(0, 1);
+            assert!(matches!(stream.next_chunk(), Err(DfoError::Corrupt(_))));
+        });
+    }
+
+    #[test]
+    fn throttle_paces_sender() {
+        // 10 MB/s; 2 MB payload => >= ~200 ms
+        let mut eps = SimCluster::build(2, Some(10 << 20), false);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let start = Instant::now();
+                let payload = Bytes::from(vec![0u8; 256 << 10]);
+                for _ in 0..8 {
+                    e0.send(1, 5, payload.clone(), false).unwrap();
+                }
+                e0.finish_stream(1, 5).unwrap();
+                assert!(start.elapsed() >= Duration::from_millis(150));
+            });
+            let got = e1.recv_all(0, 5).unwrap();
+            assert_eq!(got.len(), 2 << 20);
+        });
+    }
+
+    #[test]
+    fn stats_count_wire_bytes() {
+        let mut eps = SimCluster::build(2, None, false);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                e0.send(1, 2, Bytes::from_static(b"abcd"), true).unwrap();
+            });
+            let _ = e1.recv_all(0, 2).unwrap();
+        });
+        assert_eq!(e0.stats().sent_bytes.get(), 4 + crate::FRAME_HEADER_BYTES);
+        assert_eq!(e1.stats().recv_bytes.get(), 4 + crate::FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn all_pairs_concurrently() {
+        let p = 4;
+        let eps = SimCluster::build(p, None, false);
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    // every node sends its rank to every peer, then receives
+                    for dst in 0..p {
+                        if dst != ep.rank() {
+                            ep.send(dst, 0, Bytes::copy_from_slice(&[ep.rank() as u8]), true)
+                                .unwrap();
+                        }
+                    }
+                    for src in 0..p {
+                        if src != ep.rank() {
+                            let got = ep.recv_all(src, 0).unwrap();
+                            assert_eq!(got, vec![src as u8]);
+                        }
+                    }
+                    ep.barrier();
+                    assert_eq!(ep.allreduce_sum_u64(1), p as u64);
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! Simulated cluster transport for DFOGraph.
+//!
+//! The paper runs on MPI over a 25 Gbps network. This crate replaces that
+//! with an in-process cluster: each node is a thread (group) owning an
+//! [`Endpoint`]; point-to-point byte streams flow through bounded channels
+//! paced by per-node egress/ingress token buckets and fully byte-accounted.
+//! The key property preserved from the real testbed is the one DFOGraph's
+//! evaluation reasons about: transfer time ≈ bytes / bandwidth per node, and
+//! a node talks to effectively one peer at a time unless spare bandwidth
+//! exists (§4.5 "bandwidth assumption").
+//!
+//! Collectives (`barrier`, all-reduce) mirror the small set of MPI
+//! operations the original system needs: synchronizing phases and summing
+//! the return values of `ProcessEdges`/`ProcessVertices`.
+
+pub mod collective;
+pub mod endpoint;
+pub mod frame;
+
+pub use collective::Collective;
+pub use endpoint::{Endpoint, NetStats, SimCluster, StreamRecv};
+pub use frame::{Frame, FRAME_HEADER_BYTES};

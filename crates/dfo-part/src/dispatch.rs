@@ -1,0 +1,46 @@
+//! Intra-node dispatching structures (paper §4.2, Figure 1e).
+//!
+//! * The **dispatching graph** from partition *p* to this node has one edge
+//!   per "messages from vertex X should go to batch Y" relation; it is
+//!   stored exactly like an edge chunk (DCSR + optional CSR, payload = the
+//!   destination batch index) and read adaptively.
+//! * **Pull lists** give, per (source partition, destination batch), the
+//!   sorted source vertices whose messages that batch needs; pull
+//!   dispatching merges each batch's list against the message stream.
+
+use dfo_storage::NodeDisk;
+use dfo_types::codec::{read_u64, write_u64};
+use dfo_types::{slice_as_bytes, vec_from_bytes, DfoError, Result};
+use std::io::{Read, Write};
+
+/// Writes a pull list (sorted unique source-local IDs).
+pub fn write_pull_list(disk: &NodeDisk, rel: &str, sorted_srcs: &[u32]) -> Result<()> {
+    debug_assert!(sorted_srcs.windows(2).all(|w| w[0] < w[1]));
+    let mut w = disk.create(rel)?;
+    write_u64(&mut w, sorted_srcs.len() as u64).map_err(|e| DfoError::io("pull list header", e))?;
+    w.write_all(slice_as_bytes(sorted_srcs)).map_err(|e| DfoError::io("pull list body", e))?;
+    w.finish()
+}
+
+/// Reads a pull list.
+pub fn read_pull_list(disk: &NodeDisk, rel: &str) -> Result<Vec<u32>> {
+    let mut r = disk.open(rel)?;
+    let n = read_u64(&mut r).map_err(|e| DfoError::io("pull list header", e))? as usize;
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf).map_err(|e| DfoError::io("pull list body", e))?;
+    Ok(vec_from_bytes(&buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    #[test]
+    fn pull_list_roundtrip() {
+        let td = TempDir::new().unwrap();
+        let d = NodeDisk::new(td.path(), None, false).unwrap();
+        write_pull_list(&d, "pull/from_0_b2.lst", &[0, 2]).unwrap();
+        assert_eq!(read_pull_list(&d, "pull/from_0_b2.lst").unwrap(), vec![0, 2]);
+    }
+}

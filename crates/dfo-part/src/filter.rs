@@ -1,0 +1,116 @@
+//! Inter-node message filter lists (paper §4.3).
+//!
+//! "When passing messages from node i to j, filtering means eliminating the
+//! messages that node j does not need, i.e. messages whose src does not have
+//! outgoing edges to partition j." The list of needed sources `L_ij` is
+//! computed in preprocessing and stored on node *i*, sorted, so filtering is
+//! a merge of two sorted streams.
+
+use dfo_storage::NodeDisk;
+use dfo_types::codec::{read_u64, write_u64};
+use dfo_types::{slice_as_bytes, vec_from_bytes, DfoError, Result};
+use std::io::{Read, Write};
+
+/// Writes a sorted filter list to `disk` at `rel`.
+pub fn write_filter_list(disk: &NodeDisk, rel: &str, sorted_srcs: &[u32]) -> Result<()> {
+    debug_assert!(sorted_srcs.windows(2).all(|w| w[0] < w[1]), "list must be sorted unique");
+    let mut w = disk.create(rel)?;
+    write_u64(&mut w, sorted_srcs.len() as u64)
+        .map_err(|e| DfoError::io("filter list header", e))?;
+    w.write_all(slice_as_bytes(sorted_srcs))
+        .map_err(|e| DfoError::io("filter list body", e))?;
+    w.finish()
+}
+
+/// Reads back a filter list.
+pub fn read_filter_list(disk: &NodeDisk, rel: &str) -> Result<Vec<u32>> {
+    let mut r = disk.open(rel)?;
+    let n = read_u64(&mut r).map_err(|e| DfoError::io("filter list header", e))? as usize;
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf).map_err(|e| DfoError::io("filter list body", e))?;
+    Ok(vec_from_bytes(&buf))
+}
+
+/// Streaming sorted-merge filter: retains the elements of `messages` (sorted
+/// by the key extracted with `key`) whose key appears in `list`.
+///
+/// The cursor persists across calls so a message stream may be filtered
+/// chunk by chunk; cost is `|M| + |L|` total, as §4.3 states.
+pub struct FilterCursor<'a> {
+    list: &'a [u32],
+    pos: usize,
+}
+
+impl<'a> FilterCursor<'a> {
+    pub fn new(list: &'a [u32]) -> Self {
+        Self { list, pos: 0 }
+    }
+
+    /// Whether `src` (≥ all previously queried) is in the list.
+    #[inline]
+    pub fn contains(&mut self, src: u32) -> bool {
+        while self.pos < self.list.len() && self.list[self.pos] < src {
+            self.pos += 1;
+        }
+        self.pos < self.list.len() && self.list[self.pos] == src
+    }
+}
+
+/// §4.3 skip rule: send unfiltered when `|L_ij| / |M_i| ≥ threshold`
+/// (default 2) — the merge would cost more than it saves.
+pub fn should_filter(list_len: u64, n_messages: u64, threshold: f64) -> bool {
+    if n_messages == 0 {
+        return false;
+    }
+    (list_len as f64) / (n_messages as f64) < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    #[test]
+    fn roundtrip() {
+        let td = TempDir::new().unwrap();
+        let d = NodeDisk::new(td.path(), None, false).unwrap();
+        let list: Vec<u32> = vec![1, 5, 9, 1000];
+        write_filter_list(&d, "filter/to_3.lst", &list).unwrap();
+        assert_eq!(read_filter_list(&d, "filter/to_3.lst").unwrap(), list);
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let td = TempDir::new().unwrap();
+        let d = NodeDisk::new(td.path(), None, false).unwrap();
+        write_filter_list(&d, "f.lst", &[]).unwrap();
+        assert!(read_filter_list(&d, "f.lst").unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_filters_sorted_stream() {
+        let list = vec![2u32, 4, 8];
+        let mut cur = FilterCursor::new(&list);
+        let msgs = [0u32, 2, 3, 4, 7, 8, 9];
+        let kept: Vec<u32> = msgs.iter().copied().filter(|&s| cur.contains(s)).collect();
+        assert_eq!(kept, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn cursor_handles_duplicate_queries() {
+        // multiple messages from the same source are all retained
+        let list = vec![5u32];
+        let mut cur = FilterCursor::new(&list);
+        assert!(cur.contains(5));
+        assert!(cur.contains(5));
+        assert!(!cur.contains(6));
+    }
+
+    #[test]
+    fn skip_rule_threshold() {
+        assert!(should_filter(10, 100, 2.0)); // L/M = 0.1 < 2
+        assert!(!should_filter(200, 100, 2.0)); // L/M = 2.0 >= 2
+        assert!(!should_filter(199, 100, 1.99));
+        assert!(!should_filter(10, 0, 2.0)); // no messages: nothing to filter
+    }
+}

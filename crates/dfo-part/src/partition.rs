@@ -1,0 +1,136 @@
+//! Inter-node partitioning (paper §2.2).
+//!
+//! Vertices with continuous IDs go to the same partition (preserving the
+//! natural locality of crawled graphs); partitions balance the estimated
+//! per-node work `α·|V_i| + |E_in_i| + |E_out_i|`, which §4.5 derives as the
+//! per-node total of disk and network traffic (`α` defaults to `2P − 1`).
+
+use dfo_types::{VertexId, VertexRange};
+
+/// Splits `0..n_vertices` into `p` contiguous ranges balancing
+/// `α·|V_i| + |E_in_i| + |E_out_i|` with a greedy prefix sweep: partition
+/// `i` ends at the first vertex where the cumulative weight reaches
+/// `(i+1)/p` of the total.
+pub fn partition_vertices(
+    n_vertices: u64,
+    in_deg: &[u32],
+    out_deg: &[u32],
+    p: usize,
+    alpha: u64,
+) -> Vec<VertexRange> {
+    assert!(p >= 1);
+    assert_eq!(in_deg.len() as u64, n_vertices);
+    assert_eq!(out_deg.len() as u64, n_vertices);
+    let weight = |v: usize| alpha + in_deg[v] as u64 + out_deg[v] as u64;
+    let total: u64 = (0..n_vertices as usize).map(weight).sum();
+
+    let mut ranges = Vec::with_capacity(p);
+    let mut start: VertexId = 0;
+    let mut acc: u64 = 0;
+    let mut v: usize = 0;
+    for i in 0..p {
+        let target = ((i as u128 + 1) * total as u128 / p as u128) as u64;
+        while v < n_vertices as usize && acc < target {
+            acc += weight(v);
+            v += 1;
+        }
+        // remaining partitions must each get at least zero vertices; the
+        // sweep may exhaust vertices early for tiny graphs
+        let end = if i + 1 == p { n_vertices } else { v as VertexId };
+        ranges.push(VertexRange::new(start, end));
+        start = end;
+    }
+    debug_assert_eq!(ranges.last().unwrap().end, n_vertices);
+    ranges
+}
+
+/// The balance objective of one partition, for diagnostics and tests.
+pub fn partition_weight(range: &VertexRange, in_deg: &[u32], out_deg: &[u32], alpha: u64) -> u64 {
+    let mut w = alpha * range.len();
+    for v in range.start..range.end {
+        w += in_deg[v as usize] as u64 + out_deg[v as usize] as u64;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_vertices_contiguously() {
+        let n = 1000u64;
+        let din = vec![1u32; n as usize];
+        let dout = vec![1u32; n as usize];
+        let parts = partition_vertices(n, &din, &dout, 7, 13);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts.last().unwrap().end, n);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn uniform_degrees_give_even_split() {
+        let n = 100u64;
+        let d = vec![2u32; n as usize];
+        let parts = partition_vertices(n, &d, &d, 4, 1);
+        for r in &parts {
+            assert_eq!(r.len(), 25);
+        }
+    }
+
+    #[test]
+    fn hub_vertex_shrinks_its_partition() {
+        let n = 100u64;
+        let mut dout = vec![0u32; n as usize];
+        dout[0] = 10_000; // giant hub at the front
+        let din = vec![0u32; n as usize];
+        let parts = partition_vertices(n, &din, &dout, 2, 1);
+        assert!(
+            parts[0].len() < parts[1].len() / 2,
+            "hub partition should be much smaller: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn balance_within_max_single_weight() {
+        // greedy prefix split: each partition overshoots its target by at
+        // most the weight of one vertex
+        let n = 500u64;
+        let din: Vec<u32> = (0..n).map(|v| (v % 17) as u32).collect();
+        let dout: Vec<u32> = (0..n).map(|v| (v % 5) as u32).collect();
+        let alpha = 7;
+        let parts = partition_vertices(n, &din, &dout, 8, alpha);
+        let weights: Vec<u64> =
+            parts.iter().map(|r| partition_weight(r, &din, &dout, alpha)).collect();
+        let total: u64 = weights.iter().sum();
+        let target = total / 8;
+        let max_single = (0..n as usize)
+            .map(|v| alpha + din[v] as u64 + dout[v] as u64)
+            .max()
+            .unwrap();
+        for (i, w) in weights.iter().enumerate() {
+            assert!(
+                *w <= target + 2 * max_single,
+                "partition {i} weight {w} too far above target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_partitions_than_vertices() {
+        let parts = partition_vertices(2, &[0, 0], &[0, 0], 5, 1);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.last().unwrap().end, 2);
+        let covered: u64 = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let parts = partition_vertices(10, &[1; 10], &[1; 10], 1, 3);
+        assert_eq!(parts, vec![VertexRange::new(0, 10)]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The preprocessing pipeline: edge list → per-node on-disk structures.
+//!
+//! Produces everything Figure 1b shows plus the §4.2/§4.3 side structures:
+//!
+//! ```text
+//! <node i disk>/
+//!   plan.bin                     replicated Plan
+//!   chunks/p{p}_b{b}.chunk       edge chunk (src partition p → local batch b)
+//!   dispatch/from_{p}.dg         dispatching graph (src vertex → batch)
+//!   pull/from_{p}_b{b}.lst       pull list per (partition, batch)
+//!   filter/to_{j}.lst            sources of partition i needed by node j
+//! ```
+//!
+//! All writes go through the accounted node disks, so preprocessing time in
+//! the benchmark tables reflects the same throttled I/O as iterations do.
+
+use crate::batching::choose_batch_size;
+use crate::csr::IndexedChunk;
+use crate::dispatch::write_pull_list;
+use crate::filter::write_filter_list;
+use crate::partition::partition_vertices;
+use crate::plan::{ChunkInfo, NodeMeta, Plan};
+use dfo_graph::degree::degrees;
+use dfo_graph::edge::EdgeList;
+use dfo_storage::NodeDisk;
+use dfo_types::{EngineConfig, Pod, Result};
+use rayon::prelude::*;
+
+/// Paths of the structures a node stores, kept in one place so the engine
+/// and the preprocessor cannot drift apart.
+pub mod paths {
+    pub fn chunk(p: usize, b: usize) -> String {
+        format!("chunks/p{p}_b{b}.chunk")
+    }
+    pub fn dispatch(p: usize) -> String {
+        format!("dispatch/from_{p}.dg")
+    }
+    pub fn pull(p: usize, b: usize) -> String {
+        format!("pull/from_{p}_b{b}.lst")
+    }
+    pub fn filter(j: usize) -> String {
+        format!("filter/to_{j}.lst")
+    }
+}
+
+/// Result of preprocessing (the plan plus anything harnesses want to log).
+pub struct PreprocessOutput {
+    pub plan: Plan,
+}
+
+/// Preprocesses `g` for `cfg.nodes` nodes writing onto `disks`.
+///
+/// The input follows the paper's contract for DFOGraph: edges sorted by
+/// source (§5.2, "DFOGraph needs input edges in order"); sorting is the
+/// caller's job and is *not* part of timed preprocessing (§5.2 footnote 5).
+pub fn preprocess<E: Pod + PartialEq>(
+    g: &EdgeList<E>,
+    cfg: &EngineConfig,
+    disks: &[NodeDisk],
+) -> Result<PreprocessOutput> {
+    assert_eq!(disks.len(), cfg.nodes, "one disk per node");
+    cfg.validate().map_err(dfo_types::DfoError::Config)?;
+    let p = cfg.nodes;
+    let (din, dout) = degrees(g);
+    let partitions = partition_vertices(g.n_vertices, &din, &dout, p, cfg.effective_alpha());
+
+    let batch_sizes: Vec<u64> = partitions
+        .iter()
+        .map(|r| {
+            if cfg.batching_enabled {
+                choose_batch_size(cfg.batch_policy, r, cfg.threads_per_node, cfg.mem_budget)
+            } else {
+                // Table 6 ablation: one batch per partition
+                r.len().max(1)
+            }
+        })
+        .collect();
+
+    let mut plan = Plan::from_geometry(
+        g.n_vertices,
+        g.n_edges(),
+        std::mem::size_of::<E>() as u32,
+        partitions,
+        batch_sizes,
+    );
+
+    // --- group edges by (dst node, src partition, dst batch) ---------------
+    let n_batches: Vec<usize> = (0..p).map(|i| plan.batches[i].len()).collect();
+    let mut chunk_edges: Vec<Vec<Vec<Vec<(u32, u32, E)>>>> = (0..p)
+        .map(|i| (0..p).map(|_| vec![Vec::new(); n_batches[i]]).collect())
+        .collect();
+    // filter bitsets: need[src_node][dst_node][src_local]
+    let mut need: Vec<Vec<Vec<bool>>> = (0..p)
+        .map(|i| (0..p).map(|_| vec![false; plan.partitions[i].len() as usize]).collect())
+        .collect();
+    let mut in_edges = vec![0u64; p];
+    let mut out_edges = vec![0u64; p];
+
+    for e in &g.edges {
+        let sp = plan.partition_of(e.src);
+        let dp = plan.partition_of(e.dst);
+        let b = plan.batch_of(dp, e.dst);
+        let src_local = plan.partitions[sp].local(e.src);
+        let dst_local = plan.partitions[dp].local(e.dst);
+        chunk_edges[dp][sp][b].push((src_local, dst_local, e.data));
+        need[sp][dp][src_local as usize] = true;
+        out_edges[sp] += 1;
+        in_edges[dp] += 1;
+    }
+
+    // --- per destination node: chunks, pull lists, dispatch graphs ---------
+    let metas: Vec<Result<NodeMeta>> = chunk_edges
+        .into_par_iter()
+        .zip(disks.par_iter())
+        .enumerate()
+        .map(|(i, (by_src, disk))| build_node(i, by_src, disk, cfg, &plan))
+        .collect();
+
+    for (i, meta) in metas.into_iter().enumerate() {
+        let mut meta = meta?;
+        meta.n_in_edges = in_edges[i];
+        meta.n_out_edges = out_edges[i];
+        meta.filter_lens = vec![0; p];
+        plan.node_meta[i] = meta;
+    }
+
+    // --- filter lists: stored on the *source* node ------------------------
+    for i in 0..p {
+        for (j, bits) in need[i].iter().enumerate() {
+            let list: Vec<u32> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(v, _)| v as u32).collect();
+            plan.node_meta[i].filter_lens[j] = list.len() as u64;
+            write_filter_list(&disks[i], &paths::filter(j), &list)?;
+        }
+    }
+    drop(need);
+
+    // --- replicate the plan -------------------------------------------------
+    for disk in disks {
+        plan.store(disk)?;
+    }
+    Ok(PreprocessOutput { plan })
+}
+
+/// Builds and persists node `i`'s chunks, pull lists and dispatch graphs.
+fn build_node<E: Pod + PartialEq>(
+    i: usize,
+    by_src: Vec<Vec<Vec<(u32, u32, E)>>>,
+    disk: &NodeDisk,
+    cfg: &EngineConfig,
+    plan: &Plan,
+) -> Result<NodeMeta> {
+    let p = plan.nodes();
+    let mut meta = NodeMeta {
+        chunks: Vec::new(),
+        dispatch: vec![None; p],
+        filter_lens: vec![0; p],
+        n_in_edges: 0,
+        n_out_edges: 0,
+    };
+    for (sp, batches) in by_src.into_iter().enumerate() {
+        let n_src = plan.partitions[sp].len() as u32;
+        let mut dispatch_edges: Vec<(u32, u32, ())> = Vec::new();
+        for (b, mut edges) in batches.into_iter().enumerate() {
+            if edges.is_empty() {
+                continue;
+            }
+            edges.sort_unstable_by_key(|(s, d, _)| (*s, *d));
+            let chunk = IndexedChunk::build(n_src, &edges, cfg.csr_inflate_ratio);
+            let mut w = disk.create(&paths::chunk(sp, b))?;
+            chunk.write_to(&mut w)?;
+            w.finish()?;
+            write_pull_list(disk, &paths::pull(sp, b), &chunk.dcsr_src)?;
+            dispatch_edges.extend(chunk.dcsr_src.iter().map(|&s| (s, b as u32, ())));
+            meta.chunks.push(ChunkInfo {
+                src_partition: sp,
+                batch: b,
+                n_edges: chunk.n_edges(),
+                n_nonzero_src: chunk.n_nonzero_src(),
+                has_csr: chunk.has_csr(),
+            });
+        }
+        if !dispatch_edges.is_empty() {
+            dispatch_edges.sort_unstable_by_key(|(s, b, _)| (*s, *b));
+            let dg = IndexedChunk::build(n_src, &dispatch_edges, cfg.csr_inflate_ratio);
+            let mut w = disk.create(&paths::dispatch(sp))?;
+            dg.write_to(&mut w)?;
+            w.finish()?;
+            meta.dispatch[sp] = Some(ChunkInfo {
+                src_partition: sp,
+                batch: usize::MAX,
+                n_edges: dg.n_edges(),
+                n_nonzero_src: dg.n_nonzero_src(),
+                has_csr: dg.has_csr(),
+            });
+        }
+        let _ = i;
+    }
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::IndexedChunk;
+    use crate::dispatch::read_pull_list;
+    use crate::filter::read_filter_list;
+    use dfo_graph::edge::Edge;
+    use dfo_types::ReprKind;
+    use tempfile::TempDir;
+
+    /// The paper's running example (Figure 1a): 7 vertices, 9 edges with
+    /// letter data, partitioned 2 ways with batch size 2.
+    fn figure1_graph() -> EdgeList<u8> {
+        EdgeList::new(
+            7,
+            vec![
+                Edge::new(0, 5, b'B'),
+                Edge::new(0, 6, b'A'),
+                Edge::new(1, 2, b'A'),
+                Edge::new(2, 4, b'D'),
+                Edge::new(2, 5, b'C'),
+                Edge::new(4, 3, b'C'),
+                Edge::new(5, 0, b'D'),
+                Edge::new(5, 4, b'A'),
+                Edge::new(6, 5, b'B'),
+            ],
+        )
+    }
+
+    fn figure1_config() -> EngineConfig {
+        let mut cfg = EngineConfig::for_test(2);
+        cfg.batch_policy = dfo_types::BatchPolicy::FixedVertices(2);
+        // force the Figure 1b split (0..4 | 4..7) regardless of degrees
+        cfg.alpha = Some(1_000_000);
+        cfg
+    }
+
+    fn disks(p: usize) -> (TempDir, Vec<NodeDisk>) {
+        let td = TempDir::new().unwrap();
+        let ds = (0..p)
+            .map(|i| NodeDisk::new(td.path().join(format!("n{i}")), None, false).unwrap())
+            .collect();
+        (td, ds)
+    }
+
+    #[test]
+    fn figure1_partitioning_and_chunks() {
+        let g = figure1_graph();
+        let cfg = figure1_config();
+        let (_td, ds) = disks(2);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        let plan = &out.plan;
+        // huge alpha balances on vertex counts: 4 | 3 split as in Figure 1b
+        assert_eq!(plan.partitions[0], dfo_types::VertexRange::new(0, 4));
+        assert_eq!(plan.partitions[1], dfo_types::VertexRange::new(4, 7));
+
+        // the circled chunk of Figure 1b: edges from partition 0 to batch 2
+        // (= node 1, local batch 0): 0→5 B, 2→4 D, 2→5 C
+        let mut r = ds[1].open(&paths::chunk(0, 0)).unwrap();
+        let chunk = IndexedChunk::<u8>::read_from(&mut r, None).unwrap();
+        assert_eq!(chunk.dcsr_src, vec![0, 2]);
+        assert_eq!(chunk.dcsr_idx, vec![0, 1, 3]);
+        // dst stored local to node 1's partition (4..7): 5→1, 4→0
+        let got: Vec<(u32, u32, u8)> = chunk.iter().map(|(s, d, &x)| (s, d, x)).collect();
+        assert_eq!(got, vec![(0, 1, b'B'), (2, 0, b'D'), (2, 1, b'C')]);
+    }
+
+    #[test]
+    fn figure1_dispatch_graph() {
+        let g = figure1_graph();
+        let cfg = figure1_config();
+        let (_td, ds) = disks(2);
+        preprocess(&g, &cfg, &ds).unwrap();
+        // Figure 1e: dispatching graph node 0 -> node 1:
+        // 0→batch2, 0→batch3, 2→batch2 (batches local: 0 and 1)
+        let mut r = ds[1].open(&paths::dispatch(0)).unwrap();
+        let dg = IndexedChunk::<()>::read_from(&mut r, None).unwrap();
+        let got: Vec<(u32, u32)> = dg.iter().map(|(s, b, _)| (s, b)).collect();
+        assert_eq!(got, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn figure1_filter_lists() {
+        let g = figure1_graph();
+        let cfg = figure1_config();
+        let (_td, ds) = disks(2);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        // Figure 3: the filtering list to node 1 is {0, 2} — vertex 1 and 3
+        // have no outgoing edges into partition 1
+        let l01 = read_filter_list(&ds[0], &paths::filter(1)).unwrap();
+        assert_eq!(l01, vec![0, 2]);
+        assert_eq!(out.plan.node_meta[0].filter_lens[1], 2);
+        // node 1 -> node 0: 4→3 and 5→0 cross into partition 0; locals of
+        // vertices 4 and 5 are 0 and 1
+        let l10 = read_filter_list(&ds[1], &paths::filter(0)).unwrap();
+        assert_eq!(l10, vec![0, 1]);
+    }
+
+    #[test]
+    fn pull_lists_match_chunk_sources() {
+        let g = figure1_graph();
+        let cfg = figure1_config();
+        let (_td, ds) = disks(2);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        for (i, meta) in out.plan.node_meta.iter().enumerate() {
+            for c in &meta.chunks {
+                let pl = read_pull_list(&ds[i], &paths::pull(c.src_partition, c.batch)).unwrap();
+                let mut r = ds[i].open(&paths::chunk(c.src_partition, c.batch)).unwrap();
+                let chunk =
+                    IndexedChunk::<u8>::read_from(&mut r, Some(ReprKind::Dcsr)).unwrap();
+                assert_eq!(pl, chunk.dcsr_src);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_conservation_across_chunks() {
+        let g = figure1_graph();
+        let cfg = figure1_config();
+        let (_td, ds) = disks(2);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        let total: u64 = out
+            .plan
+            .node_meta
+            .iter()
+            .flat_map(|m| m.chunks.iter())
+            .map(|c| c.n_edges)
+            .sum();
+        assert_eq!(total, g.n_edges());
+        // in-edge counts add up too
+        let in_total: u64 = out.plan.node_meta.iter().map(|m| m.n_in_edges).sum();
+        assert_eq!(in_total, g.n_edges());
+        let out_total: u64 = out.plan.node_meta.iter().map(|m| m.n_out_edges).sum();
+        assert_eq!(out_total, g.n_edges());
+    }
+
+    #[test]
+    fn no_batching_mode_single_batch_per_partition() {
+        let g = figure1_graph();
+        let mut cfg = figure1_config();
+        cfg.batching_enabled = false;
+        let (_td, ds) = disks(2);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        assert_eq!(out.plan.n_batches(0), 1);
+        assert_eq!(out.plan.n_batches(1), 1);
+    }
+
+    #[test]
+    fn single_node_degenerates_gracefully() {
+        let g = figure1_graph();
+        let mut cfg = EngineConfig::for_test(1);
+        cfg.batch_policy = dfo_types::BatchPolicy::FixedVertices(3);
+        let (_td, ds) = disks(1);
+        let out = preprocess(&g, &cfg, &ds).unwrap();
+        assert_eq!(out.plan.nodes(), 1);
+        assert_eq!(out.plan.n_batches(0), 3); // 7 vertices / 3 = 3 batches
+        let total: u64 =
+            out.plan.node_meta[0].chunks.iter().map(|c| c.n_edges).sum();
+        assert_eq!(total, 9);
+    }
+}

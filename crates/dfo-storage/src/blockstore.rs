@@ -1,0 +1,549 @@
+//! Versioned, copy-on-write block store backing checkpointed vertex arrays
+//! (paper §3.2, Figure 4).
+//!
+//! With checkpointing enabled DFOGraph "never overwrites data blocks, and
+//! redirects all write operations to a new block"; each `Process` call
+//! commits a new checkpoint that may *reuse* blocks of unmodified batches
+//! from the previous one, and obsolete checkpoints are garbage-collected by
+//! reference counting. With checkpointing disabled the store degrades to
+//! plain in-place per-batch block files (no metadata, no extra I/O — the
+//! paper notes checkpointing "does not increase the amount of I/O" beyond
+//! metadata).
+//!
+//! On-disk layout under the store's directory:
+//!
+//! ```text
+//! blocks/<id>.bin        one file per block version
+//! meta/ckpt_<epoch>.bin  committed mapping batch -> block id
+//! CURRENT                latest committed epoch (written atomically)
+//! ```
+
+use crate::disk::NodeDisk;
+use dfo_types::codec::{read_u64, write_u64};
+use dfo_types::{DfoError, Result};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Cursor, Write};
+
+type BlockId = u64;
+
+enum Mode {
+    /// Copy-on-write with `keep` retained checkpoints.
+    Cow {
+        next_block: BlockId,
+        epoch: u64,
+        current: Vec<BlockId>,
+        pending: Option<Vec<Option<BlockId>>>,
+        history: VecDeque<(u64, Vec<BlockId>)>,
+        refcounts: HashMap<BlockId, u32>,
+        keep: usize,
+    },
+    /// In-place: block id == batch index, overwritten directly.
+    InPlace,
+}
+
+/// Persistent versioned storage for one vertex array on one node.
+pub struct VersionedArrayStore {
+    disk: NodeDisk,
+    dir: String,
+    n_batches: usize,
+    mode: Mode,
+}
+
+impl VersionedArrayStore {
+    /// Creates a fresh store; `init` produces the initial bytes of each
+    /// batch (the paper's `GetVertexArray` creates the initial checkpoint).
+    pub fn create(
+        disk: NodeDisk,
+        dir: impl Into<String>,
+        n_batches: usize,
+        mut init: impl FnMut(usize) -> Vec<u8>,
+        checkpointing: bool,
+        keep: usize,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        let mut store = Self {
+            disk,
+            dir,
+            n_batches,
+            mode: if checkpointing {
+                Mode::Cow {
+                    next_block: 0,
+                    epoch: 0,
+                    current: Vec::new(),
+                    pending: None,
+                    history: VecDeque::new(),
+                    refcounts: HashMap::new(),
+                    keep: keep.max(1),
+                }
+            } else {
+                Mode::InPlace
+            },
+        };
+        match &mut store.mode {
+            Mode::InPlace => {
+                for b in 0..n_batches {
+                    let data = init(b);
+                    store.write_block_file(b as BlockId, &data)?;
+                }
+            }
+            Mode::Cow { .. } => {
+                let mut mapping = Vec::with_capacity(n_batches);
+                for b in 0..n_batches {
+                    let data = init(b);
+                    let id = store.alloc_block()?;
+                    store.write_block_file(id, &data)?;
+                    mapping.push(id);
+                }
+                store.commit_mapping(mapping)?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Reopens an in-place (non-checkpointed) store whose block files
+    /// already exist on disk.
+    pub fn open_in_place(disk: NodeDisk, dir: impl Into<String>, n_batches: usize) -> Self {
+        Self { disk, dir: dir.into(), n_batches, mode: Mode::InPlace }
+    }
+
+    /// Whether an in-place store exists at `dir` (its first block file is
+    /// present).
+    pub fn in_place_exists(disk: &NodeDisk, dir: &str) -> bool {
+        disk.exists(&format!("{dir}/blocks/0.bin"))
+    }
+
+    /// Whether a committed checkpoint exists at `dir`.
+    pub fn checkpoint_exists(disk: &NodeDisk, dir: &str) -> bool {
+        disk.exists(&format!("{dir}/CURRENT"))
+    }
+
+    /// Reopens a store from its last committed checkpoint. Pending blocks
+    /// from a crashed epoch are deleted; the array is exactly the state
+    /// after the last successful `Process` call (§3.2).
+    pub fn recover(disk: NodeDisk, dir: impl Into<String>, n_batches: usize, keep: usize) -> Result<Self> {
+        let dir = dir.into();
+        let current_rel = format!("{dir}/CURRENT");
+        if !disk.exists(&current_rel) {
+            return Err(DfoError::NoCheckpoint(format!("{dir}: no CURRENT file")));
+        }
+        let cur_bytes = disk.read_to_vec(&current_rel)?;
+        let committed: u64 = read_u64(&mut Cursor::new(&cur_bytes))
+            .map_err(|e| DfoError::io("parsing CURRENT", e))?;
+        let keep = keep.max(1);
+
+        // load the retained committed epochs (<= committed, newest `keep`)
+        let mut epochs: Vec<u64> = Self::list_meta_epochs(&disk, &dir)?;
+        epochs.sort_unstable();
+        let mut history: VecDeque<(u64, Vec<BlockId>)> = VecDeque::new();
+        let mut refcounts: HashMap<BlockId, u32> = HashMap::new();
+        let mut max_block: BlockId = 0;
+        for &e in epochs.iter() {
+            if e > committed {
+                // uncommitted metadata from a crash: remove
+                disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
+                continue;
+            }
+            let mapping = Self::read_meta(&disk, &dir, e, n_batches)?;
+            history.push_back((e, mapping));
+        }
+        while history.len() > keep {
+            let (e, _) = history.pop_front().unwrap();
+            disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
+        }
+        if history.is_empty() {
+            return Err(DfoError::NoCheckpoint(format!("{dir}: no committed checkpoint metadata")));
+        }
+        for (_, mapping) in history.iter() {
+            for &id in mapping {
+                *refcounts.entry(id).or_insert(0) += 1;
+                max_block = max_block.max(id);
+            }
+        }
+        let current = history.back().unwrap().1.clone();
+
+        // delete orphan block files (from crashed pending epochs)
+        let blocks_dir = disk.root().join(format!("{dir}/blocks"));
+        if let Ok(entries) = std::fs::read_dir(&blocks_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(id) = name.strip_suffix(".bin").and_then(|s| s.parse::<BlockId>().ok()) {
+                    if !refcounts.contains_key(&id) {
+                        disk.remove(&format!("{dir}/blocks/{id}.bin"))?;
+                    }
+                    max_block = max_block.max(id);
+                }
+            }
+        }
+
+        Ok(Self {
+            disk,
+            dir,
+            n_batches,
+            mode: Mode::Cow {
+                next_block: max_block + 1,
+                epoch: committed,
+                current,
+                pending: None,
+                history,
+                refcounts,
+                keep,
+            },
+        })
+    }
+
+    pub fn n_batches(&self) -> usize {
+        self.n_batches
+    }
+
+    /// Latest committed epoch (0 for in-place stores).
+    pub fn epoch(&self) -> u64 {
+        match &self.mode {
+            Mode::Cow { epoch, .. } => *epoch,
+            Mode::InPlace => 0,
+        }
+    }
+
+    /// Reads the bytes of batch `b` (read-your-writes within an open epoch).
+    pub fn read_batch(&self, b: usize) -> Result<Vec<u8>> {
+        assert!(b < self.n_batches, "batch {b} out of range");
+        let id = match &self.mode {
+            Mode::InPlace => b as BlockId,
+            Mode::Cow { current, pending, .. } => pending
+                .as_ref()
+                .and_then(|p| p[b])
+                .unwrap_or(current[b]),
+        };
+        self.disk.read_to_vec(&format!("{}/blocks/{id}.bin", self.dir))
+    }
+
+    /// Opens a new epoch; must be called before `write_batch` when the store
+    /// is copy-on-write. Idempotent.
+    pub fn begin_epoch(&mut self) {
+        if let Mode::Cow { pending, .. } = &mut self.mode {
+            if pending.is_none() {
+                *pending = Some(vec![None; self.n_batches]);
+            }
+        }
+    }
+
+    /// Writes new bytes for batch `b`.
+    pub fn write_batch(&mut self, b: usize, data: &[u8]) -> Result<()> {
+        assert!(b < self.n_batches, "batch {b} out of range");
+        match &mut self.mode {
+            Mode::InPlace => self.write_block_file(b as BlockId, data),
+            Mode::Cow { .. } => {
+                let id = self.alloc_block()?;
+                self.write_block_file(id, data)?;
+                let Mode::Cow { pending, refcounts, .. } = &mut self.mode else { unreachable!() };
+                let slot = pending
+                    .as_mut()
+                    .expect("begin_epoch must be called before write_batch")
+                    .get_mut(b)
+                    .unwrap();
+                if let Some(old) = slot.replace(id) {
+                    // batch written twice in one epoch: drop the older version
+                    debug_assert!(!refcounts.contains_key(&old));
+                    self.remove_block_file(old)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Commits the open epoch: persists the new mapping, retires checkpoints
+    /// beyond the retention limit, garbage-collects unreferenced blocks.
+    pub fn commit(&mut self) -> Result<()> {
+        let mapping = match &mut self.mode {
+            Mode::InPlace => return Ok(()),
+            Mode::Cow { current, pending, .. } => {
+                let p = match pending.take() {
+                    Some(p) => p,
+                    None => return Ok(()), // nothing opened
+                };
+                current
+                    .iter()
+                    .zip(p)
+                    .map(|(&cur, new)| new.unwrap_or(cur))
+                    .collect::<Vec<_>>()
+            }
+        };
+        self.commit_mapping(mapping)
+    }
+
+    /// Aborts the open epoch, deleting its blocks.
+    pub fn abort(&mut self) -> Result<()> {
+        let ids: Vec<BlockId> = match &mut self.mode {
+            Mode::InPlace => return Ok(()),
+            Mode::Cow { pending, .. } => match pending.take() {
+                Some(p) => p.into_iter().flatten().collect(),
+                None => return Ok(()),
+            },
+        };
+        for id in ids {
+            self.remove_block_file(id)?;
+        }
+        Ok(())
+    }
+
+    /// Number of live block files (for tests and GC assertions).
+    pub fn live_blocks(&self) -> usize {
+        match &self.mode {
+            Mode::InPlace => self.n_batches,
+            Mode::Cow { refcounts, pending, .. } => {
+                refcounts.len()
+                    + pending
+                        .as_ref()
+                        .map(|p| p.iter().flatten().count())
+                        .unwrap_or(0)
+            }
+        }
+    }
+
+    fn commit_mapping(&mut self, mapping: Vec<BlockId>) -> Result<()> {
+        let dir = self.dir.clone();
+        let Mode::Cow { epoch, current, history, refcounts, .. } = &mut self.mode else {
+            return Ok(());
+        };
+        let new_epoch = if history.is_empty() { *epoch } else { *epoch + 1 };
+
+        // persist metadata for the new checkpoint first
+        let mut buf = Vec::with_capacity(16 + mapping.len() * 8);
+        write_u64(&mut buf, new_epoch).unwrap();
+        write_u64(&mut buf, mapping.len() as u64).unwrap();
+        for &id in &mapping {
+            write_u64(&mut buf, id).unwrap();
+        }
+        let mut w = self.disk.create(&format!("{dir}/meta/ckpt_{new_epoch}.bin"))?;
+        w.write_all(&buf).map_err(|e| DfoError::io("writing checkpoint meta", e))?;
+        w.finish()?;
+
+        for &id in &mapping {
+            *refcounts.entry(id).or_insert(0) += 1;
+        }
+        history.push_back((new_epoch, mapping.clone()));
+        *current = mapping;
+        *epoch = new_epoch;
+
+        // CURRENT pointer flips the commit atomically
+        let mut cur = Vec::new();
+        write_u64(&mut cur, new_epoch).unwrap();
+        self.disk.write_atomic(&format!("{dir}/CURRENT"), &cur)?;
+
+        // retire old checkpoints beyond the retention window
+        let mut to_delete: Vec<BlockId> = Vec::new();
+        let Mode::Cow { history, refcounts, keep, .. } = &mut self.mode else { unreachable!() };
+        while history.len() > *keep {
+            let (old_epoch, old_mapping) = history.pop_front().unwrap();
+            self.disk.remove(&format!("{dir}/meta/ckpt_{old_epoch}.bin"))?;
+            for id in old_mapping {
+                let rc = refcounts.get_mut(&id).expect("refcount missing");
+                *rc -= 1;
+                if *rc == 0 {
+                    refcounts.remove(&id);
+                    to_delete.push(id);
+                }
+            }
+        }
+        for id in to_delete {
+            self.remove_block_file(id)?;
+        }
+        Ok(())
+    }
+
+    fn alloc_block(&mut self) -> Result<BlockId> {
+        match &mut self.mode {
+            Mode::Cow { next_block, .. } => {
+                let id = *next_block;
+                *next_block += 1;
+                Ok(id)
+            }
+            Mode::InPlace => unreachable!("alloc_block in in-place mode"),
+        }
+    }
+
+    fn write_block_file(&self, id: BlockId, data: &[u8]) -> Result<()> {
+        let mut w = self.disk.create(&format!("{}/blocks/{id}.bin", self.dir))?;
+        w.write_all(data).map_err(|e| DfoError::io(format!("writing block {id}"), e))?;
+        w.finish()
+    }
+
+    fn remove_block_file(&self, id: BlockId) -> Result<()> {
+        self.disk.remove(&format!("{}/blocks/{id}.bin", self.dir))
+    }
+
+    fn list_meta_epochs(disk: &NodeDisk, dir: &str) -> Result<Vec<u64>> {
+        let meta_dir = disk.root().join(format!("{dir}/meta"));
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&meta_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(e) = name
+                    .strip_prefix("ckpt_")
+                    .and_then(|s| s.strip_suffix(".bin"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_meta(disk: &NodeDisk, dir: &str, epoch: u64, n_batches: usize) -> Result<Vec<BlockId>> {
+        let bytes = disk.read_to_vec(&format!("{dir}/meta/ckpt_{epoch}.bin"))?;
+        let mut c = Cursor::new(&bytes);
+        let e = read_u64(&mut c).map_err(|e| DfoError::io("meta epoch", e))?;
+        if e != epoch {
+            return Err(DfoError::Corrupt(format!("meta file epoch {e} != name {epoch}")));
+        }
+        let n = read_u64(&mut c).map_err(|e| DfoError::io("meta len", e))? as usize;
+        if n != n_batches {
+            return Err(DfoError::Corrupt(format!("meta batches {n} != expected {n_batches}")));
+        }
+        let mut mapping = Vec::with_capacity(n);
+        for _ in 0..n {
+            mapping.push(read_u64(&mut c).map_err(|e| DfoError::io("meta block id", e))?);
+        }
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn mk(cow: bool, keep: usize) -> (TempDir, VersionedArrayStore) {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        let s = VersionedArrayStore::create(disk, "arr", 3, |b| vec![b as u8; 4], cow, keep).unwrap();
+        (td, s)
+    }
+
+    #[test]
+    fn initial_contents() {
+        for cow in [false, true] {
+            let (_t, s) = mk(cow, 1);
+            assert_eq!(s.read_batch(0).unwrap(), vec![0u8; 4]);
+            assert_eq!(s.read_batch(2).unwrap(), vec![2u8; 4]);
+        }
+    }
+
+    #[test]
+    fn inplace_overwrite() {
+        let (_t, mut s) = mk(false, 1);
+        s.write_batch(1, &[9u8; 4]).unwrap();
+        assert_eq!(s.read_batch(1).unwrap(), vec![9u8; 4]);
+        s.commit().unwrap(); // no-op
+        assert_eq!(s.live_blocks(), 3);
+    }
+
+    #[test]
+    fn cow_reuses_unmodified_blocks_and_gcs() {
+        let (_t, mut s) = mk(true, 1);
+        assert_eq!(s.live_blocks(), 3);
+        s.begin_epoch();
+        s.write_batch(1, &[7u8; 4]).unwrap();
+        s.commit().unwrap();
+        // epoch 1 shares blocks 0 and 2 with epoch 0; epoch 0 retired:
+        // old block of batch 1 deleted => still 3 live blocks
+        assert_eq!(s.live_blocks(), 3);
+        assert_eq!(s.read_batch(1).unwrap(), vec![7u8; 4]);
+        assert_eq!(s.read_batch(0).unwrap(), vec![0u8; 4]);
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn keep_two_checkpoints() {
+        let (_t, mut s) = mk(true, 2);
+        s.begin_epoch();
+        s.write_batch(0, &[1u8; 4]).unwrap();
+        s.commit().unwrap();
+        // epochs 0 and 1 retained: blocks {0,1,2} + new one = 4
+        assert_eq!(s.live_blocks(), 4);
+        s.begin_epoch();
+        s.write_batch(0, &[2u8; 4]).unwrap();
+        s.commit().unwrap();
+        // epoch 0 retired: its batch-0 block freed
+        assert_eq!(s.live_blocks(), 4);
+    }
+
+    #[test]
+    fn read_your_writes_in_open_epoch() {
+        let (_t, mut s) = mk(true, 1);
+        s.begin_epoch();
+        s.write_batch(2, &[5u8; 4]).unwrap();
+        assert_eq!(s.read_batch(2).unwrap(), vec![5u8; 4]);
+        s.abort().unwrap();
+        assert_eq!(s.read_batch(2).unwrap(), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn double_write_in_epoch_drops_older() {
+        let (_t, mut s) = mk(true, 1);
+        s.begin_epoch();
+        s.write_batch(0, &[1u8; 4]).unwrap();
+        s.write_batch(0, &[2u8; 4]).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.read_batch(0).unwrap(), vec![2u8; 4]);
+        assert_eq!(s.live_blocks(), 3);
+    }
+
+    #[test]
+    fn recover_after_commit() {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        {
+            let mut s =
+                VersionedArrayStore::create(disk.clone(), "arr", 2, |b| vec![b as u8; 2], true, 1)
+                    .unwrap();
+            s.begin_epoch();
+            s.write_batch(0, &[42u8; 2]).unwrap();
+            s.commit().unwrap();
+        }
+        let s = VersionedArrayStore::recover(disk, "arr", 2, 1).unwrap();
+        assert_eq!(s.read_batch(0).unwrap(), vec![42u8; 2]);
+        assert_eq!(s.read_batch(1).unwrap(), vec![1u8; 2]);
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn recover_discards_uncommitted_epoch() {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        {
+            let mut s =
+                VersionedArrayStore::create(disk.clone(), "arr", 2, |b| vec![b as u8; 2], true, 1)
+                    .unwrap();
+            s.begin_epoch();
+            s.write_batch(0, &[99u8; 2]).unwrap();
+            // crash: no commit
+        }
+        let s = VersionedArrayStore::recover(disk, "arr", 2, 1).unwrap();
+        assert_eq!(s.read_batch(0).unwrap(), vec![0u8; 2], "uncommitted write must vanish");
+        // orphan pending block file must have been cleaned up
+        assert_eq!(s.live_blocks(), 2);
+    }
+
+    #[test]
+    fn recover_without_checkpoint_errors() {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        assert!(matches!(
+            VersionedArrayStore::recover(disk, "nope", 2, 1),
+            Err(DfoError::NoCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn many_epochs_bounded_storage() {
+        let (_t, mut s) = mk(true, 1);
+        for i in 0..20u8 {
+            s.begin_epoch();
+            s.write_batch((i % 3) as usize, &[i; 4]).unwrap();
+            s.commit().unwrap();
+            assert_eq!(s.live_blocks(), 3, "GC must bound live blocks");
+        }
+        assert_eq!(s.epoch(), 20);
+    }
+}

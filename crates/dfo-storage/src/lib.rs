@@ -1,0 +1,20 @@
+//! Storage substrate for DFOGraph: per-node throttled disks with full byte
+//! accounting, buffered sequential streams, an LRU page cache, and the
+//! copy-on-write versioned block store backing checkpointed vertex arrays.
+//!
+//! The paper's testbed gives every node a 2 GB/s NVMe SSD; this substrate
+//! reproduces the *bandwidth-bound* behaviour of that hardware on any
+//! machine: every byte moved through a [`NodeDisk`] is counted (and,
+//! optionally, time-stamped for the Figure 5 traffic plots) and paced by a
+//! token-bucket [`Throttle`], so experiment runtimes are dominated by the
+//! same byte volumes the paper reasons about.
+
+pub mod blockstore;
+pub mod disk;
+pub mod pagecache;
+pub mod throttle;
+
+pub use blockstore::VersionedArrayStore;
+pub use disk::{DiskReader, DiskStats, DiskWriter, NodeDisk, RandomFile};
+pub use pagecache::{CacheStats, PageCache};
+pub use throttle::Throttle;

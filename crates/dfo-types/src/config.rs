@@ -1,0 +1,198 @@
+//! Engine and cluster configuration.
+//!
+//! Defaults follow the paper: CSR inflate ratio 32 (§4.1), seek-cost
+//! parameter γ = 1024 (§4.1), filter skip threshold `|L|/|M| ≥ 2` (§4.3),
+//! inter-node balance weight α = 2P − 1 (§2.2).
+
+use crate::ids::Rank;
+
+/// How intra-node vertex batch sizes are chosen (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchPolicy {
+    /// Fixed number of vertices per batch.
+    FixedVertices(u64),
+    /// Fully-out-of-core rule: pick the largest batch such that
+    /// `batch_bytes × threads ≤ mem_budget / 2`, where `batch_bytes` is the
+    /// per-batch footprint of the widest registered vertex array.
+    FullyOutOfCore { widest_vertex_bytes: u64 },
+    /// Semi-out-of-core rule of thumb: at least `1.5 × threads` batches per
+    /// partition (the engine rounds to whole batches).
+    SemiOutOfCore,
+}
+
+/// Forces a particular intra-node message dispatching strategy (§4.2);
+/// `None` in [`EngineConfig::dispatch_override`] keeps the adaptive choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// One scan of the incoming messages appends to every destination batch
+    /// file (low CPU, high latency — batches start only after the scan).
+    Push,
+    /// Each batch scans the messages and extracts what it needs (high CPU,
+    /// low latency for the first batches).
+    Pull,
+    /// Batches read the undispatched message buffer directly.
+    None,
+}
+
+/// Forces a particular edge-chunk representation at access time (§4.1);
+/// `None` keeps the adaptive cost-model choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReprKind {
+    Csr,
+    Dcsr,
+}
+
+/// Full configuration of a DFOGraph cluster run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of (simulated) nodes `P`.
+    pub nodes: usize,
+    /// Worker threads per node (`T` in the paper; 12 on i3en.3xlarge).
+    pub threads_per_node: usize,
+    /// Memory budget per node in bytes; drives the fully-out-of-core batch
+    /// sizing rule and the page-cache capacity.
+    pub mem_budget: u64,
+    /// Intra-node batch size policy.
+    pub batch_policy: BatchPolicy,
+    /// Build CSR for a chunk when `|V_src| / |E_chunk| ≤ csr_inflate_ratio`.
+    pub csr_inflate_ratio: f64,
+    /// Seek-vs-scan cost parameter γ: one CSR seek costs as much as scanning
+    /// γ DCSR entries.
+    pub gamma: u64,
+    /// Skip filtering to node j when `|L_ij| / |M_i| ≥ filter_skip_ratio`.
+    pub filter_skip_ratio: f64,
+    /// Inter-node balance weight; `None` means the default `2P − 1`.
+    pub alpha: Option<u64>,
+    /// Simulated sequential disk bandwidth per node, bytes/s (`None` =
+    /// unthrottled). The paper's testbed: 2 GB/s NVMe.
+    pub disk_bw: Option<u64>,
+    /// Simulated network bandwidth per node (each direction), bytes/s
+    /// (`None` = unthrottled). The paper's testbed: 25 Gbps.
+    pub net_bw: Option<u64>,
+    /// Page size of the storage substrate page cache.
+    pub page_size: usize,
+    /// Enables copy-on-write checkpointing of vertex arrays (§3.2).
+    pub checkpointing: bool,
+    /// Number of checkpoints retained (typically 1 or 2, §3.2).
+    pub checkpoints_kept: usize,
+    /// Disables intra-node batching (Table 6 ablation): one batch per
+    /// partition, vertex arrays accessed through a bounded page cache.
+    pub batching_enabled: bool,
+    /// Disables inter-node message filtering (§4.3 ablation).
+    pub filtering_enabled: bool,
+    /// Forces a dispatch strategy instead of the adaptive choice.
+    pub dispatch_override: Option<DispatchKind>,
+    /// Forces an edge representation instead of the adaptive choice.
+    pub repr_override: Option<ReprKind>,
+    /// Records disk/network traffic time series (Figure 5); off by default
+    /// because sampling adds a lock per transfer.
+    pub record_traffic: bool,
+}
+
+impl EngineConfig {
+    /// A small-footprint configuration suitable for tests: `nodes` ranks,
+    /// two worker threads each, unthrottled I/O, checkpointing off.
+    pub fn for_test(nodes: usize) -> Self {
+        Self {
+            nodes,
+            threads_per_node: 2,
+            mem_budget: 64 << 20,
+            batch_policy: BatchPolicy::FixedVertices(64),
+            csr_inflate_ratio: 32.0,
+            gamma: 1024,
+            filter_skip_ratio: 2.0,
+            alpha: None,
+            disk_bw: None,
+            net_bw: None,
+            page_size: 4096,
+            checkpointing: false,
+            checkpoints_kept: 1,
+            batching_enabled: true,
+            filtering_enabled: true,
+            dispatch_override: None,
+            repr_override: None,
+            record_traffic: false,
+        }
+    }
+
+    /// Effective α: configured value or the paper default `2P − 1`.
+    pub fn effective_alpha(&self) -> u64 {
+        self.alpha.unwrap_or(2 * self.nodes as u64 - 1)
+    }
+
+    /// Sanity-checks invariants; called once at cluster start.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        if self.threads_per_node == 0 {
+            return Err("threads_per_node must be positive".into());
+        }
+        if self.csr_inflate_ratio <= 0.0 {
+            return Err("csr_inflate_ratio must be positive".into());
+        }
+        if self.filter_skip_ratio <= 0.0 {
+            return Err("filter_skip_ratio must be positive".into());
+        }
+        if !self.page_size.is_power_of_two() {
+            return Err(format!("page_size {} must be a power of two", self.page_size));
+        }
+        if self.checkpointing && self.checkpoints_kept == 0 {
+            return Err("checkpoints_kept must be ≥ 1 when checkpointing".into());
+        }
+        Ok(())
+    }
+
+    /// Round-robin send order for node `i`: `i+1, …, P−1, 0, …, i−1` (§4.4).
+    pub fn send_order(&self, i: Rank) -> Vec<Rank> {
+        (1..self.nodes).map(|d| (i + d) % self.nodes).collect()
+    }
+
+    /// Receive/process order for node `i`: `i−1, …, 0, P−1, …, i+1` (§4.5) —
+    /// the mirror of [`EngineConfig::send_order`], so that every (sender,
+    /// receiver) pair agrees on when their transfer happens.
+    pub fn recv_order(&self, i: Rank) -> Vec<Rank> {
+        (1..self.nodes)
+            .map(|d| (i + self.nodes - d) % self.nodes)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_default_is_2p_minus_1() {
+        let mut c = EngineConfig::for_test(8);
+        assert_eq!(c.effective_alpha(), 15);
+        c.alpha = Some(3);
+        assert_eq!(c.effective_alpha(), 3);
+    }
+
+    #[test]
+    fn send_and_recv_orders_mirror() {
+        let c = EngineConfig::for_test(4);
+        assert_eq!(c.send_order(1), vec![2, 3, 0]);
+        assert_eq!(c.recv_order(1), vec![0, 3, 2]);
+        // pairing property: if i sends to j at step k, j receives from i at
+        // step k (both sides use distance-k neighbours).
+        for i in 0..4 {
+            let s = c.send_order(i);
+            for (k, &j) in s.iter().enumerate() {
+                assert_eq!(c.recv_order(j)[k], i);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = EngineConfig::for_test(2);
+        c.page_size = 1000;
+        assert!(c.validate().is_err());
+        let mut c = EngineConfig::for_test(2);
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        assert!(EngineConfig::for_test(2).validate().is_ok());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DfoError>;
+
+/// Errors surfaced by the DFOGraph substrates and engine.
+#[derive(Debug)]
+pub enum DfoError {
+    /// Underlying I/O failure, annotated with the operation context.
+    Io { context: String, source: std::io::Error },
+    /// A persisted structure failed validation when read back.
+    Corrupt(String),
+    /// Invalid configuration detected at startup.
+    Config(String),
+    /// The simulated network was shut down while an operation was pending.
+    NetClosed(String),
+    /// Recovery was requested but no committed checkpoint exists.
+    NoCheckpoint(String),
+}
+
+impl DfoError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        DfoError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for DfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfoError::Io { context, source } => write!(f, "I/O error during {context}: {source}"),
+            DfoError::Corrupt(m) => write!(f, "corrupt on-disk structure: {m}"),
+            DfoError::Config(m) => write!(f, "invalid configuration: {m}"),
+            DfoError::NetClosed(m) => write!(f, "network closed: {m}"),
+            DfoError::NoCheckpoint(m) => write!(f, "no checkpoint available: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DfoError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DfoError {
+    fn from(e: std::io::Error) -> Self {
+        DfoError::Io { context: "<unspecified>".into(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = DfoError::io(
+            "writing chunk p0_b3",
+            std::io::Error::new(std::io::ErrorKind::Other, "disk full"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("p0_b3"));
+        assert!(s.contains("disk full"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: DfoError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
+        assert!(matches!(e, DfoError::Io { .. }));
+    }
+}

@@ -1,0 +1,179 @@
+//! Identifier types for vertices, cluster ranks, partitions and batches.
+//!
+//! DFOGraph assigns vertices continuous numeric IDs and partitions them into
+//! `P` contiguous ranges (one per node); inside each node vertices are split
+//! further into fixed-size *batches* (the last batch may be short). Ranges
+//! are half-open `[start, end)`.
+
+/// Global vertex identifier. 64-bit so that graphs beyond 4 B vertices (the
+/// paper evaluates KRON-38 with 2.7e11 vertices) are representable.
+pub type VertexId = u64;
+
+/// Rank of a node in the (simulated) cluster, `0..P`.
+pub type Rank = usize;
+
+/// Inter-node partition index; equals the owning rank in DFOGraph.
+pub type PartitionId = usize;
+
+/// Intra-node batch index, local to one node.
+pub type BatchId = usize;
+
+/// A half-open range of vertex IDs `[start, end)`.
+///
+/// Both inter-node partitions and intra-node batches are `VertexRange`s:
+/// DFOGraph's two-level *column-oriented* partitioning keys every edge chunk
+/// by (source partition, destination batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VertexRange {
+    pub start: VertexId,
+    pub end: VertexId,
+}
+
+impl VertexRange {
+    /// Creates a range; `start` may equal `end` (empty range).
+    #[inline]
+    pub fn new(start: VertexId, end: VertexId) -> Self {
+        debug_assert!(start <= end, "range start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// Number of vertices in the range.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `v` falls inside the range.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v >= self.start && v < self.end
+    }
+
+    /// Offset of `v` from the start of the range.
+    ///
+    /// On-disk structures (CSR/DCSR, dispatch graphs, filter lists) store
+    /// 32-bit *local* indices relative to their partition to halve the space
+    /// against naive 64-bit global IDs.
+    #[inline]
+    pub fn local(&self, v: VertexId) -> u32 {
+        debug_assert!(self.contains(v));
+        (v - self.start) as u32
+    }
+
+    /// Inverse of [`VertexRange::local`].
+    #[inline]
+    pub fn global(&self, local: u32) -> VertexId {
+        self.start + local as VertexId
+    }
+
+    /// Iterates over the vertices of the range.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> {
+        self.start..self.end
+    }
+
+    /// Intersection with another range (possibly empty).
+    pub fn intersect(&self, other: &VertexRange) -> VertexRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end).max(start);
+        VertexRange { start, end }
+    }
+}
+
+/// Splits `range` into batches of `batch_size` vertices; the last batch may
+/// contain fewer vertices (paper §2.2, footnote 3).
+pub fn split_into_batches(range: VertexRange, batch_size: u64) -> Vec<VertexRange> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut out = Vec::with_capacity(((range.len() + batch_size - 1) / batch_size) as usize);
+    let mut s = range.start;
+    while s < range.end {
+        let e = (s + batch_size).min(range.end);
+        out.push(VertexRange::new(s, e));
+        s = e;
+    }
+    if out.is_empty() {
+        out.push(range); // keep at least one (empty) batch for empty partitions
+    }
+    out
+}
+
+/// Locates which range of a sorted, disjoint, contiguous list contains `v`.
+pub fn find_range(ranges: &[VertexRange], v: VertexId) -> Option<usize> {
+    if ranges.is_empty() {
+        return None;
+    }
+    let idx = ranges.partition_point(|r| r.end <= v);
+    if idx < ranges.len() && ranges[idx].contains(v) {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = VertexRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert_eq!(r.local(13), 3);
+        assert_eq!(r.global(3), 13);
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = VertexRange::new(5, 5);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(5));
+    }
+
+    #[test]
+    fn split_exact_and_ragged() {
+        let bs = split_into_batches(VertexRange::new(0, 10), 5);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[1], VertexRange::new(5, 10));
+        let bs = split_into_batches(VertexRange::new(0, 11), 5);
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[2].len(), 1);
+    }
+
+    #[test]
+    fn split_empty_partition_keeps_one_batch() {
+        let bs = split_into_batches(VertexRange::new(7, 7), 4);
+        assert_eq!(bs.len(), 1);
+        assert!(bs[0].is_empty());
+    }
+
+    #[test]
+    fn find_range_hits_and_misses() {
+        let rs = vec![
+            VertexRange::new(0, 4),
+            VertexRange::new(4, 4),
+            VertexRange::new(4, 9),
+        ];
+        assert_eq!(find_range(&rs, 0), Some(0));
+        assert_eq!(find_range(&rs, 3), Some(0));
+        assert_eq!(find_range(&rs, 4), Some(2));
+        assert_eq!(find_range(&rs, 8), Some(2));
+        assert_eq!(find_range(&rs, 9), None);
+    }
+
+    #[test]
+    fn intersect() {
+        let a = VertexRange::new(0, 10);
+        let b = VertexRange::new(5, 15);
+        assert_eq!(a.intersect(&b), VertexRange::new(5, 10));
+        let c = VertexRange::new(20, 30);
+        assert!(a.intersect(&c).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Byte-accounting statistics shared by the storage and network substrates.
+//!
+//! Figure 5 of the paper plots disk and network bandwidth over time for
+//! DFOGraph vs Chaos; [`TrafficRecorder`] captures exactly that series, and
+//! [`PhaseStats`] captures the per-phase totals checked against the Table 2
+//! worst-case bounds.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A relaxed atomic byte/op counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One traffic sample: milliseconds since recorder start, bytes transferred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficSample {
+    pub at_ms: u64,
+    pub bytes: u64,
+}
+
+/// Records a time series of transfers for bandwidth-over-time plots
+/// (Figure 5). Sampling is cheap: one lock-protected push per transfer;
+/// transfers are MB-granular so contention is negligible.
+#[derive(Clone)]
+pub struct TrafficRecorder {
+    inner: Arc<TrafficInner>,
+}
+
+struct TrafficInner {
+    start: Instant,
+    samples: Mutex<Vec<TrafficSample>>,
+    total: Counter,
+    enabled: bool,
+}
+
+impl TrafficRecorder {
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            inner: Arc::new(TrafficInner {
+                start: Instant::now(),
+                samples: Mutex::new(Vec::new()),
+                total: Counter::new(),
+                enabled,
+            }),
+        }
+    }
+
+    /// Records `bytes` transferred now.
+    #[inline]
+    pub fn record(&self, bytes: u64) {
+        self.inner.total.add(bytes);
+        if self.inner.enabled && bytes > 0 {
+            let at_ms = self.inner.start.elapsed().as_millis() as u64;
+            self.inner.samples.lock().push(TrafficSample { at_ms, bytes });
+        }
+    }
+
+    /// Total bytes recorded so far.
+    pub fn total(&self) -> u64 {
+        self.inner.total.get()
+    }
+
+    /// Snapshot of the raw samples.
+    pub fn samples(&self) -> Vec<TrafficSample> {
+        self.inner.samples.lock().clone()
+    }
+
+    /// Aggregates samples into fixed-width buckets and returns
+    /// `(bucket_start_ms, bytes)` pairs — the series plotted in Figure 5.
+    pub fn bucketed(&self, bucket_ms: u64) -> Vec<(u64, u64)> {
+        assert!(bucket_ms > 0);
+        let samples = self.inner.samples.lock();
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let last = samples.iter().map(|s| s.at_ms).max().unwrap();
+        let n = (last / bucket_ms + 1) as usize;
+        let mut buckets = vec![0u64; n];
+        for s in samples.iter() {
+            buckets[(s.at_ms / bucket_ms) as usize] += s.bytes;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (i as u64 * bucket_ms, b))
+            .collect()
+    }
+
+    pub fn reset(&self) {
+        self.inner.samples.lock().clear();
+        self.inner.total.reset();
+    }
+}
+
+/// Per-phase byte totals for one `ProcessEdges` call on one node, matching
+/// the rows of Table 2 (generate / pass / dispatch / process).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    pub generate_disk_read: u64,
+    pub generate_disk_write: u64,
+    pub pass_disk_read: u64,
+    pub pass_net_sent: u64,
+    pub dispatch_disk_read: u64,
+    pub dispatch_disk_write: u64,
+    pub dispatch_net_recv: u64,
+    pub process_disk_read: u64,
+    pub process_disk_write: u64,
+    /// Messages generated on this node this call (|M_i| in §4.3).
+    pub messages_generated: u64,
+    /// Messages actually sent on the wire after filtering.
+    pub messages_sent: u64,
+}
+
+impl PhaseStats {
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.generate_disk_read += other.generate_disk_read;
+        self.generate_disk_write += other.generate_disk_write;
+        self.pass_disk_read += other.pass_disk_read;
+        self.pass_net_sent += other.pass_net_sent;
+        self.dispatch_disk_read += other.dispatch_disk_read;
+        self.dispatch_disk_write += other.dispatch_disk_write;
+        self.dispatch_net_recv += other.dispatch_net_recv;
+        self.process_disk_read += other.process_disk_read;
+        self.process_disk_write += other.process_disk_write;
+        self.messages_generated += other.messages_generated;
+        self.messages_sent += other.messages_sent;
+    }
+
+    pub fn total_disk(&self) -> u64 {
+        self.generate_disk_read
+            + self.generate_disk_write
+            + self.pass_disk_read
+            + self.dispatch_disk_read
+            + self.dispatch_disk_write
+            + self.process_disk_read
+            + self.process_disk_write
+    }
+
+    pub fn total_net(&self) -> u64 {
+        self.pass_net_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(10);
+        c.add(32);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn recorder_totals_and_buckets() {
+        let r = TrafficRecorder::new(true);
+        r.record(100);
+        r.record(50);
+        assert_eq!(r.total(), 150);
+        let buckets = r.bucketed(1000);
+        let sum: u64 = buckets.iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, 150);
+    }
+
+    #[test]
+    fn disabled_recorder_still_counts_total() {
+        let r = TrafficRecorder::new(false);
+        r.record(77);
+        assert_eq!(r.total(), 77);
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn phase_stats_merge() {
+        let mut a = PhaseStats { pass_net_sent: 10, messages_generated: 4, ..Default::default() };
+        let b = PhaseStats { pass_net_sent: 5, messages_sent: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.pass_net_sent, 15);
+        assert_eq!(a.messages_generated, 4);
+        assert_eq!(a.messages_sent, 3);
+        assert_eq!(a.total_net(), 15);
+    }
+}

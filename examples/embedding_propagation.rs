@@ -1,0 +1,61 @@
+//! Vector vertex data: GNN-style feature propagation over a social graph.
+//!
+//! The paper's introduction argues fully-out-of-core processing matters
+//! precisely because ML workloads attach *vectors* to vertices ("vertex
+//! data may be comparable to or even more extensive than edge data",
+//! §1.1). Here every user carries a 16-float embedding (64 B — 8× the edge
+//! record), smoothed over the follow graph.
+//!
+//! ```sh
+//! cargo run --release --example embedding_propagation
+//! ```
+
+use dfograph::algos::embedding::{seed_embedding, DIM};
+use dfograph::core::Cluster;
+use dfograph::graph::gen::{rmat, GenConfig};
+use dfograph::types::{BatchPolicy, EngineConfig};
+
+fn main() -> dfograph::types::Result<()> {
+    let social = rmat(GenConfig::new(12, 16, 7));
+    println!(
+        "social graph: {} users, {} follows; vertex data {} B/user vs 0 B/edge",
+        social.n_vertices,
+        social.n_edges(),
+        DIM * 4
+    );
+
+    let dir = std::env::temp_dir().join("dfograph-embed");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = EngineConfig::for_test(2);
+    // fully-out-of-core sizing: batches bounded by memory over the widest
+    // array (the embedding)
+    cfg.batch_policy = BatchPolicy::FullyOutOfCore { widest_vertex_bytes: (DIM * 4) as u64 };
+    cfg.mem_budget = 4 << 20;
+    let cluster = Cluster::create(cfg, &dir)?;
+    cluster.preprocess(&social)?;
+
+    let drift: Vec<f32> = cluster.run(|ctx| {
+        let emb = dfograph::algos::embedding_propagation(ctx, 4, 0.6)?;
+        let local = dfograph::algos::read_local(ctx, &emb)?;
+        // how far embeddings moved from their seeds = how much structure
+        // the propagation injected
+        let start = ctx.plan().partitions[ctx.rank()].start;
+        let mut total = 0.0f32;
+        for (i, e) in local.iter().enumerate() {
+            let seed = seed_embedding(start + i as u64);
+            total += e
+                .iter()
+                .zip(seed.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+        }
+        Ok(total / local.len().max(1) as f32)
+    })?;
+
+    for (node, d) in drift.iter().enumerate() {
+        println!("node {node}: mean embedding drift after 4 rounds = {d:.4}");
+    }
+    assert!(drift.iter().all(|d| *d > 0.0), "propagation must move embeddings");
+    Ok(())
+}

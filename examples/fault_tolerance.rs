@@ -1,0 +1,79 @@
+//! Checkpointing and recovery (paper §3.2): a node dies mid-computation;
+//! the rerun resumes from the last committed checkpoint instead of from
+//! scratch.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use dfograph::core::Cluster;
+use dfograph::graph::gen::{rmat, GenConfig};
+use dfograph::types::{BatchPolicy, EngineConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ROUNDS: u64 = 6;
+const CRASH_BEFORE: u64 = 4;
+
+fn run(cluster: &Cluster, crash: bool) -> dfograph::types::Result<Vec<u64>> {
+    cluster.run(|ctx| {
+        let acc = ctx.vertex_array::<u64>("acc")?;
+        let round = ctx.vertex_array::<u64>("round")?;
+        // agree on the globally committed round (min across nodes)
+        let local_round = {
+            let h = round.clone();
+            let min = AtomicU64::new(u64::MAX);
+            ctx.process_vertices(&["round"], None, |_v, c| {
+                min.fetch_min(c.get(&h, _v), Ordering::Relaxed);
+                0u64
+            })?;
+            let m = min.load(Ordering::Relaxed);
+            if m == u64::MAX {
+                0
+            } else {
+                m
+            }
+        };
+        let resume_at = ctx.net().allreduce_min_u64(local_round);
+        if resume_at > 0 && ctx.rank() == 0 {
+            println!("  [node 0] recovered checkpoint: resuming at round {resume_at}");
+        }
+        for it in resume_at..ROUNDS {
+            if crash && it == CRASH_BEFORE && ctx.rank() == 1 {
+                println!("  [node 1] simulating crash before round {it} commits!");
+                panic!("injected node failure");
+            }
+            let (a, r) = (acc.clone(), round.clone());
+            ctx.process_vertices(&["acc", "round"], None, move |v, c| {
+                c.set(&a, v, (v + 1) * (it + 1));
+                c.set(&r, v, it + 1);
+                0u64
+            })?;
+        }
+        let h = acc.clone();
+        ctx.process_vertices(&["acc"], None, move |v, c| c.get(&h, v).min(v + 999_999))
+    })
+}
+
+fn main() -> dfograph::types::Result<()> {
+    let graph = rmat(GenConfig::new(10, 8, 3));
+    let dir = std::env::temp_dir().join("dfograph-ft");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.checkpointing = true;
+    cfg.checkpoints_kept = 2;
+    cfg.batch_policy = BatchPolicy::FixedVertices(64);
+    let cluster = Cluster::create(cfg, &dir)?;
+    cluster.preprocess(&graph)?;
+
+    println!("first attempt ({} rounds, crash injected):", ROUNDS);
+    match run(&cluster, true) {
+        Err(e) => println!("  run failed as expected: {e}"),
+        Ok(_) => unreachable!("crash was injected"),
+    }
+
+    println!("\nsecond attempt (recovery):");
+    let sums = run(&cluster, false)?;
+    println!("  final per-node checksums: {sums:?}");
+    println!("\nrecovered and completed: at most one Process call was lost (paper §3.2).");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! SSSP on a weighted road-network-like grid — the paper's running example
+//! (Figure 2b) on a realistic scenario: shortest delivery routes from a
+//! depot over a 4-node cluster, fully out of core.
+//!
+//! ```sh
+//! cargo run --release --example sssp_logistics
+//! ```
+
+use dfograph::core::Cluster;
+use dfograph::graph::gen::grid2d;
+use dfograph::types::{BatchPolicy, EngineConfig};
+
+fn main() -> dfograph::types::Result<()> {
+    // a 128 x 128 street grid; travel times depend on the street
+    let (rows, cols) = (128u64, 128u64);
+    let base = grid2d(rows, cols);
+    // make it bidirectional (two-way streets) and attach travel times
+    let two_way = dfograph::algos::wcc::symmetrize(&base);
+    let roads = two_way.map_data(|e| {
+        let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
+        1.0 + ((a * 31 + b * 17) % 10) as f32 // 1..10 minutes per segment
+    });
+    println!("road network: {} junctions, {} directed segments", roads.n_vertices, roads.n_edges());
+
+    let dir = std::env::temp_dir().join("dfograph-sssp");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = EngineConfig::for_test(4);
+    cfg.batch_policy = BatchPolicy::FixedVertices(512);
+    let cluster = Cluster::create(cfg, &dir)?;
+    cluster.preprocess(&roads)?;
+
+    let depot = 0u64; // top-left corner
+    let results = cluster.run(|ctx| {
+        let dist = dfograph::algos::sssp(ctx, depot)?;
+        let local = dfograph::algos::read_local(ctx, &dist)?;
+        let reachable = local.iter().filter(|d| d.is_finite()).count();
+        let max = local.iter().filter(|d| d.is_finite()).fold(0f32, |a, &b| a.max(b));
+        Ok((reachable, max))
+    })?;
+
+    let total_reachable: usize = results.iter().map(|(r, _)| r).sum();
+    let worst = results.iter().map(|(_, m)| *m).fold(0f32, f32::max);
+    println!("depot at junction {depot}:");
+    println!("  reachable junctions: {total_reachable} / {}", rows * cols);
+    println!("  farthest delivery time: {worst:.1} minutes");
+    assert_eq!(total_reachable as u64, rows * cols, "grid is fully connected");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Weakly connected components on a web-crawl-like graph: find the isolated
+//! "islands" of a crawl across a 3-node cluster.
+//!
+//! ```sh
+//! cargo run --release --example wcc_communities
+//! ```
+
+use dfograph::core::Cluster;
+use dfograph::graph::gen::web_chain;
+use dfograph::graph::{Edge, EdgeList};
+use dfograph::types::EngineConfig;
+use std::collections::HashMap;
+
+fn main() -> dfograph::types::Result<()> {
+    // three disconnected crawls of different sizes
+    let mut edges = Vec::new();
+    let mut offset = 0u64;
+    for (comms, size) in [(30u64, 32u64), (10, 64), (5, 16)] {
+        let part = web_chain(comms, size, 3, 2, comms);
+        edges.extend(part.edges.iter().map(|e| Edge::new(e.src + offset, e.dst + offset, ())));
+        offset += part.n_vertices;
+    }
+    let crawl = EdgeList::new(offset, edges);
+    println!("crawl: {} pages, {} links", crawl.n_vertices, crawl.n_edges());
+
+    // WCC needs label flow both ways: symmetrize (paper footnote 4)
+    let sym = dfograph::algos::wcc::symmetrize(&crawl);
+
+    let dir = std::env::temp_dir().join("dfograph-wcc");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Cluster::create(EngineConfig::for_test(3), &dir)?;
+    cluster.preprocess(&sym)?;
+
+    let labels: Vec<u64> = cluster
+        .run(|ctx| {
+            let label = dfograph::algos::wcc(ctx)?;
+            dfograph::algos::read_local(ctx, &label)
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let mut sizes: HashMap<u64, u64> = HashMap::new();
+    for l in &labels {
+        *sizes.entry(*l).or_insert(0) += 1;
+    }
+    let mut by_size: Vec<(u64, u64)> = sizes.into_iter().collect();
+    by_size.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("found {} components:", by_size.len());
+    for (label, n) in by_size.iter().take(5) {
+        println!("  component rooted at page {label}: {n} pages");
+    }
+    assert_eq!(by_size.len(), 3, "three disconnected crawls expected");
+    Ok(())
+}

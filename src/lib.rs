@@ -1,0 +1,17 @@
+//! # dfograph
+//!
+//! Facade crate for the DFOGraph workspace: a Rust reproduction of
+//! *DFOGraph: An I/O- and Communication-Efficient System for Distributed
+//! Fully-out-of-Core Graph Processing* (PPoPP 2021).
+//!
+//! Re-exports the public API of every workspace crate. See the README for a
+//! quickstart and `DESIGN.md` for the architecture.
+
+pub use dfo_algos as algos;
+pub use dfo_baselines as baselines;
+pub use dfo_core as core;
+pub use dfo_graph as graph;
+pub use dfo_net as net;
+pub use dfo_part as part;
+pub use dfo_storage as storage;
+pub use dfo_types as types;

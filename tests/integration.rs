@@ -1,0 +1,168 @@
+//! Cross-crate integration: the full pipeline (generate → preprocess →
+//! engine → algorithms) against the independently implemented baseline
+//! engines, plus end-to-end I/O accounting invariants.
+
+use dfograph::baselines::{bfs_spec, pagerank_rounds, spec::out_degrees, BaselineCluster};
+use dfograph::core::Cluster;
+use dfograph::graph::gen::{rmat, web_chain, GenConfig};
+use dfograph::types::{BatchPolicy, EngineConfig};
+use tempfile::TempDir;
+
+#[test]
+fn four_engines_one_answer() {
+    let g = rmat(GenConfig::new(9, 6, 1234));
+    let td = TempDir::new().unwrap();
+
+    // DFOGraph
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(64);
+    let cluster = Cluster::create(cfg, td.path().join("dfo")).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let dfo: Vec<u32> = cluster
+        .run(|ctx| {
+            let level = dfograph::algos::bfs(ctx, 0)?;
+            dfograph::algos::read_local(ctx, &level)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // GridGraph-like
+    let disk = dfograph::storage::NodeDisk::new(td.path().join("gg"), None, false).unwrap();
+    let gg = dfograph::baselines::GridGraphEngine::preprocess(disk, &g, 4).unwrap();
+    let (grid, _) = gg.run_push(&bfs_spec(0)).unwrap();
+
+    // FlashGraph-like
+    let disk = dfograph::storage::NodeDisk::new(td.path().join("fg"), None, false).unwrap();
+    let fg = dfograph::baselines::FlashGraphEngine::preprocess(disk, &g, 1 << 30).unwrap();
+    let (flash, _) = fg.run_push(&bfs_spec(0)).unwrap();
+
+    // Gemini-like
+    let bc = BaselineCluster::create(2, td.path().join("gm"), None, None, false).unwrap();
+    let gm = dfograph::baselines::GeminiEngine::load(bc, &g, 1 << 30).unwrap();
+    let (gem, _) = gm.run_push(&bfs_spec(0), |a, b| a.min(b)).unwrap();
+    let gem: Vec<u32> = gem.into_iter().flatten().collect();
+
+    let oracle = dfograph::algos::bfs::bfs_oracle(&g, 0);
+    assert_eq!(dfo, oracle);
+    assert_eq!(grid, oracle);
+    assert_eq!(flash, oracle);
+    assert_eq!(gem, oracle);
+}
+
+#[test]
+fn traffic_accounting_is_conserved() {
+    // every byte one endpoint sends must be received by its peer
+    let g = rmat(GenConfig::new(9, 8, 5));
+    let td = TempDir::new().unwrap();
+    let cfg = EngineConfig::for_test(3);
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    cluster
+        .run(|ctx| {
+            dfograph::algos::pagerank(ctx, 2)?;
+            Ok(0u64)
+        })
+        .unwrap();
+    let stats = cluster.net_stats();
+    let sent: u64 = stats.iter().map(|s| s.sent_bytes.get()).sum();
+    let recv: u64 = stats.iter().map(|s| s.recv_bytes.get()).sum();
+    assert_eq!(sent, recv, "wire bytes must be conserved");
+    assert!(sent > 0, "a 3-node PageRank must communicate");
+}
+
+#[test]
+fn selective_scheduling_reduces_io_on_sparse_frontier() {
+    // a long-diameter graph; compare disk traffic of one dense iteration
+    // (all vertices) vs one sparse iteration (single frontier vertex)
+    let g = web_chain(100, 64, 4, 2, 9);
+    let td = TempDir::new().unwrap();
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(64);
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let (dense, sparse) = cluster
+        .run(|ctx| {
+            let active = ctx.vertex_array::<bool>("active")?;
+            let run_iter = |ctx: &mut dfograph::core::NodeCtx| {
+                let before = ctx.disk().stats().total_bytes();
+                ctx.process_edges(
+                    &[],
+                    &[],
+                    Some(&active),
+                    |_v, _c| Some(1u8),
+                    |_m: u8, _s, _d, _e: &(), _c| 1u64,
+                )?;
+                Ok::<u64, dfograph::types::DfoError>(ctx.disk().stats().total_bytes() - before)
+            };
+            // dense
+            let a = active.clone();
+            ctx.process_vertices(&["active"], None, move |v, c| {
+                c.set(&a, v, true);
+                0u64
+            })?;
+            let dense = run_iter(ctx)?;
+            // sparse: one vertex
+            let a = active.clone();
+            ctx.process_vertices(&["active"], None, move |v, c| {
+                c.set(&a, v, v == 0);
+                0u64
+            })?;
+            let sparse = run_iter(ctx)?;
+            Ok((dense, sparse))
+        })
+        .unwrap()
+        .into_iter()
+        .fold((0, 0), |(d, s), (a, b)| (d + a, s + b));
+    assert!(
+        sparse * 3 < dense,
+        "sparse frontier must touch far less disk: {sparse} vs {dense}"
+    );
+}
+
+#[test]
+fn preprocessing_is_deterministic() {
+    let g = rmat(GenConfig::new(8, 6, 33));
+    let td = TempDir::new().unwrap();
+    let mk = |sub: &str| {
+        let mut cfg = EngineConfig::for_test(2);
+        cfg.batch_policy = BatchPolicy::FixedVertices(32);
+        let c = Cluster::create(cfg, td.path().join(sub)).unwrap();
+        c.preprocess(&g).unwrap()
+    };
+    let p1 = mk("a");
+    let p2 = mk("b");
+    assert_eq!(p1.partitions, p2.partitions);
+    assert_eq!(p1.node_meta, p2.node_meta);
+}
+
+#[test]
+fn pagerank_shape_matches_across_engine_and_baselines() {
+    let g = rmat(GenConfig::new(8, 8, 2024));
+    let deg = out_degrees(&g);
+    let td = TempDir::new().unwrap();
+
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(64);
+    let cluster = Cluster::create(cfg, td.path().join("dfo")).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let dfo: Vec<f64> = cluster
+        .run(|ctx| {
+            let r = dfograph::algos::pagerank(ctx, 4)?;
+            dfograph::algos::read_local(ctx, &r)
+        })
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let bc = BaselineCluster::create(2, td.path().join("ch"), None, None, false).unwrap();
+    let chaos = dfograph::baselines::ChaosEngine::preprocess(bc, &g).unwrap();
+    let ch: Vec<f64> =
+        chaos.pagerank(&pagerank_rounds(4), &deg).unwrap().into_iter().flatten().collect();
+
+    for (v, (a, b)) in dfo.iter().zip(&ch).enumerate() {
+        assert!((a - b).abs() < 1e-9, "vertex {v}: dfo {a} vs chaos {b}");
+    }
+}
