@@ -20,9 +20,8 @@ pub fn out_degree_array(ctx: &mut NodeCtx) -> Result<VertexArray<u64>> {
     let my_range = ctx.plan().partitions[rank];
 
     // per source partition: counts of edges stored on THIS node
-    let mut per_target: Vec<Vec<u64>> = (0..p)
-        .map(|t| vec![0u64; ctx.plan().partitions[t].len() as usize])
-        .collect();
+    let mut per_target: Vec<Vec<u64>> =
+        (0..p).map(|t| vec![0u64; ctx.plan().partitions[t].len() as usize]).collect();
     let chunks = ctx.plan().node_meta[rank].chunks.clone();
     for c in &chunks {
         let (srcs, idx) = read_chunk_index(ctx, c.src_partition, c.batch)?;
@@ -33,8 +32,7 @@ pub fn out_degree_array(ctx: &mut NodeCtx) -> Result<VertexArray<u64>> {
     }
 
     // ship counts home and sum contributions from every node
-    let outgoing: Vec<Vec<u8>> =
-        per_target.iter().map(|v| slice_as_bytes(v).to_vec()).collect();
+    let outgoing: Vec<Vec<u8>> = per_target.iter().map(|v| slice_as_bytes(v).to_vec()).collect();
     let incoming = ctx.exchange_bytes(outgoing)?;
     let mut counts = vec![0u64; my_range.len() as usize];
     for bytes in incoming {

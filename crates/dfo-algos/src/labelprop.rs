@@ -12,10 +12,7 @@ use dfo_types::Result;
 
 /// Runs at most `max_iters` rounds of min-label propagation and returns
 /// `(labels, rounds_run)`.
-pub fn label_propagation(
-    ctx: &mut NodeCtx,
-    max_iters: usize,
-) -> Result<(VertexArray<u64>, usize)> {
+pub fn label_propagation(ctx: &mut NodeCtx, max_iters: usize) -> Result<(VertexArray<u64>, usize)> {
     let label = ctx.vertex_array::<u64>("lp_label")?;
     let active = ctx.vertex_array::<bool>("lp_active")?;
     {

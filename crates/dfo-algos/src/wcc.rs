@@ -57,7 +57,7 @@ pub fn wcc(ctx: &mut NodeCtx) -> Result<VertexArray<u64>> {
 /// push-only engine propagate labels "both ways".
 pub fn symmetrize(g: &dfo_graph::EdgeList<()>) -> dfo_graph::EdgeList<()> {
     let mut edges = g.edges.clone();
-    edges.extend(g.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, e.data)));
+    edges.extend(g.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, ())));
     dfo_graph::EdgeList::new(g.n_vertices, edges)
 }
 
@@ -66,7 +66,7 @@ pub fn symmetrize(g: &dfo_graph::EdgeList<()>) -> dfo_graph::EdgeList<()> {
 pub fn wcc_oracle(g: &dfo_graph::EdgeList<()>) -> Vec<u64> {
     let n = g.n_vertices as usize;
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+    fn find(p: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while p[r] != r {
             r = p[r];

@@ -148,8 +148,7 @@ fn engine_matches_baselines_cross_check() {
     let (grid, _) = gg.run_push(&dfo_baselines::bfs_spec(0)).unwrap();
 
     let bc =
-        dfo_baselines::BaselineCluster::create(2, td.path().join("ch"), None, None, false)
-            .unwrap();
+        dfo_baselines::BaselineCluster::create(2, td.path().join("ch"), None, None, false).unwrap();
     let chaos = dfo_baselines::ChaosEngine::preprocess(bc, &g).unwrap();
     let (cs, _) = chaos.run_push(&dfo_baselines::bfs_spec(0)).unwrap();
     let chaos_flat: Vec<u32> = cs.into_iter().flatten().collect();

@@ -20,7 +20,9 @@
 
 use crate::runtime::{BaselineCluster, BaselineNode};
 use crate::spec::{PagerankRounds, PushSpec};
-use dfo_types::{bytes_of, pod_from_bytes, slice_as_bytes, vec_from_bytes, DfoError, Pod, Result, VertexRange};
+use dfo_types::{
+    bytes_of, pod_from_bytes, slice_as_bytes, vec_from_bytes, DfoError, Pod, Result, VertexRange,
+};
 use std::io::Write;
 
 pub struct ChaosEngine<E: Pod> {
@@ -33,14 +35,13 @@ pub struct ChaosEngine<E: Pod> {
 impl<E: Pod> ChaosEngine<E> {
     /// Preprocesses: vertices in `P` contiguous ranges; each node stores the
     /// edges whose source it owns as one flat streaming file.
-    pub fn preprocess(
-        cluster: BaselineCluster,
-        g: &dfo_graph::EdgeList<E>,
-    ) -> Result<Self> {
+    pub fn preprocess(cluster: BaselineCluster, g: &dfo_graph::EdgeList<E>) -> Result<Self> {
         let p = cluster.nodes();
         let per = g.n_vertices.div_ceil(p as u64).max(1);
         let ranges: Vec<VertexRange> = (0..p as u64)
-            .map(|i| VertexRange::new((i * per).min(g.n_vertices), ((i + 1) * per).min(g.n_vertices)))
+            .map(|i| {
+                VertexRange::new((i * per).min(g.n_vertices), ((i + 1) * per).min(g.n_vertices))
+            })
             .collect();
         let rec = 16 + std::mem::size_of::<E>();
         let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
@@ -155,15 +156,7 @@ impl<E: Pod> ChaosEngine<E> {
     ) -> Result<u64> {
         let snapshot: Vec<S> = state.to_vec();
         let src_active: Vec<bool> = active.to_vec();
-        self.superstep_raw(
-            node,
-            &*spec.signal,
-            &*spec.slot,
-            &snapshot,
-            &src_active,
-            state,
-            active,
-        )
+        self.superstep_raw(node, &*spec.signal, &*spec.slot, &snapshot, &src_active, state, active)
     }
 
     /// Active-set push to convergence; returns per-node final states.

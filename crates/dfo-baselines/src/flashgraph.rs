@@ -71,6 +71,7 @@ impl<E: Pod> FlashGraphEngine<E> {
         let rec = (4 + std::mem::size_of::<E>()) as u64;
         // build merged request ranges
         let mut ranges: Vec<(u64, u64)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // v indexes both active and the index[v..v+2] window
         for v in 0..self.n_vertices as usize {
             if !active[v] || self.index[v] == self.index[v + 1] {
                 continue;
@@ -88,6 +89,8 @@ impl<E: Pod> FlashGraphEngine<E> {
             file.read_at(&mut buf, s)?;
             // walk vertices covered by this range
             let first_v = self.index.partition_point(|&x| x < s + 1).saturating_sub(1);
+            #[allow(clippy::needless_range_loop)]
+            // v indexes both active and the index[v..v+2] window
             for v in first_v..self.n_vertices as usize {
                 if self.index[v] >= e {
                     break;

@@ -121,10 +121,7 @@ impl<E: Pod> GeminiEngine<E> {
                         local_applied += 1;
                     }
                 } else if combinable {
-                    combined
-                        .entry(dst)
-                        .and_modify(|m| *m = combine(*m, msg))
-                        .or_insert(msg);
+                    combined.entry(dst).and_modify(|m| *m = combine(*m, msg)).or_insert(msg);
                 } else {
                     let o = &mut raw[owner];
                     o.extend_from_slice(&dst.to_le_bytes());
@@ -277,7 +274,7 @@ mod tests {
     fn wcc_on_symmetrized_graph() {
         let g0 = rmat(GenConfig::new(7, 3, 2));
         let mut edges = g0.edges.clone();
-        edges.extend(g0.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, e.data)));
+        edges.extend(g0.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, ())));
         let g = dfo_graph::EdgeList::new(g0.n_vertices, edges);
         let td = TempDir::new().unwrap();
         let bc = BaselineCluster::create(2, td.path().join("m"), None, None, false).unwrap();

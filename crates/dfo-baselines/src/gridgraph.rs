@@ -70,12 +70,7 @@ impl<E: Pod> GridGraphEngine<E> {
     }
 
     /// Streams block (i, j), invoking `f(src, dst, data)` per edge.
-    fn stream_block(
-        &self,
-        i: usize,
-        j: usize,
-        mut f: impl FnMut(u64, u64, E),
-    ) -> Result<()> {
+    fn stream_block(&self, i: usize, j: usize, mut f: impl FnMut(u64, u64, E)) -> Result<()> {
         if self.blocks[i][j] == 0 {
             return Ok(());
         }
@@ -103,10 +98,7 @@ impl<E: Pod> GridGraphEngine<E> {
 
     /// Runs an active-set push algorithm to convergence; returns final
     /// states and the number of iterations.
-    pub fn run_push<S: Pod, M: Pod>(
-        &self,
-        spec: &PushSpec<S, M, E>,
-    ) -> Result<(Vec<S>, usize)> {
+    pub fn run_push<S: Pod, M: Pod>(&self, spec: &PushSpec<S, M, E>) -> Result<(Vec<S>, usize)> {
         let n = self.n_vertices as usize;
         let mut state = Vec::with_capacity(n);
         let mut active = vec![false; n];
@@ -128,8 +120,8 @@ impl<E: Pod> GridGraphEngine<E> {
                 .collect();
             let mut next_active = vec![false; n];
             let mut updates = 0u64;
-            for i in 0..self.q {
-                if !chunk_active[i] {
+            for (i, &row_active) in chunk_active.iter().enumerate() {
+                if !row_active {
                     continue; // skip the whole row of blocks
                 }
                 for j in 0..self.q {
@@ -205,7 +197,7 @@ mod tests {
     fn wcc_matches_union_find() {
         let g0 = rmat(GenConfig::new(7, 3, 9));
         let mut edges = g0.edges.clone();
-        edges.extend(g0.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, e.data)));
+        edges.extend(g0.edges.iter().map(|e| dfo_graph::Edge::new(e.dst, e.src, ())));
         let g = EdgeList::new(g0.n_vertices, edges);
         let (_t, e) = engine(&g, 3);
         let (labels, _) = e.run_push(&wcc_spec()).unwrap();
@@ -287,7 +279,7 @@ mod tests {
     fn oracle_wcc(g: &EdgeList<()>) -> Vec<u64> {
         let n = g.n_vertices as usize;
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        fn find(p: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while p[r] != r {
                 r = p[r];

@@ -42,8 +42,7 @@ impl<E: Pod> HybridGraphEngine<E> {
     ) -> Result<Self> {
         if g.n_vertices >= (1u64 << 31) {
             return Err(DfoError::Config(
-                "HybridGraph assumes |V| < 2^31 (the original crashes here, Table 5 'R*')"
-                    .into(),
+                "HybridGraph assumes |V| < 2^31 (the original crashes here, Table 5 'R*')".into(),
             ));
         }
         let p = cluster.nodes();
@@ -126,7 +125,8 @@ impl<E: Pod> HybridGraphEngine<E> {
         // (matching how Pregel combiners are declared per message type).
         let p = self.cluster.nodes();
         let range = self.ranges[node.rank];
-        let index: Vec<u64> = dfo_types::vec_from_bytes(&node.disk.read_to_vec("hybrid/index.bin")?);
+        let index: Vec<u64> =
+            dfo_types::vec_from_bytes(&node.disk.read_to_vec("hybrid/index.bin")?);
         let adj = node.disk.open_random("hybrid/adj.bin", false)?;
         let rec = 8 + std::mem::size_of::<E>();
         let combinable = std::mem::size_of::<E>() == 0;
@@ -156,11 +156,10 @@ impl<E: Pod> HybridGraphEngine<E> {
                     dfo_types::pod::pod_zeroed()
                 };
                 off += rec;
-                if combinable && (combiner.len() < self.combiner_capacity || combiner.contains_key(&dst)) {
-                    combiner
-                        .entry(dst)
-                        .and_modify(|m| *m = combine(*m, msg))
-                        .or_insert(msg);
+                if combinable
+                    && (combiner.len() < self.combiner_capacity || combiner.contains_key(&dst))
+                {
+                    combiner.entry(dst).and_modify(|m| *m = combine(*m, msg)).or_insert(msg);
                 } else {
                     // combiner full (or weighted edges): ship uncombined
                     let o = &mut overflow[self.owner_of(dst)];
@@ -188,8 +187,7 @@ impl<E: Pod> HybridGraphEngine<E> {
             let mut off = 0;
             while off + upd <= buf.len() {
                 let dst = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                let msg: M =
-                    pod_from_bytes(&buf[off + 8..off + 8 + std::mem::size_of::<M>()]);
+                let msg: M = pod_from_bytes(&buf[off + 8..off + 8 + std::mem::size_of::<M>()]);
                 let data: E = if std::mem::size_of::<E>() > 0 {
                     pod_from_bytes(&buf[off + 8 + std::mem::size_of::<M>()..off + upd])
                 } else {
@@ -349,8 +347,7 @@ mod tests {
         hg_big.pagerank(&pagerank_rounds(2), &deg).unwrap();
         let sent_big = hg_big.cluster.total_net_sent();
 
-        let small =
-            BaselineCluster::create(2, td.path().join("small"), None, None, false).unwrap();
+        let small = BaselineCluster::create(2, td.path().join("small"), None, None, false).unwrap();
         let mut hg_small = HybridGraphEngine::preprocess(small, &g, 1 << 30).unwrap();
         hg_small.combiner_capacity = 16; // memory-starved combiner
         hg_small.pagerank(&pagerank_rounds(2), &deg).unwrap();

@@ -145,9 +145,8 @@ impl BaselineCluster {
                             net: ep,
                             tag: std::sync::atomic::AtomicU64::new(0),
                         };
-                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&mut node)
-                        }));
+                        let res =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut node)));
                         match res {
                             Ok(Ok(v)) => Ok(v),
                             Ok(Err(e)) => {

@@ -8,14 +8,18 @@
 
 use dfo_types::Pod;
 
+/// Initial state and activity of vertex `v`.
+pub type InitFn<S> = Box<dyn Fn(u64) -> (S, bool) + Sync>;
+/// Message an active vertex emits (deactivating itself this round).
+pub type SignalFn<S, M> = Box<dyn Fn(&S) -> M + Sync>;
+/// Applies a message; returns `true` if `dst` changed (re-activates).
+pub type SlotFn<S, M, E> = Box<dyn Fn(&mut S, M, &E) -> bool + Sync>;
+
 /// An active-set push algorithm (BFS / WCC / SSSP shape).
 pub struct PushSpec<S, M, E> {
-    /// Initial state and activity of vertex `v`.
-    pub init: Box<dyn Fn(u64) -> (S, bool) + Sync>,
-    /// Message an active vertex emits (deactivating itself this round).
-    pub signal: Box<dyn Fn(&S) -> M + Sync>,
-    /// Applies a message; returns `true` if `dst` changed (re-activates).
-    pub slot: Box<dyn Fn(&mut S, M, &E) -> bool + Sync>,
+    pub init: InitFn<S>,
+    pub signal: SignalFn<S, M>,
+    pub slot: SlotFn<S, M, E>,
 }
 
 /// BFS levels (state = level, `u32::MAX` unreached).

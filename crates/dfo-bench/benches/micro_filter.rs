@@ -17,18 +17,22 @@ fn bench_merge_cost(c: &mut Criterion) {
     for &ratio in &[0.1f64, 0.5, 1.0, 2.0, 4.0] {
         let list_len = (n_msgs as f64 * ratio) as u32;
         let list: Vec<u32> = (0..list_len).map(|i| i * 2).collect();
-        group.bench_with_input(BenchmarkId::new("merge", format!("L/M={ratio}")), &list, |b, list| {
-            b.iter(|| {
-                let mut cur = FilterCursor::new(list);
-                let mut kept = 0u64;
-                for &m in &msgs {
-                    if cur.contains(m) {
-                        kept += 1;
+        group.bench_with_input(
+            BenchmarkId::new("merge", format!("L/M={ratio}")),
+            &list,
+            |b, list| {
+                b.iter(|| {
+                    let mut cur = FilterCursor::new(list);
+                    let mut kept = 0u64;
+                    for &m in &msgs {
+                        if cur.contains(m) {
+                            kept += 1;
+                        }
                     }
-                }
-                black_box(kept)
-            })
-        });
+                    black_box(kept)
+                })
+            },
+        );
     }
     group.finish();
 }

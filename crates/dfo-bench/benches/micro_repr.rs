@@ -24,8 +24,7 @@ fn bench_seek(c: &mut Criterion) {
     for &nonzero in &[64u32, 1 << 10, 1 << 14] {
         let chunk = build_chunk(n_src, nonzero, 4);
         for &n_msgs in &[8u32, 256, 8192] {
-            let msgs: Vec<u32> =
-                (0..n_msgs).map(|i| i * (n_src / n_msgs.max(1))).collect();
+            let msgs: Vec<u32> = (0..n_msgs).map(|i| i * (n_src / n_msgs.max(1))).collect();
             group.bench_with_input(
                 BenchmarkId::new(format!("csr_nz{nonzero}"), n_msgs),
                 &msgs,
@@ -70,10 +69,7 @@ fn bench_space(c: &mut Criterion) {
         let with_csr = build_chunk(1 << 16, nonzero, 4);
         let no_csr = IndexedChunk::build(
             1 << 16,
-            &with_csr
-                .iter()
-                .map(|(s, d, &x)| (s, d, x))
-                .collect::<Vec<_>>(),
+            &with_csr.iter().map(|(s, d, &x)| (s, d, x)).collect::<Vec<_>>(),
             0.0, // never accept CSR
         );
         println!(

@@ -59,10 +59,7 @@ fn main() {
     let rec = 12u64; // 4 B src + 8 B f64 message
     let vertex_rec = 8u64; // one f64/u64 vertex value
     let overhead = 4; // index arrays, headers, bool bitmaps
-    println!(
-        "{:<6} {:<10} {:>14} {:>14}  {}",
-        "node", "phase", "measured", "bound", "ok?"
-    );
+    println!("{:<6} {:<10} {:>14} {:>14}  ok?", "node", "phase", "measured", "bound");
     let mut all_ok = true;
     for (rank, s, vi, ein, eout) in &stats {
         let p_u = p as u64;
@@ -76,17 +73,9 @@ fn main() {
             ),
             ("pass-read", s.pass_disk_read, ((p_u - 1) * vi + eout) * rec * overhead),
             ("pass-net", s.pass_net_sent, eout * rec * overhead + (p_u - 1) * 64),
-            (
-                "dispatch",
-                s.dispatch_disk_read + s.dispatch_disk_write,
-                ein * rec * overhead,
-            ),
+            ("dispatch", s.dispatch_disk_read + s.dispatch_disk_write, ein * rec * overhead),
             ("disp-net", s.dispatch_net_recv, ein * rec * overhead + (p_u - 1) * 64),
-            (
-                "process-r",
-                s.process_disk_read,
-                (p_u * vi + ein) * rec * overhead,
-            ),
+            ("process-r", s.process_disk_read, (p_u * vi + ein) * rec * overhead),
             ("process-w", s.process_disk_write, p_u * vi * vertex_rec * overhead),
         ];
         for (name, measured, bound) in rows {
@@ -102,9 +91,10 @@ fn main() {
             "messages",
             s.messages_generated,
             s.messages_sent,
-            100.0 * (1.0
-                - s.messages_sent as f64
-                    / ((p as u64 - 1) * s.messages_generated).max(1) as f64),
+            100.0
+                * (1.0
+                    - s.messages_sent as f64
+                        / ((p as u64 - 1) * s.messages_generated).max(1) as f64),
         );
     }
     let _ = plan;

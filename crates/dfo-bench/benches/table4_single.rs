@@ -9,11 +9,16 @@
 
 use dfo_baselines::{bfs_spec, pagerank_rounds, spec::out_degrees, sssp_spec, wcc_spec};
 use dfo_baselines::{FlashGraphEngine, GridGraphEngine};
-use dfo_bench::{describe, dfo_suite, geomean, fmt_secs, timed, twitter_like, uk_like, weighted, DISK_BW};
+use dfo_bench::{
+    describe, dfo_suite, fmt_secs, geomean, timed, twitter_like, uk_like, weighted, DISK_BW,
+};
 use dfo_storage::NodeDisk;
 use tempfile::TempDir;
 
-fn gridgraph_suite(dir: &std::path::Path, g: &dfo_graph::EdgeList<()>) -> (f64, f64, f64, f64, f64) {
+fn gridgraph_suite(
+    dir: &std::path::Path,
+    g: &dfo_graph::EdgeList<()>,
+) -> (f64, f64, f64, f64, f64) {
     let q = 16;
     let deg = out_degrees(g);
     let sym = dfo_algos::wcc::symmetrize(g);
@@ -31,7 +36,10 @@ fn gridgraph_suite(dir: &std::path::Path, g: &dfo_graph::EdgeList<()>) -> (f64, 
     (prep, pr, bfs, wcc, sssp)
 }
 
-fn flashgraph_suite(dir: &std::path::Path, g: &dfo_graph::EdgeList<()>) -> (f64, f64, f64, f64, f64) {
+fn flashgraph_suite(
+    dir: &std::path::Path,
+    g: &dfo_graph::EdgeList<()>,
+) -> (f64, f64, f64, f64, f64) {
     let mem = 4u64 << 30;
     let deg = out_degrees(g);
     let sym = dfo_algos::wcc::symmetrize(g);

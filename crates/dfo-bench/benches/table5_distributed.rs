@@ -9,7 +9,10 @@ use dfo_baselines::{
     bfs_spec, pagerank_rounds, spec::out_degrees, sssp_spec, wcc_spec, BaselineCluster,
     ChaosEngine, GeminiEngine, HybridGraphEngine,
 };
-use dfo_bench::{describe, dfo_suite, fmt_secs, geomean, kron_like, rmat_like, timed, twitter_like, uk_like, weighted, DISK_BW, NET_BW};
+use dfo_bench::{
+    describe, dfo_suite, fmt_secs, geomean, kron_like, rmat_like, timed, twitter_like, uk_like,
+    weighted, DISK_BW, NET_BW,
+};
 use tempfile::TempDir;
 
 const P: usize = 8;
@@ -56,9 +59,8 @@ fn gemini_suite(dir: &std::path::Path, g: &dfo_graph::EdgeList<()>) -> Option<Su
     let sym = dfo_algos::wcc::symmetrize(g);
     let w = weighted(g);
     let mem = 2u64 << 30;
-    let mk = |sub: &str| {
-        BaselineCluster::create(P, dir.join(sub), None, Some(NET_BW), false).unwrap()
-    };
+    let mk =
+        |sub: &str| BaselineCluster::create(P, dir.join(sub), None, Some(NET_BW), false).unwrap();
     let (e, prep) = match timed(|| GeminiEngine::load(mk("m"), g, mem)) {
         (Ok(e), t) => (e, t),
         (Err(_), _) => return None, // the paper's "M" (out of memory)
@@ -89,11 +91,9 @@ fn main() {
     let mut r_chaos = Vec::new();
     let mut r_hybrid = Vec::new();
     let mut r_gemini = Vec::new();
-    for (gname, g) in [
-        ("twitter-like", twitter_like()),
-        ("uk-like", uk_like()),
-        ("RMAT-like", rmat_like()),
-    ] {
+    for (gname, g) in
+        [("twitter-like", twitter_like()), ("uk-like", uk_like()), ("RMAT-like", rmat_like())]
+    {
         println!("\n--- {} ---", describe(gname, &g));
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}",

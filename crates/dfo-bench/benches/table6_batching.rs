@@ -48,7 +48,10 @@ fn main() {
     );
     let td = TempDir::new().unwrap();
 
-    println!("\n{:<22} {:>14} {:>14} {:>10}", "memory per node", "No batching", "Batching", "speedup");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>10}",
+        "memory per node", "No batching", "Batching", "speedup"
+    );
     for (label, mem) in [("insufficient", low_mem), ("sufficient", high_mem)] {
         let no_b = run_one(&g, false, mem, &td.path().join(format!("nb_{label}")));
         let with_b = run_one(&g, true, mem, &td.path().join(format!("b_{label}")));

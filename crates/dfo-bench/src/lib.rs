@@ -29,30 +29,16 @@ pub struct Scale {
 
 pub fn scale() -> Scale {
     match std::env::var("DFO_SCALE").as_deref() {
-        Ok("small") => Scale {
-            twitter: (13, 16),
-            uk_chain: (160, 64, 4, 3),
-            rmat: (14, 16),
-            kron: (15, 8),
-        },
-        Ok("medium") => Scale {
-            twitter: (15, 16),
-            uk_chain: (400, 96, 5, 3),
-            rmat: (16, 16),
-            kron: (17, 8),
-        },
-        Ok("large") => Scale {
-            twitter: (17, 20),
-            uk_chain: (1000, 128, 6, 3),
-            rmat: (18, 16),
-            kron: (19, 8),
-        },
-        _ => Scale {
-            twitter: (13, 16),
-            uk_chain: (100, 48, 4, 3),
-            rmat: (14, 24),
-            kron: (15, 12),
-        },
+        Ok("small") => {
+            Scale { twitter: (13, 16), uk_chain: (160, 64, 4, 3), rmat: (14, 16), kron: (15, 8) }
+        }
+        Ok("medium") => {
+            Scale { twitter: (15, 16), uk_chain: (400, 96, 5, 3), rmat: (16, 16), kron: (17, 8) }
+        }
+        Ok("large") => {
+            Scale { twitter: (17, 20), uk_chain: (1000, 128, 6, 3), rmat: (18, 16), kron: (19, 8) }
+        }
+        _ => Scale { twitter: (13, 16), uk_chain: (100, 48, 4, 3), rmat: (14, 24), kron: (15, 12) },
     }
 }
 

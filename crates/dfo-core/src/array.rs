@@ -285,8 +285,7 @@ mod tests {
         let td = TempDir::new().unwrap();
         let entry = blocks_entry(&td);
         let wrong = VertexArray::<u64>::new("dist");
-        let mut ctx =
-            BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
+        let mut ctx = BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
         let _ = ctx.get(&wrong, 0);
     }
 
@@ -296,8 +295,7 @@ mod tests {
         let td = TempDir::new().unwrap();
         let entry = blocks_entry(&td);
         let other = VertexArray::<f32>::new("rank");
-        let mut ctx =
-            BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
+        let mut ctx = BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, None).unwrap();
         let _ = ctx.get(&other, 0);
     }
 
@@ -306,8 +304,7 @@ mod tests {
         let td = TempDir::new().unwrap();
         let disk = NodeDisk::new(td.path(), None, false).unwrap();
         let partition = VertexRange::new(10, 110);
-        let entry =
-            ArrayEntry::create_paged(&disk, "val", 8, partition, 64, 2).unwrap();
+        let entry = ArrayEntry::create_paged(&disk, "val", 8, partition, 64, 2).unwrap();
         let arr = VertexArray::<u64>::new("val");
         {
             let mut ctx = BatchCtx::load(&[&entry], partition, 0, 10, None).unwrap();
@@ -327,20 +324,9 @@ mod tests {
         let entry = blocks_entry(&td);
         let arr = VertexArray::<f32>::new("dist");
         // hand the loader fabricated bytes: it must use them, not re-read
-        let fake = bytes_of(&7.0f32)
-            .iter()
-            .copied()
-            .cycle()
-            .take(16)
-            .collect::<Vec<u8>>();
-        let mut ctx = BatchCtx::load(
-            &[&entry],
-            VertexRange::new(0, 4),
-            0,
-            0,
-            Some(("dist", fake)),
-        )
-        .unwrap();
+        let fake = bytes_of(&7.0f32).iter().copied().cycle().take(16).collect::<Vec<u8>>();
+        let mut ctx =
+            BatchCtx::load(&[&entry], VertexRange::new(0, 4), 0, 0, Some(("dist", fake))).unwrap();
         assert_eq!(ctx.get(&arr, 2), 7.0);
     }
 }

@@ -28,9 +28,7 @@ impl Cluster {
         cfg.validate().map_err(DfoError::Config)?;
         let base = base.into();
         let disks = (0..cfg.nodes)
-            .map(|i| {
-                NodeDisk::new(base.join(format!("n{i}")), cfg.disk_bw, cfg.record_traffic)
-            })
+            .map(|i| NodeDisk::new(base.join(format!("n{i}")), cfg.disk_bw, cfg.record_traffic))
             .collect::<Result<Vec<_>>>()?;
         Ok(Self { cfg, base, disks, last_net: Mutex::new(Vec::new()) })
     }
@@ -76,9 +74,8 @@ impl Cluster {
                     let f = &f;
                     s.spawn(move || -> Result<T> {
                         let mut ctx = NodeCtx::new(rank, cfg, disk, ep)?;
-                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&mut ctx)
-                        }));
+                        let res =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match res {
                             Ok(Ok(v)) => Ok(v),
                             Ok(Err(e)) => {

@@ -24,18 +24,14 @@
 
 use crate::accum::Accum;
 use crate::array::{ArrayEntry, BatchCtx, VertexArray};
-use crate::messages::{
-    parse_record, record_bytes, FrameBuilder, RecordIter, RecordReader,
-};
+use crate::messages::{parse_record, record_bytes, FrameBuilder, RecordIter, RecordReader};
 use crate::node::NodeCtx;
 use bytes::Bytes;
 use dfo_part::csr::{choose_repr, IndexedChunk, MergeCursor};
 use dfo_part::filter::{should_filter, FilterCursor};
 use dfo_part::plan::ChunkInfo;
 use dfo_part::preprocess::paths;
-use dfo_types::{
-    DfoError, DispatchKind, PhaseStats, Pod, Rank, ReprKind, Result, VertexId,
-};
+use dfo_types::{DfoError, DispatchKind, PhaseStats, Pod, Rank, ReprKind, Result, VertexId};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -179,9 +175,7 @@ impl NodeCtx {
                 // sender: round-robin over peers (§4.4)
                 s.spawn(|| {
                     for j in self.cfg.send_order(rank) {
-                        if let Err(e) =
-                            self.send_to::<M>(j, seq, m_total, &gen_counts, &call)
-                        {
+                        if let Err(e) = self.send_to::<M>(j, seq, m_total, &gen_counts, &call) {
                             record_err(e);
                             return;
                         }
@@ -346,8 +340,7 @@ impl NodeCtx {
                 // source stored local to the *partition*: receivers resolve
                 // it against the sender's partition range
                 crate::messages::push_record(&mut rec_buf, (v - partition_start) as u32, &msg);
-                w.write_all(&rec_buf)
-                    .map_err(|e| DfoError::io("writing generated message", e))?;
+                w.write_all(&rec_buf).map_err(|e| DfoError::io("writing generated message", e))?;
                 count += 1;
             }
         }
@@ -369,8 +362,8 @@ impl NodeCtx {
         call: &CallStats,
     ) -> Result<()> {
         let l_len = self.plan.node_meta[self.rank].filter_lens[j];
-        let do_filter = self.cfg.filtering_enabled
-            && should_filter(l_len, m_total, self.cfg.filter_skip_ratio);
+        let do_filter =
+            self.cfg.filtering_enabled && should_filter(l_len, m_total, self.cfg.filter_skip_ratio);
         let list = if do_filter {
             dfo_part::filter::read_filter_list(&self.disk, &paths::filter(j))?
         } else {
@@ -452,6 +445,7 @@ impl NodeCtx {
             }
             Strategy::Pull => {
                 // each batch merges its pull list against the gen stream
+                #[allow(clippy::needless_range_loop)] // b indexes chunk_map and msg_counts alike
                 for b in 0..self.plan.n_batches(rank) {
                     if self.chunk_map[rank][b].is_none() {
                         continue;
@@ -481,8 +475,7 @@ impl NodeCtx {
                                     }
                                 };
                                 crate::messages::write_record(w, src, &msg)?;
-                                call.dispatch_disk_write
-                                    .fetch_add(rec as u64, Ordering::Relaxed);
+                                call.dispatch_disk_write.fetch_add(rec as u64, Ordering::Relaxed);
                                 matched += 1;
                             }
                         }
@@ -558,17 +551,16 @@ impl NodeCtx {
                     let mut w = self.disk.create(&stage)?;
                     while let Some(chunk) = stream.next_chunk()? {
                         w.write_all(&chunk).map_err(|e| DfoError::io("staging stream", e))?;
-                        call.dispatch_disk_write
-                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        call.dispatch_disk_write.fetch_add(chunk.len() as u64, Ordering::Relaxed);
                     }
                     w.finish()?;
                 }
+                #[allow(clippy::needless_range_loop)] // b indexes chunk_map and msg_counts alike
                 for b in 0..self.plan.n_batches(self.rank) {
                     if self.chunk_map[p][b].is_none() {
                         continue;
                     }
-                    let list =
-                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(p, b))?;
+                    let list = dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(p, b))?;
                     let mut cursor = FilterCursor::new(&list);
                     let mut r = RecordReader::new(self.disk.open(&stage)?);
                     let mut writer: Option<dfo_storage::DiskWriter> = None;
@@ -579,10 +571,10 @@ impl NodeCtx {
                             let w = match &mut writer {
                                 Some(w) => w,
                                 None => {
-                                    writer = Some(self.disk.create_with_buffer(
-                                        &seg_path(b, p),
-                                        DISPATCH_BUF,
-                                    )?);
+                                    writer = Some(
+                                        self.disk
+                                            .create_with_buffer(&seg_path(b, p), DISPATCH_BUF)?,
+                                    );
                                     writer.as_mut().unwrap()
                                 }
                             };
@@ -622,8 +614,7 @@ impl NodeCtx {
             };
         }
         let n_src = self.plan.partitions[p].len();
-        let interested_batches =
-            self.chunk_map[p].iter().filter(|c| c.is_some()).count() as u64;
+        let interested_batches = self.chunk_map[p].iter().filter(|c| c.is_some()).count() as u64;
         let index_cost = if dinfo.has_csr {
             (2 * dinfo.n_nonzero_src).min((self.cfg.gamma.saturating_mul(bound)).min(n_src))
         } else {
@@ -701,8 +692,7 @@ impl NodeCtx {
         }
 
         let refs: Vec<&ArrayEntry> = slot_entries.iter().map(|e| e.as_ref()).collect();
-        let mut ctx =
-            BatchCtx::load(&refs, range, b, self.plan.partitions[rank].start, None)?;
+        let mut ctx = BatchCtx::load(&refs, range, b, self.plan.partitions[rank].start, None)?;
         let mut acc = A::zero();
         let dst_base = self.plan.partitions[rank].start;
 
@@ -846,10 +836,11 @@ impl<'a> PushSink<'a> {
         let w = match &mut self.writers[batch] {
             Some(w) => w,
             None => {
-                self.writers[batch] = Some(self.node.disk.create_with_buffer(
-                    &seg_path(batch, self.src_partition),
-                    DISPATCH_BUF,
-                )?);
+                self.writers[batch] = Some(
+                    self.node
+                        .disk
+                        .create_with_buffer(&seg_path(batch, self.src_partition), DISPATCH_BUF)?,
+                );
                 self.writers[batch].as_mut().unwrap()
             }
         };

@@ -110,8 +110,7 @@ impl NodeCtx {
             // Table 6 ablation: memory-mapped-style access through a bounded
             // page cache (a quarter of the budget per array, mirroring an OS
             // page cache shared by a handful of hot mmapped arrays)
-            let pages =
-                (self.cfg.mem_budget as usize / self.cfg.page_size / 4).max(1);
+            let pages = (self.cfg.mem_budget as usize / self.cfg.page_size / 4).max(1);
             ArrayEntry::create_paged(
                 &self.disk,
                 name,
@@ -242,12 +241,9 @@ impl NodeCtx {
                 for j in self.cfg.send_order(rank) {
                     let payload = &outgoing[j];
                     for chunk in payload.chunks(256 << 10) {
-                        if let Err(e) = self.net.send(
-                            j,
-                            seq,
-                            bytes::Bytes::copy_from_slice(chunk),
-                            false,
-                        ) {
+                        if let Err(e) =
+                            self.net.send(j, seq, bytes::Bytes::copy_from_slice(chunk), false)
+                        {
                             *err.lock() = Some(e);
                             return;
                         }

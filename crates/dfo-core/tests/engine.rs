@@ -405,20 +405,14 @@ fn consecutive_calls_are_isolated() {
                         0u64
                     }
                 })?;
-                ctx.process_edges(
-                    &[],
-                    &["deg"],
-                    None,
-                    |_v, _c| Some(1u64),
-                    {
-                        let d = d.clone();
-                        move |m: u64, _s, dst, _e: &(), c| {
-                            let cur = c.get(&d, dst);
-                            c.set(&d, dst, cur + m);
-                            m
-                        }
-                    },
-                )
+                ctx.process_edges(&[], &["deg"], None, |_v, _c| Some(1u64), {
+                    let d = d.clone();
+                    move |m: u64, _s, dst, _e: &(), c| {
+                        let cur = c.get(&d, dst);
+                        c.set(&d, dst, cur + m);
+                        m
+                    }
+                })
                 .map(|t: u64| totals.push(t))?;
             }
             Ok(totals)

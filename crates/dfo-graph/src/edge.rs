@@ -48,11 +48,7 @@ impl<E: Pod> EdgeList<E> {
     pub fn reversed(&self) -> Self {
         Self {
             n_vertices: self.n_vertices,
-            edges: self
-                .edges
-                .iter()
-                .map(|e| Edge::new(e.dst, e.src, e.data))
-                .collect(),
+            edges: self.edges.iter().map(|e| Edge::new(e.dst, e.src, e.data)).collect(),
         }
     }
 
@@ -60,11 +56,7 @@ impl<E: Pod> EdgeList<E> {
     pub fn map_data<F: Pod>(&self, mut f: impl FnMut(&Edge<E>) -> F) -> EdgeList<F> {
         EdgeList {
             n_vertices: self.n_vertices,
-            edges: self
-                .edges
-                .iter()
-                .map(|e| Edge::new(e.src, e.dst, f(e)))
-                .collect(),
+            edges: self.edges.iter().map(|e| Edge::new(e.src, e.dst, f(e))).collect(),
         }
     }
 
@@ -80,10 +72,7 @@ mod tests {
     use super::*;
 
     fn toy() -> EdgeList<u32> {
-        EdgeList::new(
-            4,
-            vec![Edge::new(2, 1, 21), Edge::new(0, 3, 3), Edge::new(0, 1, 1)],
-        )
+        EdgeList::new(4, vec![Edge::new(2, 1, 21), Edge::new(0, 3, 3), Edge::new(0, 1, 1)])
     }
 
     #[test]

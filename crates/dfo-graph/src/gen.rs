@@ -144,7 +144,14 @@ pub fn web_chain(
         let base = comm * community_size;
         for v in 0..community_size {
             let src = base + v;
-            for _ in 0..intra_degree {
+            // first intra edge: deterministic link to the community hub, so
+            // every vertex reaches the bridge source in one hop and the
+            // chain property (diameter scaling with `communities`) holds by
+            // construction, for any RNG stream
+            if intra_degree >= 1 {
+                edges.push(Edge::new(src, base, ()));
+            }
+            for _ in 1..intra_degree {
                 // skewed intra-community target: prefer low offsets (hub-like)
                 let r: f64 = rng.gen::<f64>();
                 let off = ((r * r) * community_size as f64) as u64 % community_size;
@@ -154,9 +161,10 @@ pub fn web_chain(
         if comm + 1 < communities {
             let next = (comm + 1) * community_size;
             for _ in 0..bridge_edges {
-                let s = base + rng.gen_range(0..community_size);
+                // bridges leave from the hub so the inter-community chain is
+                // walkable from any vertex of the previous community
                 let d = next + rng.gen_range(0..community_size);
-                edges.push(Edge::new(s, d, ()));
+                edges.push(Edge::new(base, d, ()));
             }
         }
     }

@@ -35,8 +35,7 @@ pub fn write_edges<E: Pod>(path: &Path, g: &EdgeList<E>) -> Result<()> {
     for e in &g.edges {
         write_u64(&mut w, e.src).map_err(|er| DfoError::io("edge record", er))?;
         write_u64(&mut w, e.dst).map_err(|er| DfoError::io("edge record", er))?;
-        w.write_all(dfo_types::bytes_of(&e.data))
-            .map_err(|er| DfoError::io("edge record", er))?;
+        w.write_all(dfo_types::bytes_of(&e.data)).map_err(|er| DfoError::io("edge record", er))?;
     }
     w.flush().map_err(|e| DfoError::io("flushing edge file", e))?;
     Ok(())
@@ -90,7 +89,9 @@ impl<E: Pod> EdgeFileReader<E> {
     pub fn next_edge(&mut self) -> Result<Option<Edge<E>>> {
         let rec = 16 + std::mem::size_of::<E>();
         let mut buf = vec![0u8; rec];
-        if !read_exact_or_eof(&mut self.inner, &mut buf).map_err(|e| DfoError::io("edge record", e))? {
+        if !read_exact_or_eof(&mut self.inner, &mut buf)
+            .map_err(|e| DfoError::io("edge record", e))?
+        {
             if self.read_so_far != self.header.n_edges {
                 return Err(DfoError::Corrupt(format!(
                     "edge file ended after {} of {} edges",

@@ -206,13 +206,10 @@ impl StreamRecv<'_> {
             if self.done {
                 return Ok(None);
             }
-            let frame = self.ep.inb[self.src]
-                .as_ref()
-                .expect("no channel from src")
-                .recv()
-                .map_err(|_| {
-                    DfoError::NetClosed(format!("recv {} <- {}", self.ep.rank, self.src))
-                })?;
+            let frame =
+                self.ep.inb[self.src].as_ref().expect("no channel from src").recv().map_err(
+                    |_| DfoError::NetClosed(format!("recv {} <- {}", self.ep.rank, self.src)),
+                )?;
             if frame.tag != self.tag {
                 return Err(DfoError::Corrupt(format!(
                     "stream tag mismatch from {}: got {}, want {} (overlapping streams?)",

@@ -29,7 +29,7 @@ pub fn choose_batch_size(
         }
         BatchPolicy::SemiOutOfCore => {
             // at least 1.5 T batches per partition
-            let min_batches = (3 * threads as u64 + 1) / 2;
+            let min_batches = (3 * threads as u64).div_ceil(2);
             (n / min_batches.max(1)).max(1)
         }
     }

@@ -106,12 +106,9 @@ impl<E: Pod + PartialEq> IndexedChunk<E> {
 
     /// Iterates `(src, dst, &data)` over all edges (scan order).
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &E)> + '_ {
-        self.dcsr_src
-            .iter()
-            .zip(self.dcsr_idx.windows(2))
-            .flat_map(move |(&s, w)| {
-                (w[0] as usize..w[1] as usize).map(move |i| (s, self.dst[i], &self.data[i]))
-            })
+        self.dcsr_src.iter().zip(self.dcsr_idx.windows(2)).flat_map(move |(&s, w)| {
+            (w[0] as usize..w[1] as usize).map(move |i| (s, self.dst[i], &self.data[i]))
+        })
     }
 
     /// Serializes the chunk. Layout (all little-endian):
@@ -224,7 +221,11 @@ impl MergeCursor {
     }
 
     /// Edge range for `src`, which must be ≥ every previously queried source.
-    pub fn edges_of<E: Pod + PartialEq>(&mut self, chunk: &IndexedChunk<E>, src: u32) -> Range<usize> {
+    pub fn edges_of<E: Pod + PartialEq>(
+        &mut self,
+        chunk: &IndexedChunk<E>,
+        src: u32,
+    ) -> Range<usize> {
         while self.pos < chunk.dcsr_src.len() && chunk.dcsr_src[self.pos] < src {
             self.pos += 1;
         }
@@ -347,11 +348,7 @@ mod tests {
     /// The paper's Figure 1c/1d example: chunk of 3 edges from partition 0
     /// (vertices 0–3) to batch 2, edges 0→5 "B", 2→4 "D", 2→5 "C".
     fn figure1_chunk() -> IndexedChunk<u8> {
-        IndexedChunk::build(
-            4,
-            &[(0, 5, b'B'), (2, 4, b'D'), (2, 5, b'C')],
-            32.0,
-        )
+        IndexedChunk::build(4, &[(0, 5, b'B'), (2, 4, b'D'), (2, 5, b'C')], 32.0)
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub fn write_filter_list(disk: &NodeDisk, rel: &str, sorted_srcs: &[u32]) -> Res
     let mut w = disk.create(rel)?;
     write_u64(&mut w, sorted_srcs.len() as u64)
         .map_err(|e| DfoError::io("filter list header", e))?;
-    w.write_all(slice_as_bytes(sorted_srcs))
-        .map_err(|e| DfoError::io("filter list body", e))?;
+    w.write_all(slice_as_bytes(sorted_srcs)).map_err(|e| DfoError::io("filter list body", e))?;
     w.finish()
 }
 

@@ -107,10 +107,8 @@ mod tests {
             parts.iter().map(|r| partition_weight(r, &din, &dout, alpha)).collect();
         let total: u64 = weights.iter().sum();
         let target = total / 8;
-        let max_single = (0..n as usize)
-            .map(|v| alpha + din[v] as u64 + dout[v] as u64)
-            .max()
-            .unwrap();
+        let max_single =
+            (0..n as usize).map(|v| alpha + din[v] as u64 + dout[v] as u64).max().unwrap();
         for (i, w) in weights.iter().enumerate() {
             assert!(
                 *w <= target + 2 * max_single,

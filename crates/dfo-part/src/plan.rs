@@ -75,7 +75,14 @@ impl Plan {
             partitions,
             batch_sizes,
             batches,
-            node_meta: vec![NodeMeta { dispatch: vec![None; p], filter_lens: vec![0; p], ..Default::default() }; p],
+            node_meta: vec![
+                NodeMeta {
+                    dispatch: vec![None; p],
+                    filter_lens: vec![0; p],
+                    ..Default::default()
+                };
+                p
+            ],
         }
     }
 
@@ -163,10 +170,8 @@ impl Plan {
             Plan::from_geometry(n_vertices, n_edges, edge_data_bytes, partitions, batch_sizes);
         for meta in plan.node_meta.iter_mut() {
             let nc = read_u64(r).map_err(io)? as usize;
-            meta.chunks = (0..nc)
-                .map(|_| read_chunk_info(r))
-                .collect::<std::io::Result<_>>()
-                .map_err(io)?;
+            meta.chunks =
+                (0..nc).map(|_| read_chunk_info(r)).collect::<std::io::Result<_>>().map_err(io)?;
             let nd = read_u64(r).map_err(io)? as usize;
             meta.dispatch = (0..nd)
                 .map(|_| -> std::io::Result<Option<ChunkInfo>> {

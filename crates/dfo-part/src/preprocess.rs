@@ -86,9 +86,8 @@ pub fn preprocess<E: Pod + PartialEq>(
 
     // --- group edges by (dst node, src partition, dst batch) ---------------
     let n_batches: Vec<usize> = (0..p).map(|i| plan.batches[i].len()).collect();
-    let mut chunk_edges: Vec<Vec<Vec<Vec<(u32, u32, E)>>>> = (0..p)
-        .map(|i| (0..p).map(|_| vec![Vec::new(); n_batches[i]]).collect())
-        .collect();
+    let mut chunk_edges: Vec<ChunkBuckets<E>> =
+        (0..p).map(|i| (0..p).map(|_| vec![Vec::new(); n_batches[i]]).collect()).collect();
     // filter bitsets: need[src_node][dst_node][src_local]
     let mut need: Vec<Vec<Vec<bool>>> = (0..p)
         .map(|i| (0..p).map(|_| vec![false; plan.partitions[i].len() as usize]).collect())
@@ -142,10 +141,14 @@ pub fn preprocess<E: Pod + PartialEq>(
     Ok(PreprocessOutput { plan })
 }
 
+/// Local edges of one node, bucketed as `[src partition][dst batch]` lists
+/// of `(src_local, dst_local, data)`.
+type ChunkBuckets<E> = Vec<Vec<Vec<(u32, u32, E)>>>;
+
 /// Builds and persists node `i`'s chunks, pull lists and dispatch graphs.
 fn build_node<E: Pod + PartialEq>(
     i: usize,
-    by_src: Vec<Vec<Vec<(u32, u32, E)>>>,
+    by_src: ChunkBuckets<E>,
     disk: &NodeDisk,
     cfg: &EngineConfig,
     plan: &Plan,
@@ -307,8 +310,7 @@ mod tests {
             for c in &meta.chunks {
                 let pl = read_pull_list(&ds[i], &paths::pull(c.src_partition, c.batch)).unwrap();
                 let mut r = ds[i].open(&paths::chunk(c.src_partition, c.batch)).unwrap();
-                let chunk =
-                    IndexedChunk::<u8>::read_from(&mut r, Some(ReprKind::Dcsr)).unwrap();
+                let chunk = IndexedChunk::<u8>::read_from(&mut r, Some(ReprKind::Dcsr)).unwrap();
                 assert_eq!(pl, chunk.dcsr_src);
             }
         }
@@ -320,13 +322,8 @@ mod tests {
         let cfg = figure1_config();
         let (_td, ds) = disks(2);
         let out = preprocess(&g, &cfg, &ds).unwrap();
-        let total: u64 = out
-            .plan
-            .node_meta
-            .iter()
-            .flat_map(|m| m.chunks.iter())
-            .map(|c| c.n_edges)
-            .sum();
+        let total: u64 =
+            out.plan.node_meta.iter().flat_map(|m| m.chunks.iter()).map(|c| c.n_edges).sum();
         assert_eq!(total, g.n_edges());
         // in-edge counts add up too
         let in_total: u64 = out.plan.node_meta.iter().map(|m| m.n_in_edges).sum();
@@ -355,8 +352,7 @@ mod tests {
         let out = preprocess(&g, &cfg, &ds).unwrap();
         assert_eq!(out.plan.nodes(), 1);
         assert_eq!(out.plan.n_batches(0), 3); // 7 vertices / 3 = 3 batches
-        let total: u64 =
-            out.plan.node_meta[0].chunks.iter().map(|c| c.n_edges).sum();
+        let total: u64 = out.plan.node_meta[0].chunks.iter().map(|c| c.n_edges).sum();
         assert_eq!(total, 9);
     }
 }

@@ -120,7 +120,12 @@ impl VersionedArrayStore {
     /// Reopens a store from its last committed checkpoint. Pending blocks
     /// from a crashed epoch are deleted; the array is exactly the state
     /// after the last successful `Process` call (§3.2).
-    pub fn recover(disk: NodeDisk, dir: impl Into<String>, n_batches: usize, keep: usize) -> Result<Self> {
+    pub fn recover(
+        disk: NodeDisk,
+        dir: impl Into<String>,
+        n_batches: usize,
+        keep: usize,
+    ) -> Result<Self> {
         let dir = dir.into();
         let current_rel = format!("{dir}/CURRENT");
         if !disk.exists(&current_rel) {
@@ -166,7 +171,8 @@ impl VersionedArrayStore {
         if let Ok(entries) = std::fs::read_dir(&blocks_dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
-                if let Some(id) = name.strip_suffix(".bin").and_then(|s| s.parse::<BlockId>().ok()) {
+                if let Some(id) = name.strip_suffix(".bin").and_then(|s| s.parse::<BlockId>().ok())
+                {
                     if !refcounts.contains_key(&id) {
                         disk.remove(&format!("{dir}/blocks/{id}.bin"))?;
                     }
@@ -208,10 +214,9 @@ impl VersionedArrayStore {
         assert!(b < self.n_batches, "batch {b} out of range");
         let id = match &self.mode {
             Mode::InPlace => b as BlockId,
-            Mode::Cow { current, pending, .. } => pending
-                .as_ref()
-                .and_then(|p| p[b])
-                .unwrap_or(current[b]),
+            Mode::Cow { current, pending, .. } => {
+                pending.as_ref().and_then(|p| p[b]).unwrap_or(current[b])
+            }
         };
         self.disk.read_to_vec(&format!("{}/blocks/{id}.bin", self.dir))
     }
@@ -260,11 +265,7 @@ impl VersionedArrayStore {
                     Some(p) => p,
                     None => return Ok(()), // nothing opened
                 };
-                current
-                    .iter()
-                    .zip(p)
-                    .map(|(&cur, new)| new.unwrap_or(cur))
-                    .collect::<Vec<_>>()
+                current.iter().zip(p).map(|(&cur, new)| new.unwrap_or(cur)).collect::<Vec<_>>()
             }
         };
         self.commit_mapping(mapping)
@@ -290,11 +291,7 @@ impl VersionedArrayStore {
         match &self.mode {
             Mode::InPlace => self.n_batches,
             Mode::Cow { refcounts, pending, .. } => {
-                refcounts.len()
-                    + pending
-                        .as_ref()
-                        .map(|p| p.iter().flatten().count())
-                        .unwrap_or(0)
+                refcounts.len() + pending.as_ref().map(|p| p.iter().flatten().count()).unwrap_or(0)
             }
         }
     }
@@ -416,7 +413,8 @@ mod tests {
     fn mk(cow: bool, keep: usize) -> (TempDir, VersionedArrayStore) {
         let td = TempDir::new().unwrap();
         let disk = NodeDisk::new(td.path(), None, false).unwrap();
-        let s = VersionedArrayStore::create(disk, "arr", 3, |b| vec![b as u8; 4], cow, keep).unwrap();
+        let s =
+            VersionedArrayStore::create(disk, "arr", 3, |b| vec![b as u8; 4], cow, keep).unwrap();
         (td, s)
     }
 

@@ -63,7 +63,11 @@ impl NodeDisk {
     /// Opens (creating if needed) a node disk rooted at `root`.
     /// `bandwidth` paces *all* traffic on this disk; `record_traffic`
     /// enables the Figure 5 time series.
-    pub fn new(root: impl Into<PathBuf>, bandwidth: Option<u64>, record_traffic: bool) -> Result<Self> {
+    pub fn new(
+        root: impl Into<PathBuf>,
+        bandwidth: Option<u64>,
+        record_traffic: bool,
+    ) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)
             .map_err(|e| DfoError::io(format!("creating disk root {}", root.display()), e))?;
@@ -177,8 +181,7 @@ impl NodeDisk {
         {
             let mut f =
                 File::create(&tmp).map_err(|e| DfoError::io(format!("creating {tmp_rel}"), e))?;
-            f.write_all(contents)
-                .map_err(|e| DfoError::io(format!("writing {tmp_rel}"), e))?;
+            f.write_all(contents).map_err(|e| DfoError::io(format!("writing {tmp_rel}"), e))?;
             f.sync_all().ok();
         }
         self.account_write(contents.len() as u64);
@@ -189,8 +192,7 @@ impl NodeDisk {
     pub fn read_to_vec(&self, rel: &str) -> Result<Vec<u8>> {
         let mut r = self.open(rel)?;
         let mut buf = Vec::new();
-        r.read_to_end(&mut buf)
-            .map_err(|e| DfoError::io(format!("reading {rel}"), e))?;
+        r.read_to_end(&mut buf).map_err(|e| DfoError::io(format!("reading {rel}"), e))?;
         Ok(buf)
     }
 
@@ -258,9 +260,7 @@ pub struct DiskWriter {
 impl DiskWriter {
     /// Flushes buffers and syncs metadata-free content to the OS.
     pub fn finish(mut self) -> Result<()> {
-        self.inner
-            .flush()
-            .map_err(|e| DfoError::io("flushing disk writer", e))?;
+        self.inner.flush().map_err(|e| DfoError::io("flushing disk writer", e))?;
         Ok(())
     }
 }
@@ -316,16 +316,15 @@ impl RandomFile {
     }
 
     pub fn len(&self) -> Result<u64> {
-        self.file
-            .metadata()
-            .map(|m| m.len())
-            .map_err(|e| DfoError::io("random file len", e))
+        self.file.metadata().map(|m| m.len()).map_err(|e| DfoError::io("random file len", e))
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        self.len().map(|n| n == 0)
     }
 
     pub fn set_len(&self, len: u64) -> Result<()> {
-        self.file
-            .set_len(len)
-            .map_err(|e| DfoError::io("random file set_len", e))
+        self.file.set_len(len).map_err(|e| DfoError::io("random file set_len", e))
     }
 }
 

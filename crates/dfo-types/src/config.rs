@@ -152,9 +152,7 @@ impl EngineConfig {
     /// the mirror of [`EngineConfig::send_order`], so that every (sender,
     /// receiver) pair agrees on when their transfer happens.
     pub fn recv_order(&self, i: Rank) -> Vec<Rank> {
-        (1..self.nodes)
-            .map(|d| (i + self.nodes - d) % self.nodes)
-            .collect()
+        (1..self.nodes).map(|d| (i + self.nodes - d) % self.nodes).collect()
     }
 }
 

@@ -60,10 +60,7 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        let e = DfoError::io(
-            "writing chunk p0_b3",
-            std::io::Error::new(std::io::ErrorKind::Other, "disk full"),
-        );
+        let e = DfoError::io("writing chunk p0_b3", std::io::Error::other("disk full"));
         let s = e.to_string();
         assert!(s.contains("p0_b3"));
         assert!(s.contains("disk full"));

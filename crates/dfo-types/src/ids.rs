@@ -88,7 +88,7 @@ impl VertexRange {
 /// contain fewer vertices (paper §2.2, footnote 3).
 pub fn split_into_batches(range: VertexRange, batch_size: u64) -> Vec<VertexRange> {
     assert!(batch_size > 0, "batch size must be positive");
-    let mut out = Vec::with_capacity(((range.len() + batch_size - 1) / batch_size) as usize);
+    let mut out = Vec::with_capacity(range.len().div_ceil(batch_size) as usize);
     let mut s = range.start;
     while s < range.end {
         let e = (s + batch_size).min(range.end);
@@ -156,11 +156,7 @@ mod tests {
 
     #[test]
     fn find_range_hits_and_misses() {
-        let rs = vec![
-            VertexRange::new(0, 4),
-            VertexRange::new(4, 4),
-            VertexRange::new(4, 9),
-        ];
+        let rs = vec![VertexRange::new(0, 4), VertexRange::new(4, 4), VertexRange::new(4, 9)];
         assert_eq!(find_range(&rs, 0), Some(0));
         assert_eq!(find_range(&rs, 3), Some(0));
         assert_eq!(find_range(&rs, 4), Some(2));

@@ -77,7 +77,7 @@ pub fn vec_from_bytes<T: Pod>(b: &[u8]) -> Vec<T> {
         return Vec::new();
     }
     assert!(
-        b.len() % size == 0,
+        b.len().is_multiple_of(size),
         "byte length {} not a multiple of size_of::<{}>() = {}",
         b.len(),
         std::any::type_name::<T>(),

@@ -102,11 +102,7 @@ impl TrafficRecorder {
         for s in samples.iter() {
             buckets[(s.at_ms / bucket_ms) as usize] += s.bytes;
         }
-        buckets
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| (i as u64 * bucket_ms, b))
-            .collect()
+        buckets.into_iter().enumerate().map(|(i, b)| (i as u64 * bucket_ms, b)).collect()
     }
 
     pub fn reset(&self) {

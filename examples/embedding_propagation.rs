@@ -43,12 +43,7 @@ fn main() -> dfograph::types::Result<()> {
         let mut total = 0.0f32;
         for (i, e) in local.iter().enumerate() {
             let seed = seed_embedding(start + i as u64);
-            total += e
-                .iter()
-                .zip(seed.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt();
+            total += e.iter().zip(seed.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
         }
         Ok(total / local.len().max(1) as f32)
     })?;

@@ -24,12 +24,7 @@ fn main() -> dfograph::types::Result<()> {
     //    chunks, dispatch graphs, filter lists (paper §2.2, §4)
     let plan = cluster.preprocess(&graph)?;
     for (i, r) in plan.partitions.iter().enumerate() {
-        println!(
-            "node {i}: vertices [{}, {}), {} batches",
-            r.start,
-            r.end,
-            plan.n_batches(i)
-        );
+        println!("node {i}: vertices [{}, {}), {} batches", r.start, r.end, plan.n_batches(i));
     }
 
     // 4. run PageRank SPMD on every node

@@ -115,10 +115,7 @@ fn selective_scheduling_reduces_io_on_sparse_frontier() {
         .unwrap()
         .into_iter()
         .fold((0, 0), |(d, s), (a, b)| (d + a, s + b));
-    assert!(
-        sparse * 3 < dense,
-        "sparse frontier must touch far less disk: {sparse} vs {dense}"
-    );
+    assert!(sparse * 3 < dense, "sparse frontier must touch far less disk: {sparse} vs {dense}");
 }
 
 #[test]

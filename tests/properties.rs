@@ -118,13 +118,11 @@ proptest! {
 // ---------- whole-engine property -----------------------------------------
 
 fn arb_graph() -> impl Strategy<Value = EdgeList<()>> {
-    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120), 0..400)).prop_map(
-        |(n, raw)| {
-            let edges: Vec<Edge<()>> =
-                raw.into_iter().map(|(s, d)| Edge::new(s % n, d % n, ())).collect();
-            EdgeList::new(n, edges)
-        },
-    )
+    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120), 0..400)).prop_map(|(n, raw)| {
+        let edges: Vec<Edge<()>> =
+            raw.into_iter().map(|(s, d)| Edge::new(s % n, d % n, ())).collect();
+        EdgeList::new(n, edges)
+    })
 }
 
 proptest! {

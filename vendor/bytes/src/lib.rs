@@ -1,0 +1,230 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable, sliceable, immutable byte buffer
+//! (reference-counted, like the real crate); [`BytesMut`] is a growable
+//! buffer that freezes into [`Bytes`]. Only the surface used by the
+//! DFOGraph workspace is provided.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer. Clones and slices share the same
+/// allocation.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Self { data, start: 0, end }
+    }
+
+    /// The real crate borrows static data zero-copy; the shim copies it,
+    /// which is semantically identical for this workspace.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a slice of self for the provided range, sharing the
+    /// underlying allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self` past
+    /// them.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        debug_bytes(self, f)
+    }
+}
+
+/// Growable byte buffer freezing into [`Bytes`].
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits off and returns the entire contents, leaving `self` empty.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { data: std::mem::take(&mut self.data) }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        debug_bytes(self, f)
+    }
+}
+
+fn debug_bytes(bytes: &[u8], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    write!(f, "b\"")?;
+    for &b in bytes {
+        for e in std::ascii::escape_default(b) {
+            write!(f, "{}", e as char)?;
+        }
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        assert_eq!(b.len(), 11);
+        let w = b.slice(6..);
+        assert_eq!(&w[..], b"world");
+        let h = b.slice(..5);
+        assert_eq!(&h[..], b"hello");
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::copy_from_slice(b"abcdef");
+        let head = b.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&b[..], b"cdef");
+    }
+
+    #[test]
+    fn bytes_mut_freeze() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"xy");
+        m.extend_from_slice(b"z");
+        assert_eq!(&m.freeze()[..], b"xyz");
+    }
+}

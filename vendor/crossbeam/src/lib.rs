@@ -1,0 +1,186 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` with cloneable
+//! endpoints (the property the DFOGraph network layer relies on that
+//! `std::sync::mpsc` lacks on the receiving side), built on a mutex-guarded
+//! ring buffer with two condition variables.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back, as with crossbeam.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates a bounded channel with capacity `cap` (≥ 1 slot is always
+    /// available so `cap == 0` rendezvous is approximated by capacity 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            cap: cap.max(1),
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the buffer is full; fails once all receivers have
+        /// been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.chan.cap {
+                    st.queue.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks while the buffer is empty; fails once all senders have
+        /// been dropped and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_senders_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn bounded_blocks_then_drains() {
+            let (tx, rx) = bounded(2);
+            let t = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            t.join().unwrap();
+        }
+    }
+}

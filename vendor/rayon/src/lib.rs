@@ -1,0 +1,105 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Maps the parallel-iterator entry points onto ordinary sequential
+//! iterators: `into_par_iter`/`par_iter`/`par_iter_mut` return the std
+//! iterator for the same data, so every downstream adapter (`zip`, `map`,
+//! `enumerate`, `collect`, …) is the std one. Results are identical to
+//! rayon's (rayon guarantees order-preserving collects); only the
+//! parallelism is lost, which is acceptable for the workspace's test-scale
+//! preprocessing. Swap in the real crate via `[workspace.dependencies]` to
+//! regain it.
+
+/// By-value conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// `par_iter` / `par_iter_mut` on slices and collections.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator<Item = &'data T>,
+{
+    type Item = &'data T;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator<Item = &'data mut T>,
+{
+    type Item = &'data mut T;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chains_mirror_std() {
+        let v = vec![10, 20, 30];
+        let disks = [1u64, 2, 3];
+        let out: Vec<(usize, (i32, &u64))> =
+            v.into_par_iter().zip(disks.par_iter()).enumerate().collect();
+        assert_eq!(out, vec![(0, (10, &1)), (1, (20, &2)), (2, (30, &3))]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline shim for the `tempfile` crate.
+//!
+//! Provides [`TempDir`]: a uniquely named directory under the system temp
+//! dir, removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that is deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory under [`std::env::temp_dir`].
+    pub fn new() -> std::io::Result<TempDir> {
+        Self::new_in(std::env::temp_dir())
+    }
+
+    /// Creates a fresh directory under `base`.
+    pub fn new_in(base: impl AsRef<Path>) -> std::io::Result<TempDir> {
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let path = base.as_ref().join(format!(".tmp-{pid}-{nanos:08x}-{n}"));
+            match std::fs::create_dir_all(path.parent().unwrap_or(base.as_ref()))
+                .and_then(|()| std::fs::create_dir(&path))
+            {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists the directory, returning its path without deleting it.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a [`TempDir`] in the system temp directory (free-function form).
+pub fn tempdir() -> std::io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let td = TempDir::new().unwrap();
+        let p = td.path().to_path_buf();
+        assert!(p.is_dir());
+        std::fs::write(p.join("f"), b"x").unwrap();
+        drop(td);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = TempDir::new().unwrap();
+        let b = TempDir::new().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
