@@ -32,6 +32,10 @@ impl BaselineNode {
         assert_eq!(outgoing.len(), p);
         let rank = self.rank;
         let seq = self.next_tag();
+        // freeze once, send zero-copy slices (mirrors NodeCtx::exchange_bytes)
+        let mut outgoing = outgoing;
+        let own = std::mem::take(&mut outgoing[rank]);
+        let outgoing: Vec<bytes::Bytes> = outgoing.into_iter().map(bytes::Bytes::from).collect();
         let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); p];
         let err: Mutex<Option<DfoError>> = Mutex::new(None);
         let send_order: Vec<usize> = (1..p).map(|d| (rank + d) % p).collect();
@@ -39,15 +43,7 @@ impl BaselineNode {
         std::thread::scope(|s| {
             s.spawn(|| {
                 for &j in &send_order {
-                    for chunk in outgoing[j].chunks(256 << 10) {
-                        if let Err(e) =
-                            self.net.send(j, seq, bytes::Bytes::copy_from_slice(chunk), false)
-                        {
-                            *err.lock() = Some(e);
-                            return;
-                        }
-                    }
-                    if let Err(e) = self.net.finish_stream(j, seq) {
+                    if let Err(e) = self.net.send_stream(j, seq, outgoing[j].clone()) {
                         *err.lock() = Some(e);
                         return;
                     }
@@ -67,7 +63,7 @@ impl BaselineNode {
         if let Some(e) = pending {
             return Err(e);
         }
-        incoming[rank] = outgoing.into_iter().nth(rank).unwrap();
+        incoming[rank] = own;
         Ok(incoming)
     }
 }

@@ -41,11 +41,20 @@ fn bench_traffic_saved(c: &mut Criterion) {
     let g = rmat(GenConfig::new(11, 8, 7));
     let mut group = c.benchmark_group("filter_traffic");
     group.sample_size(10);
+    let mut wire_bytes_by_mode = Vec::new();
     for filtering in [true, false] {
         let td = TempDir::new().unwrap();
         let mut cfg = dfo_types::EngineConfig::for_test(4);
         cfg.batch_policy = BatchPolicy::FixedVertices(128);
         cfg.filtering_enabled = filtering;
+        if filtering {
+            // A 1/97 frontier generates so few messages that the §4.3 skip
+            // rule (|L|/|M| ≥ 2) disables filtering — which is why this
+            // bench used to print *identical* wire bytes for both modes.
+            // Disable the skip rule so the filter path is actually engaged
+            // and the comparison isolates filtering's traffic effect.
+            cfg.filter_skip_ratio = f64::INFINITY;
+        }
         let cluster = Cluster::create(cfg, td.path()).unwrap();
         cluster.preprocess(&g).unwrap();
         // sparse frontier: filtering should cut most of the wire bytes
@@ -64,17 +73,28 @@ fn bench_traffic_saved(c: &mut Criterion) {
                             cx.set(&a, d, cur + m);
                             1u64
                         },
-                    )
+                    )?;
+                    Ok(ctx.last_phase_stats().messages_sent)
                 })
                 .unwrap()
         };
-        run();
+        let sent: u64 = run().into_iter().sum();
         let bytes = cluster.total_net_sent();
-        println!("filtering={filtering}: {bytes} wire bytes for a 1/97 frontier");
+        wire_bytes_by_mode.push(bytes);
+        println!(
+            "filtering={filtering}: {bytes} wire bytes, {sent} messages passed \
+             for a 1/97 frontier"
+        );
         group.bench_function(BenchmarkId::new("process_edges", filtering), |b| {
             b.iter(|| black_box(run()))
         });
     }
+    assert!(
+        wire_bytes_by_mode[0] < wire_bytes_by_mode[1],
+        "filtering on ({}) must move fewer wire bytes than off ({})",
+        wire_bytes_by_mode[0],
+        wire_bytes_by_mode[1]
+    );
     group.finish();
 }
 

@@ -3,14 +3,23 @@
 
 use crate::node::NodeCtx;
 use dfo_graph::edge::EdgeList;
-use dfo_net::{NetStats, SimCluster};
+use dfo_net::{NetStats, SimCluster, TcpCluster, TcpOpts};
 use dfo_part::plan::Plan;
 use dfo_part::preprocess::preprocess;
 use dfo_storage::NodeDisk;
-use dfo_types::{DfoError, EngineConfig, Pod, Result};
+use dfo_types::{DfoError, EngineConfig, Pod, Rank, Result};
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
 
 /// A simulated DFOGraph cluster rooted at a base directory; node `i`'s disk
 /// lives under `<base>/n<i>/`.
@@ -86,11 +95,7 @@ impl Cluster {
                             }
                             Err(panic) => {
                                 ctx.net().poison_collective();
-                                let msg = panic
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "<non-string panic>".into());
+                                let msg = panic_message(panic);
                                 Err(DfoError::NetClosed(format!("node {rank} panicked: {msg}")))
                             }
                         }
@@ -99,16 +104,60 @@ impl Cluster {
                 .collect();
             for h in handles {
                 results.push(Some(h.join().unwrap_or_else(|panic| {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic>".into());
+                    let msg = panic_message(panic);
                     Err(DfoError::NetClosed(format!("node thread panicked: {msg}")))
                 })));
             }
         });
         results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Runs `f` as **one rank of a multi-process cluster**: joins the TCP
+    /// mesh described by `cfg.peers` (every rank must run this with the
+    /// same config and a disk holding the same preprocessed plan), builds
+    /// the rank's [`NodeCtx`] once the full mesh is up, and executes `f`.
+    ///
+    /// This is the single-rank sibling of [`Cluster::run`]: the same engine
+    /// code runs unchanged, only the transport differs. A rank that fails
+    /// (error or panic) poisons the mesh so survivors get
+    /// [`DfoError::NetClosed`] from their next collective instead of
+    /// hanging; a rank whose peer process dies mid-run gets the same.
+    pub fn run_distributed<T>(
+        &self,
+        rank: Rank,
+        f: impl FnOnce(&mut NodeCtx) -> Result<T>,
+    ) -> Result<T> {
+        let peers = self.cfg.peers.clone().ok_or_else(|| {
+            DfoError::Config("run_distributed needs cfg.peers (the rank address list)".into())
+        })?;
+        if rank >= self.cfg.nodes {
+            return Err(DfoError::Config(format!(
+                "rank {rank} outside cluster of {} nodes",
+                self.cfg.nodes
+            )));
+        }
+        let ep = TcpCluster::connect(
+            rank,
+            &peers,
+            self.cfg.net_bw,
+            self.cfg.record_traffic,
+            TcpOpts { connect_timeout: Duration::from_secs(self.cfg.connect_timeout_secs) },
+        )?;
+        *self.last_net.lock() = vec![ep.stats_arc()];
+        let mut ctx = NodeCtx::new(rank, self.cfg.clone(), self.disks[rank].clone(), ep)?;
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+        match res {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => {
+                ctx.net().poison_collective();
+                Err(e)
+            }
+            Err(panic) => {
+                ctx.net().poison_collective();
+                let msg = panic_message(panic);
+                Err(DfoError::NetClosed(format!("rank {rank} failed: {msg}")))
+            }
+        }
     }
 
     /// Aggregate disk bytes (read + written) across all nodes.

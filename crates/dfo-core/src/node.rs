@@ -234,21 +234,17 @@ impl NodeCtx {
         let seq = self.call_seq;
         self.call_seq += 1;
         let rank = self.rank;
+        // freeze each payload once; per-chunk frames below are zero-copy
+        // slices of the frozen buffer (no per-256-KiB memcpy)
+        let mut outgoing = outgoing;
+        let own = std::mem::take(&mut outgoing[rank]);
+        let outgoing: Vec<bytes::Bytes> = outgoing.into_iter().map(bytes::Bytes::from).collect();
         let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); self.cfg.nodes];
         let err: parking_lot::Mutex<Option<DfoError>> = parking_lot::Mutex::new(None);
         std::thread::scope(|s| {
             s.spawn(|| {
                 for j in self.cfg.send_order(rank) {
-                    let payload = &outgoing[j];
-                    for chunk in payload.chunks(256 << 10) {
-                        if let Err(e) =
-                            self.net.send(j, seq, bytes::Bytes::copy_from_slice(chunk), false)
-                        {
-                            *err.lock() = Some(e);
-                            return;
-                        }
-                    }
-                    if let Err(e) = self.net.finish_stream(j, seq) {
+                    if let Err(e) = self.net.send_stream(j, seq, outgoing[j].clone()) {
                         *err.lock() = Some(e);
                         return;
                     }
@@ -268,7 +264,7 @@ impl NodeCtx {
         if let Some(e) = pending {
             return Err(e);
         }
-        incoming[rank] = outgoing.into_iter().nth(rank).unwrap();
+        incoming[rank] = own;
         Ok(incoming)
     }
 

@@ -100,6 +100,62 @@ fn in_degrees_match_without_filtering() {
     assert_eq!(engine_in_degrees(cfg, &g), want);
 }
 
+/// Regression for the `micro_filter` bench bug: with the §4.3 skip rule out
+/// of the way, an engaged filter must actually move fewer wire bytes than
+/// no filtering, while producing the same answer. (A sparse uniform graph
+/// guarantees most sources lack edges to most partitions, so the filter
+/// lists have something to drop.)
+#[test]
+fn engaged_filtering_reduces_wire_bytes() {
+    let g = uniform(400, 700, 9);
+    let want = brute_in_degrees(&g);
+    let mut bytes_by_mode = Vec::new();
+    for filtering in [true, false] {
+        let mut cfg = EngineConfig::for_test(3);
+        cfg.batch_policy = BatchPolicy::FixedVertices(64);
+        cfg.filtering_enabled = filtering;
+        cfg.filter_skip_ratio = f64::INFINITY; // never skip: always engage
+        let td = TempDir::new().unwrap();
+        let cluster = Cluster::create(cfg, td.path()).unwrap();
+        cluster.preprocess(&g).unwrap();
+        let results = cluster
+            .run(|ctx| {
+                let deg = ctx.vertex_array::<u64>("deg")?;
+                ctx.process_edges(
+                    &[],
+                    &["deg"],
+                    None,
+                    |_v, _c| Some(1u64),
+                    |msg, _s, dst, _d: &(), c| {
+                        let cur = c.get(&deg, dst);
+                        c.set(&deg, dst, cur + msg);
+                        1u64
+                    },
+                )?;
+                let r = ctx.plan().partitions[ctx.rank()];
+                let mut out = vec![0u64; r.len() as usize];
+                let h = deg.clone();
+                let sink = std::sync::Mutex::new(&mut out);
+                ctx.process_vertices(&["deg"], None, |v, c| {
+                    let val = c.get(&h, v);
+                    sink.lock().unwrap()[(v - r.start) as usize] = val;
+                    0u64
+                })?;
+                Ok(out)
+            })
+            .unwrap();
+        let got: Vec<u64> = results.into_iter().flatten().collect();
+        assert_eq!(got, want, "filtering={filtering} must not change the answer");
+        bytes_by_mode.push(cluster.total_net_sent());
+    }
+    assert!(
+        bytes_by_mode[0] < bytes_by_mode[1],
+        "filtering on ({}) must move fewer wire bytes than off ({})",
+        bytes_by_mode[0],
+        bytes_by_mode[1]
+    );
+}
+
 #[test]
 fn in_degrees_match_under_forced_strategies() {
     let g = uniform(200, 1500, 5);

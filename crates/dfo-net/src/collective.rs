@@ -1,11 +1,16 @@
-//! Barrier and all-reduce collectives shared by all node threads.
+//! Shared-memory barrier and all-reduce — the collective fast path of the
+//! in-process backend.
 //!
 //! DFOGraph needs exactly two collectives: phase barriers and summing the
 //! per-node partial results of `ProcessEdges`/`ProcessVertices` UDFs. Both
 //! are implemented over a shared slot array with two barrier rounds (write
 //! slots → barrier → read all → barrier), which keeps consecutive
-//! collectives from racing each other.
+//! collectives from racing each other. The TCP backend reimplements the
+//! same semantics over point-to-point messages relayed through rank 0
+//! (see `tcp.rs`); values are folded in rank order in both so results are
+//! bit-identical across backends.
 
+use dfo_types::{DfoError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -19,8 +24,9 @@ struct BarrierState {
 ///
 /// The barrier is *poisonable*: when a node dies (panic or error), the
 /// cluster runner poisons the collective so surviving nodes blocked in a
-/// barrier abort instead of hanging — the moral equivalent of an MPI job
-/// abort, and what the §3.2 recovery tests rely on.
+/// barrier fail with [`DfoError::NetClosed`] instead of hanging — the moral
+/// equivalent of an MPI job abort, and what the §3.2 recovery tests rely
+/// on.
 pub struct Collective {
     p: usize,
     state: Mutex<BarrierState>,
@@ -44,24 +50,33 @@ impl Collective {
         self.p
     }
 
-    /// Blocks until all `P` node threads arrive. Panics if the collective
+    fn poisoned_err() -> DfoError {
+        DfoError::NetClosed("cluster collective poisoned: a peer node died".into())
+    }
+
+    /// Blocks until all `P` node threads arrive; fails if the collective
     /// was poisoned (a peer died) — surfacing the cluster failure instead
     /// of deadlocking.
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> Result<()> {
         let mut st = self.state.lock();
-        assert!(!st.poisoned, "cluster collective poisoned: a peer node died");
+        if st.poisoned {
+            return Err(Self::poisoned_err());
+        }
         st.waiting += 1;
         if st.waiting == self.p {
             st.waiting = 0;
             st.generation += 1;
             self.cv.notify_all();
-            return;
+            return Ok(());
         }
         let gen = st.generation;
         while st.generation == gen && !st.poisoned {
             self.cv.wait(&mut st);
         }
-        assert!(!st.poisoned, "cluster collective poisoned: a peer node died");
+        if st.poisoned {
+            return Err(Self::poisoned_err());
+        }
+        Ok(())
     }
 
     /// Marks the collective dead and wakes all waiters.
@@ -71,42 +86,49 @@ impl Collective {
         self.cv.notify_all();
     }
 
-    /// All-reduce over `u64` with an arbitrary associative fold.
-    pub fn allreduce_u64(&self, rank: usize, v: u64, fold: impl Fn(u64, u64) -> u64) -> u64 {
+    /// All-reduce over `u64` with an arbitrary associative fold, applied in
+    /// rank order.
+    pub fn allreduce_u64(
+        &self,
+        rank: usize,
+        v: u64,
+        fold: &(dyn Fn(u64, u64) -> u64 + Sync),
+    ) -> Result<u64> {
         self.slots_u64.lock()[rank] = v;
-        self.barrier();
+        self.barrier()?;
         let out = {
             let slots = self.slots_u64.lock();
-            slots.iter().copied().reduce(&fold).expect("p >= 1")
+            slots.iter().copied().reduce(fold).expect("p >= 1")
         };
-        self.barrier();
-        out
+        self.barrier()?;
+        Ok(out)
     }
 
-    /// Sum all-reduce over `f64` (used for PageRank-style accumulators).
-    pub fn allreduce_sum_f64(&self, rank: usize, v: f64) -> f64 {
+    /// All-reduce over `f64`, folded in rank order.
+    pub fn allreduce_f64(
+        &self,
+        rank: usize,
+        v: f64,
+        fold: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> Result<f64> {
         self.slots_f64.lock()[rank] = v;
-        self.barrier();
+        self.barrier()?;
         let out = {
             let slots = self.slots_f64.lock();
-            slots.iter().sum()
+            slots.iter().copied().reduce(fold).expect("p >= 1")
         };
-        self.barrier();
-        out
-    }
-
-    pub fn allreduce_sum_u64(&self, rank: usize, v: u64) -> u64 {
-        self.allreduce_u64(rank, v, |a, b| a + b)
-    }
-
-    pub fn allreduce_max_u64(&self, rank: usize, v: u64) -> u64 {
-        self.allreduce_u64(rank, v, |a, b| a.max(b))
+        self.barrier()?;
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sum_u64(c: &Collective, rank: usize, v: u64) -> u64 {
+        c.allreduce_u64(rank, v, &|a, b| a + b).unwrap()
+    }
 
     #[test]
     fn sum_across_threads() {
@@ -115,7 +137,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|r| {
                     let c = c.clone();
-                    s.spawn(move || c.allreduce_sum_u64(r, (r as u64 + 1) * 10))
+                    s.spawn(move || sum_u64(&c, r, (r as u64 + 1) * 10))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -131,7 +153,7 @@ mod tests {
                 let c = c.clone();
                 s.spawn(move || {
                     for round in 0..50u64 {
-                        let got = c.allreduce_sum_u64(r, round);
+                        let got = sum_u64(&c, r, round);
                         assert_eq!(got, round * 3, "round {round} on rank {r}");
                     }
                 });
@@ -146,7 +168,9 @@ mod tests {
             let h: Vec<_> = (0..2)
                 .map(|r| {
                     let c = c.clone();
-                    s.spawn(move || c.allreduce_max_u64(r, if r == 0 { 7 } else { 3 }))
+                    s.spawn(move || {
+                        c.allreduce_u64(r, if r == 0 { 7 } else { 3 }, &|a, b| a.max(b)).unwrap()
+                    })
                 })
                 .collect();
             h.into_iter().map(|x| x.join().unwrap()).collect()
@@ -161,11 +185,25 @@ mod tests {
             let h: Vec<_> = (0..2)
                 .map(|r| {
                     let c = c.clone();
-                    s.spawn(move || c.allreduce_sum_f64(r, 0.5 + r as f64))
+                    s.spawn(move || c.allreduce_f64(r, 0.5 + r as f64, &|a, b| a + b).unwrap())
                 })
                 .collect();
             h.into_iter().map(|x| x.join().unwrap()).collect()
         });
         assert!((res[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poison_fails_waiters_and_later_arrivals() {
+        let c = Collective::new(2);
+        std::thread::scope(|s| {
+            let c2 = c.clone();
+            let h = s.spawn(move || c2.barrier());
+            // give the waiter time to block, then poison instead of arriving
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c.poison();
+            assert!(matches!(h.join().unwrap(), Err(DfoError::NetClosed(_))));
+        });
+        assert!(matches!(c.barrier(), Err(DfoError::NetClosed(_))));
     }
 }

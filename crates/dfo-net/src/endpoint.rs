@@ -1,4 +1,4 @@
-//! Per-node network endpoints of the simulated cluster.
+//! Per-node network endpoints, generic over the [`Transport`] backend.
 //!
 //! Streams are point-to-point and FIFO per (sender, receiver) pair: exactly
 //! one stream may be live per direction of a pair at a time, identified by a
@@ -9,18 +9,23 @@
 //! matching §4.5: "a node can simultaneously send/receive messages from/to
 //! only one peer node at a time (communication with more peers only happens
 //! given extra bandwidth)".
+//!
+//! The endpoint owns the throttles and byte accounting; the backend behind
+//! it only moves frames. [`SimCluster`] builds endpoints over in-memory
+//! channels; `TcpCluster` (in `tcp.rs`) builds the same endpoint over real
+//! sockets, so the engine code is identical in both deployments.
 
-use crate::collective::Collective;
 use crate::frame::Frame;
+use crate::sim::SimTransport;
+use crate::transport::Transport;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use dfo_storage::Throttle;
 use dfo_types::{Counter, DfoError, Rank, Result, TrafficRecorder};
 use std::sync::Arc;
 
-/// Frames in flight per (src, dst) pair; bounds receive-buffer memory like
-/// the fixed in-memory buffers of the original implementation (Figure 3).
-const CHANNEL_DEPTH: usize = 16;
+/// Frame size [`Endpoint::send_stream`] cuts payloads into; 256 KiB keeps
+/// the per-frame header overhead ≪ 1 %.
+pub const STREAM_CHUNK: usize = 256 << 10;
 
 /// Byte/message counters plus optional traffic time series for one node.
 pub struct NetStats {
@@ -32,7 +37,7 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    fn new(record_traffic: bool) -> Self {
+    pub(crate) fn new(record_traffic: bool) -> Self {
         Self {
             sent_bytes: Counter::new(),
             recv_bytes: Counter::new(),
@@ -51,59 +56,51 @@ impl NetStats {
     }
 }
 
-/// Builder for the in-process cluster: constructs `P` connected endpoints.
+/// Builder for the in-process cluster: constructs `P` connected endpoints
+/// over the channel-based [`SimTransport`] backend.
 pub struct SimCluster;
 
 impl SimCluster {
     /// Creates `p` endpoints. `net_bw` paces each node's egress and ingress
     /// independently (full duplex), `None` = unthrottled.
     pub fn build(p: usize, net_bw: Option<u64>, record_traffic: bool) -> Vec<Endpoint> {
-        assert!(p >= 1);
-        // matrix of channels: chan[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Frame>>>> = (0..p).map(|_| vec![None; p]).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Frame>>>> =
-            (0..p).map(|_| vec![None; p]).collect();
-        for src in 0..p {
-            for dst in 0..p {
-                if src == dst {
-                    continue;
-                }
-                let (tx, rx) = bounded(CHANNEL_DEPTH);
-                senders[src][dst] = Some(tx);
-                receivers[dst][src] = Some(rx);
-            }
-        }
-        let collective = Collective::new(p);
-        let mut endpoints = Vec::with_capacity(p);
-        for (rank, (out, inb)) in senders.into_iter().zip(receivers).enumerate() {
-            endpoints.push(Endpoint {
-                rank,
-                p,
-                out,
-                inb,
-                egress: Throttle::from_option(net_bw),
-                ingress: Throttle::from_option(net_bw),
-                stats: Arc::new(NetStats::new(record_traffic)),
-                collective: collective.clone(),
-            });
-        }
-        endpoints
+        SimTransport::build_mesh(p)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, t)| Endpoint::new(rank, p, Box::new(t), net_bw, record_traffic))
+            .collect()
     }
 }
 
-/// One node's connection to the simulated cluster.
+/// One node's connection to the cluster, over either backend.
 pub struct Endpoint {
     rank: Rank,
     p: usize,
-    out: Vec<Option<Sender<Frame>>>,
-    inb: Vec<Option<Receiver<Frame>>>,
     egress: Throttle,
     ingress: Throttle,
     stats: Arc<NetStats>,
-    collective: Arc<Collective>,
+    transport: Box<dyn Transport>,
 }
 
 impl Endpoint {
+    /// Wraps a connected transport with throttles and byte accounting.
+    pub fn new(
+        rank: Rank,
+        p: usize,
+        transport: Box<dyn Transport>,
+        net_bw: Option<u64>,
+        record_traffic: bool,
+    ) -> Self {
+        Self {
+            rank,
+            p,
+            egress: Throttle::from_option(net_bw),
+            ingress: Throttle::from_option(net_bw),
+            stats: Arc::new(NetStats::new(record_traffic)),
+            transport,
+        }
+    }
+
     pub fn rank(&self) -> Rank {
         self.rank
     }
@@ -132,16 +129,24 @@ impl Endpoint {
         self.stats.sent_bytes.add(wire);
         self.stats.sent_frames.add(1);
         self.stats.sent_traffic.record(wire);
-        self.out[dst]
-            .as_ref()
-            .expect("no channel to dst")
-            .send(frame)
-            .map_err(|_| DfoError::NetClosed(format!("send {} -> {}", self.rank, dst)))
+        self.transport.send_frame(dst, frame)
     }
 
     /// Convenience: sends an empty final frame, closing stream `tag`.
     pub fn finish_stream(&self, dst: Rank, tag: u64) -> Result<()> {
         self.send(dst, tag, Bytes::new(), true)
+    }
+
+    /// Streams an entire payload to `dst` as [`STREAM_CHUNK`]-sized frames
+    /// — zero-copy slices of the shared buffer — and closes the stream.
+    pub fn send_stream(&self, dst: Rank, tag: u64, payload: Bytes) -> Result<()> {
+        let mut off = 0;
+        while off < payload.len() {
+            let end = (off + STREAM_CHUNK).min(payload.len());
+            self.send(dst, tag, payload.slice(off..end), false)?;
+            off = end;
+        }
+        self.finish_stream(dst, tag)
     }
 
     /// Opens the receiving side of stream `tag` from `src`.
@@ -160,32 +165,47 @@ impl Endpoint {
         Ok(out)
     }
 
+    /// Blocks until every rank arrives. Panics if the cluster is poisoned
+    /// or a peer died mid-collective; the cluster runner catches the panic
+    /// and surfaces it as [`DfoError::NetClosed`] on the failed rank.
     pub fn barrier(&self) {
-        self.collective.barrier();
+        if let Err(e) = self.transport.barrier() {
+            panic!("cluster barrier failed: {e}");
+        }
     }
 
     /// Poisons the cluster collective: peers blocked in barriers abort
     /// instead of waiting for a node that will never arrive.
     pub fn poison_collective(&self) {
-        self.collective.poison();
+        self.transport.poison();
+    }
+
+    fn allreduce_u64_with(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> u64 {
+        match self.transport.allreduce_u64(v, fold) {
+            Ok(out) => out,
+            Err(e) => panic!("cluster all-reduce failed: {e}"),
+        }
     }
 
     pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
-        self.collective.allreduce_sum_u64(self.rank, v)
+        self.allreduce_u64_with(v, &|a, b| a + b)
     }
 
     pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
-        self.collective.allreduce_sum_f64(self.rank, v)
+        match self.transport.allreduce_f64(v, &|a, b| a + b) {
+            Ok(out) => out,
+            Err(e) => panic!("cluster all-reduce failed: {e}"),
+        }
     }
 
     pub fn allreduce_max_u64(&self, v: u64) -> u64 {
-        self.collective.allreduce_max_u64(self.rank, v)
+        self.allreduce_u64_with(v, &|a, b| a.max(b))
     }
 
     /// Minimum across nodes — recovery uses it to agree on the last round
     /// committed *everywhere*.
     pub fn allreduce_min_u64(&self, v: u64) -> u64 {
-        self.collective.allreduce_u64(self.rank, v, |a, b| a.min(b))
+        self.allreduce_u64_with(v, &|a, b| a.min(b))
     }
 }
 
@@ -206,10 +226,7 @@ impl StreamRecv<'_> {
             if self.done {
                 return Ok(None);
             }
-            let frame =
-                self.ep.inb[self.src].as_ref().expect("no channel from src").recv().map_err(
-                    |_| DfoError::NetClosed(format!("recv {} <- {}", self.ep.rank, self.src)),
-                )?;
+            let frame = self.ep.transport.recv_frame(self.src, self.tag)?;
             if frame.tag != self.tag {
                 return Err(DfoError::Corrupt(format!(
                     "stream tag mismatch from {}: got {}, want {} (overlapping streams?)",

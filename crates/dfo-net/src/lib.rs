@@ -1,22 +1,34 @@
-//! Simulated cluster transport for DFOGraph.
+//! Cluster transport for DFOGraph, pluggable between simulation and TCP.
 //!
-//! The paper runs on MPI over a 25 Gbps network. This crate replaces that
-//! with an in-process cluster: each node is a thread (group) owning an
-//! [`Endpoint`]; point-to-point byte streams flow through bounded channels
-//! paced by per-node egress/ingress token buckets and fully byte-accounted.
-//! The key property preserved from the real testbed is the one DFOGraph's
-//! evaluation reasons about: transfer time ≈ bytes / bandwidth per node, and
-//! a node talks to effectively one peer at a time unless spare bandwidth
-//! exists (§4.5 "bandwidth assumption").
+//! The paper runs on MPI over a 25 Gbps network. This crate provides the
+//! equivalent substrate behind one [`Endpoint`] API — point-to-point byte
+//! streams paced by per-node egress/ingress token buckets and fully
+//! byte-accounted, plus the two collectives the engine needs (poisonable
+//! barrier, all-reduce) — over two interchangeable [`Transport`] backends:
 //!
-//! Collectives (`barrier`, all-reduce) mirror the small set of MPI
-//! operations the original system needs: synchronizing phases and summing
-//! the return values of `ProcessEdges`/`ProcessVertices`.
+//! * **Simulation** ([`SimCluster`]): each node is a thread (group) of one
+//!   process; frames flow through bounded channels and collectives hit a
+//!   shared-memory barrier. The key property preserved from the real
+//!   testbed is the one DFOGraph's evaluation reasons about: transfer time
+//!   ≈ bytes / bandwidth per node (§4.5 "bandwidth assumption").
+//! * **TCP** ([`TcpCluster`]): each node is its own OS process; frames are
+//!   serialized with a binary codec over per-peer sockets and collectives
+//!   are relayed through rank 0. This is how the small-cluster systems the
+//!   paper compares against (GraphD, GraphH) deploy.
+//!
+//! Byte accounting charges the same 16-byte envelope per frame in both
+//! backends, so traffic measurements are comparable across deployments.
 
 pub mod collective;
 pub mod endpoint;
 pub mod frame;
+pub mod sim;
+pub mod tcp;
+pub mod transport;
 
 pub use collective::Collective;
 pub use endpoint::{Endpoint, NetStats, SimCluster, StreamRecv};
-pub use frame::{Frame, FRAME_HEADER_BYTES};
+pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
+pub use sim::SimTransport;
+pub use tcp::{TcpCluster, TcpOpts, TcpTransport};
+pub use transport::Transport;

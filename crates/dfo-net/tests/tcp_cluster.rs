@@ -1,0 +1,257 @@
+//! TCP transport exercised in-process: several ranks, each on its own
+//! thread, talking over real localhost sockets. Multi-*process* coverage
+//! (via `Cluster::run_distributed`) lives in
+//! `crates/dfo-core/tests/distributed.rs` and
+//! `examples/distributed_pagerank.rs`.
+
+use bytes::Bytes;
+use dfo_net::{SimCluster, TcpCluster, TcpOpts};
+use dfo_types::DfoError;
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Reserves `n` distinct localhost ports. The listeners are dropped before
+/// the mesh binds them — a small race, but ephemeral ports are not reused
+/// immediately and the suite binds them back within milliseconds.
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port())).collect()
+}
+
+fn opts() -> TcpOpts {
+    TcpOpts { connect_timeout: Duration::from_secs(20) }
+}
+
+/// Builds a `p`-rank TCP mesh on localhost, one thread per rank, and runs
+/// `f(rank, endpoint)` on each.
+fn with_mesh<F>(p: usize, f: F)
+where
+    F: Fn(usize, &dfo_net::Endpoint) + Sync,
+{
+    let peers = free_addrs(p);
+    std::thread::scope(|s| {
+        for rank in 0..p {
+            let peers = peers.clone();
+            let f = &f;
+            s.spawn(move || {
+                let ep = TcpCluster::connect(rank, &peers, None, false, opts()).unwrap();
+                f(rank, &ep);
+            });
+        }
+    });
+}
+
+#[test]
+fn two_rank_stream_roundtrip() {
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            ep.send(1, 7, Bytes::from_static(b"hello "), false).unwrap();
+            ep.send(1, 7, Bytes::from_static(b"world"), true).unwrap();
+        } else {
+            assert_eq!(ep.recv_all(0, 7).unwrap(), b"hello world");
+        }
+        ep.barrier();
+    });
+}
+
+#[test]
+fn frames_preserve_order_and_chunking() {
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            for i in 0..200u8 {
+                ep.send(1, 3, Bytes::copy_from_slice(&[i]), false).unwrap();
+            }
+            ep.finish_stream(1, 3).unwrap();
+        } else {
+            assert_eq!(ep.recv_all(0, 3).unwrap(), (0..200u8).collect::<Vec<_>>());
+        }
+        ep.barrier();
+    });
+}
+
+#[test]
+fn concurrent_streams_demux_by_tag() {
+    // two streams in flight from the same sender, interleaved on the wire;
+    // the demux must route them to the right receivers by tag. Each stream
+    // stays within the per-(peer, tag) queue depth: draining out of arrival
+    // order *beyond* that bound would stall the reader on the full queue —
+    // intended head-of-line backpressure, which the engine never triggers
+    // (one live data stream per pair, collectives after streams drain).
+    const N: u32 = 8;
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            for i in 0..N {
+                ep.send(1, 100, Bytes::copy_from_slice(&i.to_le_bytes()), false).unwrap();
+                ep.send(1, 200, Bytes::copy_from_slice(&(i * 2).to_le_bytes()), false).unwrap();
+            }
+            ep.finish_stream(1, 100).unwrap();
+            ep.finish_stream(1, 200).unwrap();
+        } else {
+            // drain tag 200 first even though tag 100 frames arrived first
+            let b = ep.recv_all(0, 200).unwrap();
+            let a = ep.recv_all(0, 100).unwrap();
+            assert_eq!(a.len(), 4 * N as usize);
+            assert_eq!(b.len(), 4 * N as usize);
+            for i in 0..N {
+                let off = (i * 4) as usize;
+                assert_eq!(u32::from_le_bytes(a[off..off + 4].try_into().unwrap()), i);
+                assert_eq!(u32::from_le_bytes(b[off..off + 4].try_into().unwrap()), i * 2);
+            }
+        }
+        ep.barrier();
+    });
+}
+
+#[test]
+fn all_pairs_and_collectives_four_ranks() {
+    let p = 4;
+    with_mesh(p, |rank, ep| {
+        for dst in 0..p {
+            if dst != rank {
+                ep.send(dst, 0, Bytes::copy_from_slice(&[rank as u8]), true).unwrap();
+            }
+        }
+        for src in 0..p {
+            if src != rank {
+                assert_eq!(ep.recv_all(src, 0).unwrap(), vec![src as u8]);
+            }
+        }
+        ep.barrier();
+        assert_eq!(ep.allreduce_sum_u64(rank as u64 + 1), 10);
+        assert_eq!(ep.allreduce_max_u64(rank as u64), 3);
+        assert_eq!(ep.allreduce_min_u64(rank as u64 + 5), 5);
+        let s = ep.allreduce_sum_f64(0.25);
+        assert!((s - 1.0).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn collectives_bit_match_sim_backend() {
+    // rank-order folding must make float all-reduce bit-identical across
+    // backends (the distributed-vs-sim acceptance bound relies on it)
+    let vals = [0.1f64, 0.7, 1e-9];
+    let sim: Vec<f64> = {
+        let eps = SimCluster::build(3, None, false);
+        std::thread::scope(|s| {
+            let hs: Vec<_> = eps
+                .iter()
+                .map(|ep| s.spawn(move || ep.allreduce_sum_f64(vals[ep.rank()])))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    let tcp: std::sync::Mutex<Vec<(usize, f64)>> = std::sync::Mutex::new(Vec::new());
+    with_mesh(3, |rank, ep| {
+        let out = ep.allreduce_sum_f64(vals[rank]);
+        tcp.lock().unwrap().push((rank, out));
+    });
+    for (rank, out) in tcp.into_inner().unwrap() {
+        assert_eq!(out.to_bits(), sim[rank].to_bits(), "rank {rank}");
+    }
+}
+
+#[test]
+fn stats_count_wire_bytes_like_sim() {
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            ep.send(1, 2, Bytes::from_static(b"abcd"), true).unwrap();
+            ep.barrier();
+            assert_eq!(ep.stats().sent_bytes.get(), 4 + dfo_net::FRAME_HEADER_BYTES);
+        } else {
+            let _ = ep.recv_all(0, 2).unwrap();
+            ep.barrier();
+            assert_eq!(ep.stats().recv_bytes.get(), 4 + dfo_net::FRAME_HEADER_BYTES);
+        }
+    });
+}
+
+#[test]
+fn throttle_paces_tcp_sender() {
+    // 10 MB/s egress; 2 MB payload => >= ~150 ms even over loopback
+    let peers = free_addrs(2);
+    std::thread::scope(|s| {
+        {
+            let peers = peers.clone();
+            s.spawn(move || {
+                let ep = TcpCluster::connect(0, &peers, Some(10 << 20), false, opts()).unwrap();
+                let start = std::time::Instant::now();
+                let payload = Bytes::from(vec![0u8; 256 << 10]);
+                for _ in 0..8 {
+                    ep.send(1, 5, payload.clone(), false).unwrap();
+                }
+                ep.finish_stream(1, 5).unwrap();
+                assert!(start.elapsed() >= Duration::from_millis(150));
+                ep.barrier();
+            });
+        }
+        let peers = peers.clone();
+        s.spawn(move || {
+            let ep = TcpCluster::connect(1, &peers, Some(10 << 20), false, opts()).unwrap();
+            assert_eq!(ep.recv_all(0, 5).unwrap().len(), 2 << 20);
+            ep.barrier();
+        });
+    });
+}
+
+#[test]
+fn dropped_peer_surfaces_as_net_closed() {
+    // rank 1 joins the mesh and leaves immediately; rank 0's blocking recv
+    // must fail with NetClosed (EOF), not hang
+    let peers = free_addrs(2);
+    std::thread::scope(|s| {
+        {
+            let peers = peers.clone();
+            s.spawn(move || {
+                let ep = TcpCluster::connect(0, &peers, None, false, opts()).unwrap();
+                match ep.recv_all(1, 9) {
+                    Err(DfoError::NetClosed(_)) => {}
+                    other => panic!("want NetClosed, got {other:?}"),
+                }
+            });
+        }
+        let peers = peers.clone();
+        s.spawn(move || {
+            let ep = TcpCluster::connect(1, &peers, None, false, opts()).unwrap();
+            drop(ep); // clean teardown: write halves shut down, peers see EOF
+        });
+    });
+}
+
+#[test]
+fn poison_fails_blocked_barrier_cluster_wide() {
+    let panicked: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+    with_mesh(3, |rank, ep| {
+        if rank == 2 {
+            // let the others block in the barrier, then abort the job
+            std::thread::sleep(Duration::from_millis(100));
+            ep.poison_collective();
+            return;
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ep.barrier()));
+        if r.is_err() {
+            panicked.lock().unwrap().push(rank);
+        }
+    });
+    let mut got = panicked.into_inner().unwrap();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1], "both survivors must abort, not hang");
+}
+
+#[test]
+fn handshake_rejects_rank_out_of_range() {
+    let peers = free_addrs(1);
+    assert!(matches!(
+        dfo_net::TcpTransport::connect(3, &peers, opts()),
+        Err(DfoError::Handshake(_))
+    ));
+}
+
+#[test]
+fn single_rank_mesh_is_trivial() {
+    let peers = free_addrs(1);
+    let ep = TcpCluster::connect(0, &peers, None, false, opts()).unwrap();
+    ep.barrier();
+    assert_eq!(ep.allreduce_sum_u64(41), 41);
+    assert_eq!(ep.nodes(), 1);
+}

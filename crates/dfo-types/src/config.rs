@@ -87,6 +87,13 @@ pub struct EngineConfig {
     /// Records disk/network traffic time series (Figure 5); off by default
     /// because sampling adds a lock per transfer.
     pub record_traffic: bool,
+    /// Peer socket addresses (`host:port`, one per rank, index = rank) for
+    /// the multi-process TCP transport used by `run_distributed`; `None`
+    /// keeps the in-process channel transport. See
+    /// [`EngineConfig::apply_env_overrides`] for the `DFO_PEERS` override.
+    pub peers: Option<Vec<String>>,
+    /// Seconds each rank waits for the full TCP mesh at bootstrap.
+    pub connect_timeout_secs: u64,
 }
 
 impl EngineConfig {
@@ -112,6 +119,30 @@ impl EngineConfig {
             dispatch_override: None,
             repr_override: None,
             record_traffic: false,
+            peers: None,
+            connect_timeout_secs: 30,
+        }
+    }
+
+    /// Rank of this process from the `DFO_RANK` environment variable (the
+    /// conventional way a launcher differentiates otherwise-identical
+    /// worker processes).
+    pub fn env_rank() -> Option<Rank> {
+        std::env::var("DFO_RANK").ok()?.trim().parse().ok()
+    }
+
+    /// Applies environment overrides for multi-process launches:
+    /// `DFO_PEERS` is a comma-separated `host:port` list (one per rank, in
+    /// rank order) that switches the config to the TCP transport and sets
+    /// the node count to match.
+    pub fn apply_env_overrides(&mut self) {
+        if let Ok(s) = std::env::var("DFO_PEERS") {
+            let peers: Vec<String> =
+                s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect();
+            if !peers.is_empty() {
+                self.nodes = peers.len();
+                self.peers = Some(peers);
+            }
         }
     }
 
@@ -139,6 +170,18 @@ impl EngineConfig {
         }
         if self.checkpointing && self.checkpoints_kept == 0 {
             return Err("checkpoints_kept must be ≥ 1 when checkpointing".into());
+        }
+        if let Some(peers) = &self.peers {
+            if peers.len() != self.nodes {
+                return Err(format!(
+                    "peer list has {} addresses for {} nodes (need one per rank)",
+                    peers.len(),
+                    self.nodes
+                ));
+            }
+            if peers.iter().any(|a| a.is_empty()) {
+                return Err("peer list contains an empty address".into());
+            }
         }
         Ok(())
     }
@@ -192,5 +235,16 @@ mod tests {
         c.nodes = 0;
         assert!(c.validate().is_err());
         assert!(EngineConfig::for_test(2).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_checks_peer_list_shape() {
+        let mut c = EngineConfig::for_test(2);
+        c.peers = Some(vec!["127.0.0.1:7000".into()]);
+        assert!(c.validate().is_err(), "one address for two ranks");
+        c.peers = Some(vec!["127.0.0.1:7000".into(), String::new()]);
+        assert!(c.validate().is_err(), "empty address");
+        c.peers = Some(vec!["127.0.0.1:7000".into(), "127.0.0.1:7001".into()]);
+        assert!(c.validate().is_ok());
     }
 }

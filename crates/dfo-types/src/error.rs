@@ -14,8 +14,11 @@ pub enum DfoError {
     Corrupt(String),
     /// Invalid configuration detected at startup.
     Config(String),
-    /// The simulated network was shut down while an operation was pending.
+    /// The cluster network was shut down while an operation was pending.
     NetClosed(String),
+    /// Mesh bootstrap failed: a peer could not be dialed, timed out, or
+    /// presented a bad handshake.
+    Handshake(String),
     /// Recovery was requested but no committed checkpoint exists.
     NoCheckpoint(String),
 }
@@ -34,6 +37,7 @@ impl fmt::Display for DfoError {
             DfoError::Corrupt(m) => write!(f, "corrupt on-disk structure: {m}"),
             DfoError::Config(m) => write!(f, "invalid configuration: {m}"),
             DfoError::NetClosed(m) => write!(f, "network closed: {m}"),
+            DfoError::Handshake(m) => write!(f, "cluster bootstrap failed: {m}"),
             DfoError::NoCheckpoint(m) => write!(f, "no checkpoint available: {m}"),
         }
     }

@@ -1,72 +1,194 @@
-//! Offline shim for the `rayon` crate.
+//! Offline shim for the `rayon` crate — actually parallel.
 //!
-//! Maps the parallel-iterator entry points onto ordinary sequential
-//! iterators: `into_par_iter`/`par_iter`/`par_iter_mut` return the std
-//! iterator for the same data, so every downstream adapter (`zip`, `map`,
-//! `enumerate`, `collect`, …) is the std one. Results are identical to
-//! rayon's (rayon guarantees order-preserving collects); only the
-//! parallelism is lost, which is acceptable for the workspace's test-scale
-//! preprocessing. Swap in the real crate via `[workspace.dependencies]` to
-//! regain it.
+//! Mirrors the parallel-iterator entry points the workspace uses
+//! (`into_par_iter` / `par_iter` / `par_iter_mut`, then `zip`, `enumerate`,
+//! `map`, `for_each`, `collect`) and executes the mapped stage on scoped
+//! worker threads pulling items off a shared atomic index — the same
+//! order-preserving work distribution rayon's order-stable collects
+//! guarantee, so results are identical to both rayon and the old
+//! sequential shim; only the wall-clock changes.
+//!
+//! The pool size honors `RAYON_NUM_THREADS` (like the real crate) and
+//! defaults to the machine's available parallelism, capped at the item
+//! count. Swap in the real crate via `[workspace.dependencies]` for the
+//! full adapter zoo.
 
-/// By-value conversion into a (sequential) "parallel" iterator.
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Self::Iter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count: `RAYON_NUM_THREADS` override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+/// Runs `f` over `items` on scoped worker threads, preserving item order in
+/// the result. Falls back to inline execution for trivial inputs.
+fn par_run<T: Send, O: Send>(items: Vec<T>, f: &(impl Fn(T) -> O + Sync)) -> Vec<O> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("each index taken once");
+                let o = f(item);
+                *out[i].lock().unwrap() = Some(o);
+            });
+        }
+    });
+    out.into_iter().map(|m| m.into_inner().unwrap().expect("worker filled slot")).collect()
+}
+
+/// A materialized parallel iterator: adapters are eager (cheap index work),
+/// the user's function runs in parallel at the `map`/`for_each` stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs items positionally, truncating to the shorter side (as `zip`
+    /// does everywhere).
+    pub fn zip<U, J>(self, other: J) -> ParIter<(T, U)>
+    where
+        U: Send,
+        J: IntoParallelIterator<Item = U>,
+    {
+        let items = self.items.into_iter().zip(other.into_par_iter().items).collect();
+        ParIter { items }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// The parallel stage: `f` runs on the worker pool when the result is
+    /// consumed by `collect`/`for_each`.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_run(self.items, &f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A pending parallel map; consuming it runs the closure on the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, O, F> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        par_run(self.items, &self.f).into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(O) + Sync,
+    {
+        let f = self.f;
+        par_run(self.items, &|x| g(f(x)));
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
     }
 }
 
 impl<T> IntoParallelIterator for std::ops::Range<T>
 where
     std::ops::Range<T>: Iterator<Item = T>,
+    T: Send,
 {
     type Item = T;
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> Self::Iter {
-        self
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.collect() }
     }
 }
 
-/// `par_iter` / `par_iter_mut` on slices and collections.
+/// `par_iter` on slices and collections.
 pub trait IntoParallelRefIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'data self) -> Self::Iter;
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
-impl<'data, T: 'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+impl<'data, T, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
 where
+    T: Send + 'data,
     &'data C: IntoIterator<Item = &'data T>,
+    &'data T: Send,
 {
     type Item = &'data T;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
+/// `par_iter_mut` on slices and collections.
 pub trait IntoParallelRefMutIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
-impl<'data, T: 'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+impl<'data, T, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
 where
+    T: Send + 'data,
     &'data mut C: IntoIterator<Item = &'data mut T>,
 {
     type Item = &'data mut T;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
@@ -74,18 +196,27 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Sequential stand-in for `rayon::join`.
+/// Parallel stand-in for `rayon::join`: `b` runs on a scoped thread while
+/// `a` runs inline.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
 {
-    (a(), b())
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn chains_mirror_std() {
@@ -101,5 +232,43 @@ mod tests {
         let mut v = vec![1, 2, 3];
         v.par_iter_mut().for_each(|x| *x *= 2);
         assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let got: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * x).collect();
+        let want: Vec<usize> = (0..1000usize).map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core machine: nothing to assert
+        }
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            })
+            .collect();
+        assert!(
+            ids.into_inner().unwrap().len() > 1,
+            "work stayed on one thread — the shim regressed to sequential"
+        );
+        assert!(peak.load(Ordering::SeqCst) > 1, "no two items ever ran concurrently");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
     }
 }
