@@ -35,6 +35,46 @@ fn pagerank_matches_oracle() {
     }
 }
 
+/// The chunk cache and prefetcher must be invisible to algorithm results:
+/// PageRank (fixed iteration count, f64 state) and BFS (data-dependent
+/// frontier, seek-mode-prone sparse iterations) run bit-identically across
+/// the cache/prefetch matrix.
+#[test]
+fn algorithms_bit_identical_across_chunk_cache_matrix() {
+    let g = rmat(GenConfig::new(9, 6, 77));
+    let run = |budget: u64, depth: usize| -> (Vec<u64>, Vec<u32>) {
+        let mut c = cfg(3, 64);
+        c.chunk_cache_bytes = budget;
+        c.prefetch_depth = depth;
+        let td = TempDir::new().unwrap();
+        let cluster = Cluster::create(c, td.path()).unwrap();
+        cluster.preprocess(&g).unwrap();
+        let out = cluster
+            .run(|ctx| {
+                let rank = pagerank(ctx, 5)?;
+                let pr = read_local(ctx, &rank)?;
+                let level = bfs(ctx, 0)?;
+                let lv = read_local(ctx, &level)?;
+                Ok((pr, lv))
+            })
+            .unwrap();
+        let mut pr_bits = Vec::new();
+        let mut levels = Vec::new();
+        for (pr, lv) in out {
+            // compare f64 bit patterns: "identical" here means identical
+            pr_bits.extend(pr.into_iter().map(f64::to_bits));
+            levels.extend(lv);
+        }
+        (pr_bits, levels)
+    };
+    let baseline = run(0, 0);
+    for budget in [16 << 10, 1 << 30] {
+        for depth in [0usize, 2] {
+            assert_eq!(run(budget, depth), baseline, "budget={budget} depth={depth}");
+        }
+    }
+}
+
 #[test]
 fn bfs_matches_oracle_on_rmat() {
     let g = rmat(GenConfig::new(9, 5, 13));

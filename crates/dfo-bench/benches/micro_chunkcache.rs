@@ -1,0 +1,175 @@
+//! Chunk cache micro-benchmark: multi-iteration PageRank with the cache off
+//! (budget 0, today's fully-out-of-core behaviour) vs a fits-all budget
+//! with read-ahead. Prints per-iteration disk read bytes and asserts the
+//! cached run reads strictly fewer bytes on every iteration after the
+//! first — the cross-iteration chunk reuse the cache exists for.
+//!
+//! The printed `BENCH_3` line is the JSON committed as `BENCH_3.json` so
+//! future PRs have a trajectory to compare against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfo_algos::degree::out_degree_array;
+use dfo_algos::pagerank::DAMPING;
+use dfo_bench::{fmt_bytes, fmt_secs, timed};
+use dfo_core::{Cluster, NodeCtx};
+use dfo_graph::gen::{rmat, GenConfig};
+use dfo_types::{BatchPolicy, EngineConfig, PhaseStats, Result};
+
+const ITERS: usize = 5;
+
+/// One damped-PageRank run that records the edge pipeline's [`PhaseStats`]
+/// per iteration (the library's `pagerank` helper hides them).
+fn pagerank_with_stats(ctx: &mut NodeCtx, iters: usize) -> Result<Vec<PhaseStats>> {
+    let n = ctx.plan().n_vertices as f64;
+    let rank = ctx.vertex_array::<f64>("pr_rank")?;
+    let nextr = ctx.vertex_array::<f64>("pr_next")?;
+    let deg = out_degree_array(ctx)?;
+    {
+        let r = rank.clone();
+        ctx.process_vertices(&["pr_rank"], None, move |v, c| {
+            c.set(&r, v, 1.0 / n);
+            0u64
+        })?;
+    }
+    let mut stats = Vec::new();
+    for _ in 0..iters {
+        {
+            let nx = nextr.clone();
+            ctx.process_vertices(&["pr_next"], None, move |v, c| {
+                c.set(&nx, v, 0.0);
+                0u64
+            })?;
+        }
+        {
+            let (r, d, nx) = (rank.clone(), deg.clone(), nextr.clone());
+            ctx.process_edges(
+                &["pr_rank", "pr_deg"],
+                &["pr_next"],
+                None,
+                move |v, c| {
+                    let dv = c.get(&d, v);
+                    if dv == 0 {
+                        None
+                    } else {
+                        Some(c.get(&r, v) / dv as f64)
+                    }
+                },
+                move |msg: f64, _src, dst, _e: &(), c| {
+                    let cur = c.get(&nx, dst);
+                    c.set(&nx, dst, cur + msg);
+                    0u64
+                },
+            )?;
+        }
+        stats.push(ctx.last_phase_stats().clone());
+        {
+            let (r, nx) = (rank.clone(), nextr.clone());
+            ctx.process_vertices(&["pr_rank", "pr_next"], None, move |v, c| {
+                let s = c.get(&nx, v);
+                c.set(&r, v, (1.0 - DAMPING) / n + DAMPING * s);
+                0u64
+            })?;
+        }
+    }
+    Ok(stats)
+}
+
+struct RunOut {
+    /// Disk bytes read by the edge pipeline per iteration, cluster-wide.
+    per_iter_read: Vec<u64>,
+    wall_secs: f64,
+    cache_hits: u64,
+}
+
+fn run(budget: u64) -> RunOut {
+    let g = rmat(GenConfig::new(12, 8, 21));
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(256);
+    cfg.disk_bw = Some(dfo_bench::DISK_BW);
+    cfg.net_bw = Some(dfo_bench::NET_BW);
+    cfg.chunk_cache_bytes = budget;
+    cfg.prefetch_depth = 2;
+    let td = tempfile::TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg, td.path()).unwrap();
+    cluster.preprocess(&g).unwrap();
+    let (per_node, wall_secs) =
+        timed(|| cluster.run(|ctx| pagerank_with_stats(ctx, ITERS)).unwrap());
+    let mut per_iter = vec![PhaseStats::default(); ITERS];
+    for stats in per_node {
+        for (m, s) in per_iter.iter_mut().zip(&stats) {
+            m.merge(s);
+        }
+    }
+    let cache_hits = per_iter.iter().map(|s| s.chunk_cache_hits).sum();
+    let per_iter_read = per_iter
+        .iter()
+        .map(|s| {
+            s.generate_disk_read + s.pass_disk_read + s.dispatch_disk_read + s.process_disk_read
+        })
+        .collect();
+    RunOut { per_iter_read, wall_secs, cache_hits }
+}
+
+fn bench_chunk_cache(c: &mut Criterion) {
+    let g = rmat(GenConfig::new(12, 8, 21));
+    println!(
+        "micro_chunkcache: |V|={}, |E|={}, {ITERS} PageRank iterations",
+        g.n_vertices,
+        g.n_edges()
+    );
+
+    let cold = run(0);
+    let warm = run(1 << 30);
+    for (name, r) in [("budget 0", &cold), ("fits-all", &warm)] {
+        let iters: Vec<String> = r.per_iter_read.iter().map(|&b| fmt_bytes(b)).collect();
+        println!(
+            "{name:>9}: wall {} | per-iteration edge-pipeline reads: [{}] | cache hits {}",
+            fmt_secs(r.wall_secs),
+            iters.join(", "),
+            r.cache_hits
+        );
+    }
+
+    // the whole point: once the chunks are resident, every later iteration
+    // reads strictly fewer disk bytes than the cold first one
+    for (i, &bytes) in warm.per_iter_read.iter().enumerate().skip(1) {
+        assert!(
+            bytes < warm.per_iter_read[0],
+            "cached iteration {} read {} bytes, iteration 1 read {}",
+            i + 1,
+            bytes,
+            warm.per_iter_read[0]
+        );
+    }
+    assert!(warm.cache_hits > 0, "fits-all budget never hit the cache");
+    let total = |r: &RunOut| r.per_iter_read.iter().sum::<u64>();
+    assert!(
+        total(&warm) < total(&cold),
+        "cached run must read fewer total bytes: {} vs {}",
+        total(&warm),
+        total(&cold)
+    );
+
+    println!(
+        "BENCH_3 {{\"bench\":\"micro_chunkcache\",\"iters\":{ITERS},\
+         \"budget0\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{}}},\
+         \"fits_all\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{},\
+         \"cache_hits\":{}}}}}",
+        cold.wall_secs,
+        cold.per_iter_read,
+        total(&cold),
+        warm.wall_secs,
+        warm.per_iter_read,
+        total(&warm),
+        warm.cache_hits
+    );
+
+    let mut group = c.benchmark_group("chunk_cache");
+    group.sample_size(2);
+    group.bench_function("pagerank5/budget0", |b| b.iter(|| std::hint::black_box(run(0))));
+    group.bench_function("pagerank5/fits_all", |b| b.iter(|| std::hint::black_box(run(1 << 30))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_cache);
+criterion_main!(benches);

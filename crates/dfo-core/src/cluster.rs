@@ -6,7 +6,7 @@ use dfo_graph::edge::EdgeList;
 use dfo_net::{NetStats, SimCluster, TcpCluster, TcpOpts};
 use dfo_part::plan::Plan;
 use dfo_part::preprocess::preprocess;
-use dfo_storage::NodeDisk;
+use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
 use dfo_types::{DfoError, EngineConfig, Pod, Rank, Result};
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -27,6 +27,10 @@ pub struct Cluster {
     cfg: EngineConfig,
     base: PathBuf,
     disks: Vec<NodeDisk>,
+    /// Per-rank decoded-chunk caches, shared across `run` calls so iterative
+    /// jobs keep their warm chunks between runs. Empty when
+    /// `chunk_cache_bytes == 0` (nothing is allocated).
+    chunk_caches: Vec<Arc<ChunkCache>>,
     last_net: Mutex<Vec<Arc<NetStats>>>,
 }
 
@@ -39,7 +43,12 @@ impl Cluster {
         let disks = (0..cfg.nodes)
             .map(|i| NodeDisk::new(base.join(format!("n{i}")), cfg.disk_bw, cfg.record_traffic))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { cfg, base, disks, last_net: Mutex::new(Vec::new()) })
+        let chunk_caches = if cfg.chunk_cache_bytes > 0 {
+            (0..cfg.nodes).map(|_| Arc::new(ChunkCache::new(cfg.chunk_cache_bytes))).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { cfg, base, disks, chunk_caches, last_net: Mutex::new(Vec::new()) })
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -55,7 +64,13 @@ impl Cluster {
     }
 
     /// Runs DFOGraph preprocessing for `g` onto the node disks (§2.2, §4).
+    /// Any chunks cached from a previous graph are dropped: the cache keys
+    /// on `(partition, batch, repr)` and re-preprocessing rewrites those
+    /// files in place.
     pub fn preprocess<E: Pod + PartialEq>(&self, g: &EdgeList<E>) -> Result<Plan> {
+        for c in &self.chunk_caches {
+            c.clear();
+        }
         Ok(preprocess(g, &self.cfg, &self.disks)?.plan)
     }
 
@@ -80,9 +95,10 @@ impl Cluster {
                 .map(|(rank, ep)| {
                     let disk = self.disks[rank].clone();
                     let cfg = self.cfg.clone();
+                    let cache = self.chunk_caches.get(rank).cloned();
                     let f = &f;
                     s.spawn(move || -> Result<T> {
-                        let mut ctx = NodeCtx::new(rank, cfg, disk, ep)?;
+                        let mut ctx = NodeCtx::with_chunk_cache(rank, cfg, disk, ep, cache)?;
                         let res =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match res {
@@ -144,7 +160,13 @@ impl Cluster {
             TcpOpts { connect_timeout: Duration::from_secs(self.cfg.connect_timeout_secs) },
         )?;
         *self.last_net.lock() = vec![ep.stats_arc()];
-        let mut ctx = NodeCtx::new(rank, self.cfg.clone(), self.disks[rank].clone(), ep)?;
+        let mut ctx = NodeCtx::with_chunk_cache(
+            rank,
+            self.cfg.clone(),
+            self.disks[rank].clone(),
+            ep,
+            self.chunk_caches.get(rank).cloned(),
+        )?;
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
         match res {
             Ok(Ok(v)) => Ok(v),
@@ -181,6 +203,12 @@ impl Cluster {
     /// Per-node network stats of the most recent `run`.
     pub fn net_stats(&self) -> Vec<Arc<NetStats>> {
         self.last_net.lock().clone()
+    }
+
+    /// Per-rank chunk-cache counters; empty when the cache is disabled
+    /// (`chunk_cache_bytes == 0` allocates nothing).
+    pub fn chunk_cache_stats(&self) -> Vec<ChunkCacheStats> {
+        self.chunk_caches.iter().map(|c| c.stats()).collect()
     }
 
     /// Zeroes disk counters (between preprocessing and timed runs).

@@ -31,6 +31,7 @@ use dfo_part::csr::{choose_repr, IndexedChunk, MergeCursor};
 use dfo_part::filter::{should_filter, FilterCursor};
 use dfo_part::plan::ChunkInfo;
 use dfo_part::preprocess::paths;
+use dfo_storage::{CachedValue, ChunkKey, PrefetchJob, Prefetcher};
 use dfo_types::{DfoError, DispatchKind, PhaseStats, Pod, Rank, ReprKind, Result, VertexId};
 use parking_lot::Mutex;
 use std::io::Write;
@@ -118,6 +119,7 @@ impl NodeCtx {
         let mut stats = PhaseStats::default();
         let disk_stats = self.disk.stats();
         let (r0, w0) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
+        let cache0 = self.chunk_cache.as_ref().map(|c| c.stats());
 
         // ---------------- phase 1: generating --------------------------------
         let gen_counts: Vec<AtomicU64> = (0..b_count).map(|_| AtomicU64::new(0)).collect();
@@ -225,6 +227,9 @@ impl NodeCtx {
 
         // ---------------- phase 4: processing --------------------------------
         let (r1, w1) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
+        // read-ahead: background threads decode the next batches' chunks
+        // into the cache while `slot` runs over the current one
+        let prefetcher = self.spawn_prefetcher::<E>(b_count, &msg_counts, &none_mode, &none_counts);
         let result: Mutex<A> = Mutex::new(A::zero());
         {
             let next = AtomicUsize::new(0);
@@ -237,6 +242,9 @@ impl NodeCtx {
                             let b = next.fetch_add(1, Ordering::Relaxed);
                             if b >= b_count {
                                 break;
+                            }
+                            if let Some(pf) = &prefetcher {
+                                pf.notify_claimed(b);
                             }
                             match self.process_batch::<A, M, E>(
                                 b,
@@ -265,8 +273,17 @@ impl NodeCtx {
                 return Err(e);
             }
         }
+        // join the prefetch threads before sampling counters so their reads
+        // land deterministically in the processing window
+        drop(prefetcher);
         stats.process_disk_read = disk_stats.read_bytes.get() - r1;
         stats.process_disk_write = disk_stats.write_bytes.get() - w1;
+        if let (Some(cache), Some(s0)) = (&self.chunk_cache, cache0) {
+            let s1 = cache.stats();
+            stats.chunk_cache_hits = s1.hits - s0.hits;
+            stats.chunk_cache_misses = s1.misses - s0.misses;
+            stats.chunk_cache_evicted_bytes = s1.evicted_bytes - s0.evicted_bytes;
+        }
 
         self.commit_epochs(&epoch_set)?;
         self.last_stats = stats;
@@ -379,13 +396,16 @@ impl NodeCtx {
         let rec = record_bytes::<M>();
         let mut fb = FrameBuilder::new(FRAME_BYTES, rec);
         let mut sent = 0u64;
+        // stats accumulate in locals and flush once per stream — a per-record
+        // fetch_add on a shared cache line costs more than the record parse
+        let mut read_bytes = 0u64;
         for (b, c) in gen_counts.iter().enumerate() {
             if c.load(Ordering::Relaxed) == 0 {
                 continue;
             }
             let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
             while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
-                call.pass_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                read_bytes += rec as u64;
                 if !do_filter || cursor.contains(src) {
                     sent += 1;
                     if let Some(frame) = fb.push(src, &msg) {
@@ -398,6 +418,7 @@ impl NodeCtx {
             self.net.send(j, seq, tail, false)?;
         }
         self.net.finish_stream(j, seq)?;
+        call.pass_disk_read.fetch_add(read_bytes, Ordering::Relaxed);
         call.messages_sent.fetch_add(sent, Ordering::Relaxed);
         Ok(())
     }
@@ -429,61 +450,59 @@ impl NodeCtx {
                 let mut access = self.open_dispatch_access(rank, m_total, &dinfo)?;
                 let mut sink = PushSink::new(self, rank);
                 let rec = record_bytes::<M>();
+                let mut read_bytes = 0u64;
                 for (b, c) in gen_counts.iter().enumerate() {
                     if c.load(Ordering::Relaxed) == 0 {
                         continue;
                     }
                     let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
                     while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
-                        call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
+                        read_bytes += rec as u64;
                         for batch in access.batches_of(src)? {
-                            sink.write::<M>(batch as usize, src, &msg, msg_counts, call)?;
+                            sink.write::<M>(batch as usize, src, &msg)?;
                         }
                     }
                 }
-                sink.finish()
+                call.dispatch_disk_read.fetch_add(read_bytes, Ordering::Relaxed);
+                sink.finish(msg_counts, call)
             }
             Strategy::Pull => {
-                // each batch merges its pull list against the gen stream
-                #[allow(clippy::needless_range_loop)] // b indexes chunk_map and msg_counts alike
+                // one pass: every interested batch's pull cursor rides the
+                // same scan of the gen stream (sources ascend across files)
+                let mut lists: Vec<(usize, Vec<u32>)> = Vec::new();
                 for b in 0..self.plan.n_batches(rank) {
                     if self.chunk_map[rank][b].is_none() {
                         continue;
                     }
-                    let list =
-                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(rank, b))?;
-                    let mut cursor = FilterCursor::new(&list);
-                    let mut writer: Option<dfo_storage::DiskWriter> = None;
-                    let mut matched = 0u64;
-                    let rec = record_bytes::<M>();
-                    for (gb, c) in gen_counts.iter().enumerate() {
-                        if c.load(Ordering::Relaxed) == 0 {
-                            continue;
-                        }
-                        let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
-                        while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
-                            call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
-                            if cursor.contains(src) {
-                                let w = match &mut writer {
-                                    Some(w) => w,
-                                    None => {
-                                        writer = Some(self.disk.create_with_buffer(
-                                            &seg_path(b, rank),
-                                            DISPATCH_BUF,
-                                        )?);
-                                        writer.as_mut().unwrap()
-                                    }
-                                };
-                                crate::messages::write_record(w, src, &msg)?;
-                                call.dispatch_disk_write.fetch_add(rec as u64, Ordering::Relaxed);
-                                matched += 1;
+                    lists.push((
+                        b,
+                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(rank, b))?,
+                    ));
+                }
+                let mut routes: Vec<PullRoute> =
+                    lists.iter().map(|(b, l)| PullRoute::new(*b, l)).collect();
+                let rec = record_bytes::<M>();
+                let mut read_bytes = 0u64;
+                let mut write_bytes = 0u64;
+                for (gb, c) in gen_counts.iter().enumerate() {
+                    if c.load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
+                    while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                        read_bytes += rec as u64;
+                        for route in &mut routes {
+                            if route.cursor.contains(src) {
+                                route.write::<M>(self, rank, src, &msg)?;
+                                write_bytes += rec as u64;
                             }
                         }
                     }
-                    if let Some(w) = writer {
-                        w.finish()?;
-                    }
-                    msg_counts[b][rank].store(matched, Ordering::Release);
+                }
+                call.dispatch_disk_read.fetch_add(read_bytes, Ordering::Relaxed);
+                call.dispatch_disk_write.fetch_add(write_bytes, Ordering::Relaxed);
+                for route in routes {
+                    route.finish(msg_counts, rank)?;
                 }
                 Ok(())
             }
@@ -517,12 +536,14 @@ impl NodeCtx {
             Strategy::NoDispatch => {
                 let mut w = self.disk.create(&none_path(p))?;
                 let mut total = 0u64;
+                let mut write_bytes = 0u64;
                 while let Some(chunk) = stream.next_chunk()? {
                     w.write_all(&chunk).map_err(|e| DfoError::io("spilling raw stream", e))?;
-                    call.dispatch_disk_write.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    write_bytes += chunk.len() as u64;
                     total += chunk.len() as u64 / rec as u64;
                 }
                 w.finish()?;
+                call.dispatch_disk_write.fetch_add(write_bytes, Ordering::Relaxed);
                 none_counts[p].store(total, Ordering::Release);
                 none_mode[p].store(true, Ordering::Release);
                 Ok(())
@@ -538,55 +559,55 @@ impl NodeCtx {
                         let (src, msg) = parse_record::<M>(&chunk, off);
                         off += rec;
                         for batch in access.batches_of(src)? {
-                            sink.write::<M>(batch as usize, src, &msg, msg_counts, call)?;
+                            sink.write::<M>(batch as usize, src, &msg)?;
                         }
                     }
                 }
-                sink.finish()
+                sink.finish(msg_counts, call)
             }
             Strategy::Pull => {
-                // stage the stream, then batches pull what they need
+                // stage the stream, then route it to every interested batch
+                // in a single pass (mirrors dispatch_self's Pull mode; the
+                // staged records keep the sender's ascending source order)
                 let stage = format!("msgs/stage_p{p}.bin");
                 {
                     let mut w = self.disk.create(&stage)?;
+                    let mut write_bytes = 0u64;
                     while let Some(chunk) = stream.next_chunk()? {
                         w.write_all(&chunk).map_err(|e| DfoError::io("staging stream", e))?;
-                        call.dispatch_disk_write.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        write_bytes += chunk.len() as u64;
                     }
                     w.finish()?;
+                    call.dispatch_disk_write.fetch_add(write_bytes, Ordering::Relaxed);
                 }
-                #[allow(clippy::needless_range_loop)] // b indexes chunk_map and msg_counts alike
+                let mut lists: Vec<(usize, Vec<u32>)> = Vec::new();
                 for b in 0..self.plan.n_batches(self.rank) {
                     if self.chunk_map[p][b].is_none() {
                         continue;
                     }
-                    let list = dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(p, b))?;
-                    let mut cursor = FilterCursor::new(&list);
-                    let mut r = RecordReader::new(self.disk.open(&stage)?);
-                    let mut writer: Option<dfo_storage::DiskWriter> = None;
-                    let mut matched = 0u64;
-                    while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
-                        call.dispatch_disk_read.fetch_add(rec as u64, Ordering::Relaxed);
-                        if cursor.contains(src) {
-                            let w = match &mut writer {
-                                Some(w) => w,
-                                None => {
-                                    writer = Some(
-                                        self.disk
-                                            .create_with_buffer(&seg_path(b, p), DISPATCH_BUF)?,
-                                    );
-                                    writer.as_mut().unwrap()
-                                }
-                            };
-                            crate::messages::write_record(w, src, &msg)?;
-                            call.dispatch_disk_write.fetch_add(rec as u64, Ordering::Relaxed);
-                            matched += 1;
+                    lists.push((
+                        b,
+                        dfo_part::dispatch::read_pull_list(&self.disk, &paths::pull(p, b))?,
+                    ));
+                }
+                let mut routes: Vec<PullRoute> =
+                    lists.iter().map(|(b, l)| PullRoute::new(*b, l)).collect();
+                let mut r = RecordReader::new(self.disk.open(&stage)?);
+                let mut read_bytes = 0u64;
+                let mut write_bytes = 0u64;
+                while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
+                    read_bytes += rec as u64;
+                    for route in &mut routes {
+                        if route.cursor.contains(src) {
+                            route.write::<M>(self, p, src, &msg)?;
+                            write_bytes += rec as u64;
                         }
                     }
-                    if let Some(w) = writer {
-                        w.finish()?;
-                    }
-                    msg_counts[b][p].store(matched, Ordering::Release);
+                }
+                call.dispatch_disk_read.fetch_add(read_bytes, Ordering::Relaxed);
+                call.dispatch_disk_write.fetch_add(write_bytes, Ordering::Relaxed);
+                for route in routes {
+                    route.finish(msg_counts, p)?;
                 }
                 Ok(())
             }
@@ -630,7 +651,8 @@ impl NodeCtx {
     }
 
     /// Opens the dispatching graph from partition `p`, either fully loaded
-    /// or in positioned-read seek mode when messages are few (§4.1).
+    /// (through the chunk cache when one is configured) or in
+    /// positioned-read seek mode when messages are few (§4.1).
     fn open_dispatch_access(
         &self,
         p: Rank,
@@ -648,9 +670,155 @@ impl NodeCtx {
         let want = self.cfg.repr_override.unwrap_or_else(|| {
             choose_repr(dinfo.has_csr, dinfo.n_nonzero_src, n_src, bound, self.cfg.gamma)
         });
-        let mut r = self.disk.open(&paths::dispatch(p))?;
-        let dg = IndexedChunk::read_from(&mut r, Some(want))?;
+        let dg = self.load_dispatch_graph(p, want)?;
         Ok(DispatchAccess::Loaded { dg, cursor: MergeCursor::new() })
+    }
+
+    /// Work arriving at destination batch `b` from partition `p` this call:
+    /// `None` if the batch has nothing to replay from `p`, else the chunk
+    /// metadata, the *pushed* record count (0 = replay the undispatched
+    /// buffer) and the total message count driving the §4.1 cost model.
+    /// `process_batch` and `spawn_prefetcher` must share this rule — if
+    /// they disagree, read-ahead decodes chunks under keys the consumer
+    /// never looks up.
+    fn batch_messages(
+        &self,
+        b: usize,
+        p: Rank,
+        msg_counts: &[Vec<AtomicU64>],
+        none_mode: &[AtomicBool],
+        none_counts: &[AtomicU64],
+    ) -> Option<(ChunkInfo, u64, u64)> {
+        let cinfo = self.chunk_map[p][b]?;
+        let pushed = msg_counts[b][p].load(Ordering::Acquire);
+        let in_none = none_mode[p].load(Ordering::Acquire);
+        let count = if pushed > 0 { pushed } else { none_counts[p].load(Ordering::Acquire) };
+        if pushed == 0 && (!in_none || count == 0) {
+            return None;
+        }
+        Some((cinfo, pushed, count))
+    }
+
+    /// §4.1 access choice for the edge chunk `(p, ·)` given `count` incoming
+    /// messages: `None` means seek mode (which bypasses cache and prefetch
+    /// by design — it exists precisely because loading the whole chunk does
+    /// not pay), `Some(want)` means load the chunk decoded with that index.
+    fn chunk_repr(&self, cinfo: &ChunkInfo, p: Rank, count: u64) -> Option<ReprKind> {
+        let n_src = self.plan.partitions[p].len();
+        if self.cfg.repr_override.is_none()
+            && dfo_part::csr::should_seek(cinfo.has_csr, count, n_src, self.cfg.gamma)
+        {
+            return None;
+        }
+        Some(self.cfg.repr_override.unwrap_or_else(|| {
+            choose_repr(cinfo.has_csr, cinfo.n_nonzero_src, n_src, count, self.cfg.gamma)
+        }))
+    }
+
+    /// Loads the decoded edge chunk `(p, b)` with index `want`, through the
+    /// chunk cache (and any in-flight prefetch) when one is configured.
+    fn load_chunk<E: Pod + PartialEq>(
+        &self,
+        p: Rank,
+        b: usize,
+        want: ReprKind,
+    ) -> Result<Arc<IndexedChunk<E>>> {
+        let read = || -> Result<IndexedChunk<E>> {
+            let mut r = self.disk.open(&paths::chunk(p, b))?;
+            IndexedChunk::read_from(&mut r, Some(want))
+        };
+        let Some(cache) = &self.chunk_cache else {
+            return Ok(Arc::new(read()?));
+        };
+        let key = ChunkKey { partition: p, batch: Some(b), repr: Some(want) };
+        if let Some(v) = cache.lookup(&key) {
+            return Ok(v.downcast::<IndexedChunk<E>>().expect("chunk cache holds IndexedChunk<E>"));
+        }
+        let chunk = Arc::new(read()?);
+        let bytes = chunk.decoded_bytes();
+        let value: CachedValue = chunk.clone();
+        cache.insert(key, value, bytes);
+        Ok(chunk)
+    }
+
+    /// Loads the decoded dispatching graph from partition `p`, through the
+    /// chunk cache when one is configured (keyed with `batch: None`).
+    fn load_dispatch_graph(&self, p: Rank, want: ReprKind) -> Result<Arc<IndexedChunk<()>>> {
+        let read = || -> Result<IndexedChunk<()>> {
+            let mut r = self.disk.open(&paths::dispatch(p))?;
+            IndexedChunk::read_from(&mut r, Some(want))
+        };
+        let Some(cache) = &self.chunk_cache else {
+            return Ok(Arc::new(read()?));
+        };
+        let key = ChunkKey { partition: p, batch: None, repr: Some(want) };
+        if let Some(v) = cache.lookup(&key) {
+            return Ok(v
+                .downcast::<IndexedChunk<()>>()
+                .expect("dispatch cache holds IndexedChunk<()>"));
+        }
+        let dg = Arc::new(read()?);
+        let bytes = dg.decoded_bytes();
+        let value: CachedValue = dg.clone();
+        cache.insert(key, value, bytes);
+        Ok(dg)
+    }
+
+    /// Builds and starts the phase-4 read-ahead pool: the batch processing
+    /// order and each chunk's access mode are fully known once dispatching
+    /// finished, so background threads can load and decode the next batches'
+    /// chunks while `slot` runs over the current one. Returns `None` when
+    /// the cache is off (budget 0 spawns no threads), read-ahead is disabled,
+    /// or every needed chunk is already resident or in seek mode.
+    fn spawn_prefetcher<E: Pod + PartialEq>(
+        &self,
+        b_count: usize,
+        msg_counts: &[Vec<AtomicU64>],
+        none_mode: &[AtomicBool],
+        none_counts: &[AtomicU64],
+    ) -> Option<Prefetcher> {
+        let cache = self.chunk_cache.as_ref()?;
+        if self.cfg.prefetch_depth == 0 {
+            return None;
+        }
+        let rank = self.rank;
+        let mut order = vec![rank];
+        order.extend(self.cfg.recv_order(rank));
+        let mut jobs = Vec::new();
+        #[allow(clippy::needless_range_loop)] // b indexes batches, chunk_map and msg_counts alike
+        for b in 0..b_count {
+            if self.plan.batches[rank][b].is_empty() {
+                continue;
+            }
+            for &p in &order {
+                let Some((cinfo, _, count)) =
+                    self.batch_messages(b, p, msg_counts, none_mode, none_counts)
+                else {
+                    continue;
+                };
+                let Some(want) = self.chunk_repr(&cinfo, p, count) else { continue };
+                let key = ChunkKey { partition: p, batch: Some(b), repr: Some(want) };
+                if cache.contains(&key) {
+                    continue;
+                }
+                let disk = self.disk.clone();
+                let path = paths::chunk(p, b);
+                jobs.push(PrefetchJob {
+                    key,
+                    group: b,
+                    load: Box::new(move || {
+                        let mut r = disk.open(&path)?;
+                        let chunk = IndexedChunk::<E>::read_from(&mut r, Some(want))?;
+                        let bytes = chunk.decoded_bytes();
+                        Ok((Arc::new(chunk) as CachedValue, bytes))
+                    }),
+                });
+            }
+        }
+        if jobs.is_empty() {
+            return None;
+        }
+        Some(Prefetcher::spawn(cache.clone(), jobs, self.cfg.prefetch_depth))
     }
 
     /// Phase 4 for one destination batch.
@@ -681,12 +849,9 @@ impl NodeCtx {
         order.extend(self.cfg.recv_order(rank));
 
         // anything for this batch at all? (skip = no I/O for idle batches)
-        let has_work = order.iter().any(|&p| {
-            msg_counts[b][p].load(Ordering::Acquire) > 0
-                || (none_mode[p].load(Ordering::Acquire)
-                    && none_counts[p].load(Ordering::Acquire) > 0
-                    && self.chunk_map[p][b].is_some())
-        });
+        let has_work = order
+            .iter()
+            .any(|&p| self.batch_messages(b, p, msg_counts, none_mode, none_counts).is_some());
         if !has_work {
             return Ok(A::zero());
         }
@@ -697,34 +862,21 @@ impl NodeCtx {
         let dst_base = self.plan.partitions[rank].start;
 
         for &p in &order {
-            let Some(cinfo) = self.chunk_map[p][b] else { continue };
-            let pushed = msg_counts[b][p].load(Ordering::Acquire);
-            let in_none = none_mode[p].load(Ordering::Acquire);
-            let count = if pushed > 0 { pushed } else { none_counts[p].load(Ordering::Acquire) };
-            if pushed == 0 && (!in_none || count == 0) {
+            let Some((cinfo, pushed, count)) =
+                self.batch_messages(b, p, msg_counts, none_mode, none_counts)
+            else {
                 continue;
-            }
+            };
             // §4.1: with few messages and a stored CSR, *seek* into the
-            // chunk with positioned reads instead of streaming it whole
-            let n_src_len = self.plan.partitions[p].len();
-            let use_seek = self.cfg.repr_override.is_none()
-                && dfo_part::csr::should_seek(cinfo.has_csr, count, n_src_len, self.cfg.gamma);
-            let (chunk, seeker) = if use_seek {
-                let s = dfo_part::csr::ChunkSeeker::<E>::open(&self.disk, &paths::chunk(p, b))?
-                    .expect("seek mode requires a stored CSR");
-                (None, Some(s))
-            } else {
-                let want = self.cfg.repr_override.unwrap_or_else(|| {
-                    choose_repr(
-                        cinfo.has_csr,
-                        cinfo.n_nonzero_src,
-                        n_src_len,
-                        count,
-                        self.cfg.gamma,
-                    )
-                });
-                let mut r = self.disk.open(&paths::chunk(p, b))?;
-                (Some(IndexedChunk::<E>::read_from(&mut r, Some(want))?), None)
+            // chunk with positioned reads instead of streaming it whole;
+            // full loads go through the chunk cache and prefetcher
+            let (chunk, seeker) = match self.chunk_repr(&cinfo, p, count) {
+                None => {
+                    let s = dfo_part::csr::ChunkSeeker::<E>::open(&self.disk, &paths::chunk(p, b))?
+                        .expect("seek mode requires a stored CSR");
+                    (None, Some(s))
+                }
+                Some(want) => (Some(self.load_chunk::<E>(p, b, want)?), None),
             };
             let use_csr = chunk.as_ref().map(|c| c.csr_idx.is_some()).unwrap_or(false);
             let src_base = self.plan.partitions[p].start;
@@ -744,7 +896,7 @@ impl NodeCtx {
                     }
                     return Ok(());
                 }
-                let chunk = chunk.as_ref().unwrap();
+                let chunk = chunk.as_deref().unwrap();
                 let edges = if use_csr { chunk.edges_of_csr(src) } else { mc.edges_of(chunk, src) };
                 for e in edges {
                     let a = slot(
@@ -787,9 +939,11 @@ impl NodeCtx {
     }
 }
 
-/// Access mode to a dispatching graph during push dispatching.
+/// Access mode to a dispatching graph during push dispatching. The loaded
+/// variant holds an `Arc` so the decoded graph can live on in the chunk
+/// cache after this stream is done.
 enum DispatchAccess {
-    Loaded { dg: IndexedChunk<()>, cursor: MergeCursor },
+    Loaded { dg: Arc<IndexedChunk<()>>, cursor: MergeCursor },
     Seek(dfo_part::csr::ChunkSeeker<()>),
 }
 
@@ -812,27 +966,31 @@ impl DispatchAccess {
     }
 }
 
-/// Lazily-opened per-batch segment writers for push dispatching.
+/// Lazily-opened per-batch segment writers for push dispatching. Record
+/// counts and byte stats accumulate locally and flush once in
+/// [`PushSink::finish`] — phase 4 only reads `msg_counts` after the
+/// dispatch threads have joined, so per-record atomics bought nothing.
 struct PushSink<'a> {
     node: &'a NodeCtx,
     src_partition: Rank,
     writers: Vec<Option<dfo_storage::DiskWriter>>,
+    counts: Vec<u64>,
+    write_bytes: u64,
 }
 
 impl<'a> PushSink<'a> {
     fn new(node: &'a NodeCtx, src_partition: Rank) -> Self {
         let b = node.plan.n_batches(node.rank);
-        Self { node, src_partition, writers: (0..b).map(|_| None).collect() }
+        Self {
+            node,
+            src_partition,
+            writers: (0..b).map(|_| None).collect(),
+            counts: vec![0; b],
+            write_bytes: 0,
+        }
     }
 
-    fn write<M: Pod>(
-        &mut self,
-        batch: usize,
-        src: u32,
-        msg: &M,
-        msg_counts: &[Vec<AtomicU64>],
-        call: &CallStats,
-    ) -> Result<()> {
+    fn write<M: Pod>(&mut self, batch: usize, src: u32, msg: &M) -> Result<()> {
         let w = match &mut self.writers[batch] {
             Some(w) => w,
             None => {
@@ -845,15 +1003,60 @@ impl<'a> PushSink<'a> {
             }
         };
         crate::messages::write_record(w, src, msg)?;
-        call.dispatch_disk_write.fetch_add(record_bytes::<M>() as u64, Ordering::Relaxed);
-        msg_counts[batch][self.src_partition].fetch_add(1, Ordering::Release);
+        self.write_bytes += record_bytes::<M>() as u64;
+        self.counts[batch] += 1;
         Ok(())
     }
 
-    fn finish(self) -> Result<()> {
+    fn finish(self, msg_counts: &[Vec<AtomicU64>], call: &CallStats) -> Result<()> {
         for w in self.writers.into_iter().flatten() {
             w.finish()?;
         }
+        for (b, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                msg_counts[b][self.src_partition].fetch_add(n, Ordering::Release);
+            }
+        }
+        call.dispatch_disk_write.fetch_add(self.write_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// One destination batch's routing state during single-pass Pull
+/// dispatching: its sorted pull-list cursor, a lazily-created segment
+/// writer, and the matched-record count (flushed once in
+/// [`PullRoute::finish`]).
+struct PullRoute<'a> {
+    batch: usize,
+    cursor: FilterCursor<'a>,
+    writer: Option<dfo_storage::DiskWriter>,
+    matched: u64,
+}
+
+impl<'a> PullRoute<'a> {
+    fn new(batch: usize, list: &'a [u32]) -> Self {
+        Self { batch, cursor: FilterCursor::new(list), writer: None, matched: 0 }
+    }
+
+    fn write<M: Pod>(&mut self, node: &NodeCtx, from: Rank, src: u32, msg: &M) -> Result<()> {
+        let w = match &mut self.writer {
+            Some(w) => w,
+            None => {
+                self.writer =
+                    Some(node.disk.create_with_buffer(&seg_path(self.batch, from), DISPATCH_BUF)?);
+                self.writer.as_mut().unwrap()
+            }
+        };
+        crate::messages::write_record(w, src, msg)?;
+        self.matched += 1;
+        Ok(())
+    }
+
+    fn finish(self, msg_counts: &[Vec<AtomicU64>], from: Rank) -> Result<()> {
+        if let Some(w) = self.writer {
+            w.finish()?;
+        }
+        msg_counts[self.batch][from].store(self.matched, Ordering::Release);
         Ok(())
     }
 }

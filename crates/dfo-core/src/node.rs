@@ -9,7 +9,7 @@ use crate::accum::Accum;
 use crate::array::{ArrayEntry, BatchCtx, VertexArray};
 use dfo_net::Endpoint;
 use dfo_part::plan::{ChunkInfo, Plan};
-use dfo_storage::NodeDisk;
+use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
 use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,14 +25,34 @@ pub struct NodeCtx {
     /// `chunk_map[p][b]`: metadata of the edge chunk from partition `p` to
     /// local batch `b`, if it has edges.
     pub(crate) chunk_map: Vec<Vec<Option<ChunkInfo>>>,
+    /// Memory-budgeted cache of decoded edge chunks and dispatch graphs,
+    /// shared across `process_edges` calls (and across runs when owned by a
+    /// [`crate::Cluster`]). `None` when `chunk_cache_bytes == 0`.
+    pub(crate) chunk_cache: Option<Arc<ChunkCache>>,
     pub(crate) call_seq: u64,
     pub(crate) last_stats: PhaseStats,
 }
 
 impl NodeCtx {
     /// Builds the context for `rank`, loading the plan replicated by
-    /// preprocessing.
+    /// preprocessing. A fresh chunk cache is allocated from
+    /// `cfg.chunk_cache_bytes`; [`NodeCtx::with_chunk_cache`] lets an owner
+    /// (the [`crate::Cluster`]) share one across runs instead.
     pub fn new(rank: Rank, cfg: EngineConfig, disk: NodeDisk, net: Endpoint) -> Result<Self> {
+        let cache =
+            (cfg.chunk_cache_bytes > 0).then(|| Arc::new(ChunkCache::new(cfg.chunk_cache_bytes)));
+        Self::with_chunk_cache(rank, cfg, disk, net, cache)
+    }
+
+    /// Like [`NodeCtx::new`] with an externally owned chunk cache (or
+    /// `None` to disable caching regardless of the config).
+    pub fn with_chunk_cache(
+        rank: Rank,
+        cfg: EngineConfig,
+        disk: NodeDisk,
+        net: Endpoint,
+        chunk_cache: Option<Arc<ChunkCache>>,
+    ) -> Result<Self> {
         let plan = Plan::load(&disk)?;
         let mut chunk_map: Vec<Vec<Option<ChunkInfo>>> =
             (0..plan.nodes()).map(|_| vec![None; plan.n_batches(rank)]).collect();
@@ -47,6 +67,7 @@ impl NodeCtx {
             plan,
             arrays: HashMap::new(),
             chunk_map,
+            chunk_cache,
             call_seq: 0,
             last_stats: PhaseStats::default(),
         })
@@ -80,6 +101,12 @@ impl NodeCtx {
     /// (the Table 2 measurement).
     pub fn last_phase_stats(&self) -> &PhaseStats {
         &self.last_stats
+    }
+
+    /// Cumulative counters of this node's chunk cache; `None` when the
+    /// cache is disabled (`chunk_cache_bytes == 0`).
+    pub fn chunk_cache_stats(&self) -> Option<ChunkCacheStats> {
+        self.chunk_cache.as_ref().map(|c| c.stats())
     }
 
     /// The paper's `GetVertexArray<T>`: creates the named array (zeroed) or

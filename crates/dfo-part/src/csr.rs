@@ -176,6 +176,21 @@ impl<E: Pod + PartialEq> IndexedChunk<E> {
         Ok(Self { n_src, dcsr_src, dcsr_idx, csr_idx, dst, data })
     }
 
+    /// In-memory footprint of the decoded chunk — what a bounded chunk
+    /// cache charges against its byte budget. Deterministic (length-based,
+    /// not capacity-based) so cache behaviour is reproducible.
+    pub fn decoded_bytes(&self) -> u64 {
+        let mut n = std::mem::size_of::<Self>() as u64;
+        n += 4 * self.dcsr_src.len() as u64;
+        n += 8 * self.dcsr_idx.len() as u64;
+        if let Some(c) = &self.csr_idx {
+            n += 8 * c.len() as u64;
+        }
+        n += 4 * self.dst.len() as u64;
+        n += (std::mem::size_of::<E>() * self.data.len()) as u64;
+        n
+    }
+
     /// Serialized byte size (for I/O estimations and tests).
     pub fn serialized_bytes(&self) -> u64 {
         let mut n = 4 + 4 + 8 + 8 + 8;
@@ -407,6 +422,20 @@ mod tests {
         assert_eq!(buf.len() as u64, c.serialized_bytes());
         let back = IndexedChunk::<u8>::read_from(&mut Cursor::new(&buf), None).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn decoded_bytes_tracks_loaded_index() {
+        let c = figure1_chunk();
+        let header = std::mem::size_of::<IndexedChunk<u8>>() as u64;
+        // dcsr_src 2×4 + dcsr_idx 3×8 + csr 5×8 + dst 3×4 + data 3×1
+        assert_eq!(c.decoded_bytes(), header + 8 + 24 + 40 + 12 + 3);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let dcsr_only =
+            IndexedChunk::<u8>::read_from(&mut Cursor::new(&buf), Some(ReprKind::Dcsr)).unwrap();
+        // skipping the CSR section shrinks the decoded footprint too
+        assert_eq!(dcsr_only.decoded_bytes(), c.decoded_bytes() - 40);
     }
 
     #[test]

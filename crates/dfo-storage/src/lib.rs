@@ -10,11 +10,13 @@
 //! same byte volumes the paper reasons about.
 
 pub mod blockstore;
+pub mod chunkcache;
 pub mod disk;
 pub mod pagecache;
 pub mod throttle;
 
 pub use blockstore::VersionedArrayStore;
+pub use chunkcache::{CachedValue, ChunkCache, ChunkCacheStats, ChunkKey, PrefetchJob, Prefetcher};
 pub use disk::{DiskReader, DiskStats, DiskWriter, NodeDisk, RandomFile};
 pub use pagecache::{CacheStats, PageCache};
 pub use throttle::Throttle;

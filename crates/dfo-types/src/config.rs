@@ -36,7 +36,7 @@ pub enum DispatchKind {
 
 /// Forces a particular edge-chunk representation at access time (§4.1);
 /// `None` keeps the adaptive cost-model choice.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReprKind {
     Csr,
     Dcsr,
@@ -87,6 +87,18 @@ pub struct EngineConfig {
     /// Records disk/network traffic time series (Figure 5); off by default
     /// because sampling adds a lock per transfer.
     pub record_traffic: bool,
+    /// Memory budget in bytes for the decoded edge-chunk cache shared
+    /// across `ProcessEdges` calls (bytes, not entries). `0` — the default —
+    /// disables the subsystem entirely: no cache is allocated and no
+    /// prefetch threads are spawned, preserving the fully-out-of-core
+    /// behaviour. Overridable with the `DFO_CHUNK_CACHE` environment
+    /// variable (see [`EngineConfig::apply_env_overrides`]).
+    pub chunk_cache_bytes: u64,
+    /// Read-ahead depth of the phase-4 chunk prefetcher: how many vertex
+    /// batches ahead of the processing frontier background threads may load
+    /// and decode edge chunks. Only active when `chunk_cache_bytes > 0`;
+    /// `0` disables read-ahead while keeping the cache.
+    pub prefetch_depth: usize,
     /// Peer socket addresses (`host:port`, one per rank, index = rank) for
     /// the multi-process TCP transport used by `run_distributed`; `None`
     /// keeps the in-process channel transport. See
@@ -119,6 +131,8 @@ impl EngineConfig {
             dispatch_override: None,
             repr_override: None,
             record_traffic: false,
+            chunk_cache_bytes: 0,
+            prefetch_depth: 2,
             peers: None,
             connect_timeout_secs: 30,
         }
@@ -134,7 +148,8 @@ impl EngineConfig {
     /// Applies environment overrides for multi-process launches:
     /// `DFO_PEERS` is a comma-separated `host:port` list (one per rank, in
     /// rank order) that switches the config to the TCP transport and sets
-    /// the node count to match.
+    /// the node count to match; `DFO_CHUNK_CACHE` sets the chunk-cache
+    /// budget in bytes (optional `K`/`M`/`G` suffix).
     pub fn apply_env_overrides(&mut self) {
         if let Ok(s) = std::env::var("DFO_PEERS") {
             let peers: Vec<String> =
@@ -142,6 +157,18 @@ impl EngineConfig {
             if !peers.is_empty() {
                 self.nodes = peers.len();
                 self.peers = Some(peers);
+            }
+        }
+        if let Ok(s) = std::env::var("DFO_CHUNK_CACHE") {
+            match parse_byte_size(&s) {
+                Some(bytes) => self.chunk_cache_bytes = bytes,
+                // warn rather than silently leave the cache off: the user
+                // explicitly asked for it
+                None => eprintln!(
+                    "DFO_CHUNK_CACHE={s:?} is not a byte size (use e.g. 67108864 or 64M); \
+                     keeping chunk_cache_bytes = {}",
+                    self.chunk_cache_bytes
+                ),
             }
         }
     }
@@ -199,9 +226,43 @@ impl EngineConfig {
     }
 }
 
+/// Parses `"67108864"`, `"64M"`, `"2G"`, `"512K"` (optionally `"64MB"`)
+/// into bytes.
+fn parse_byte_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let s = s.strip_suffix(['b', 'B']).filter(|r| !r.is_empty()).unwrap_or(s);
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<u64>().ok().map(|n| n.saturating_mul(mult))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn byte_size_suffixes() {
+        assert_eq!(parse_byte_size("4096"), Some(4096));
+        assert_eq!(parse_byte_size("64M"), Some(64 << 20));
+        assert_eq!(parse_byte_size("64MB"), Some(64 << 20));
+        assert_eq!(parse_byte_size("512K"), Some(512 << 10));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size("2GB"), Some(2 << 30));
+        assert_eq!(parse_byte_size("nope"), None);
+        assert_eq!(parse_byte_size("b"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn chunk_cache_defaults_off() {
+        let c = EngineConfig::for_test(2);
+        assert_eq!(c.chunk_cache_bytes, 0);
+        assert_eq!(c.prefetch_depth, 2);
+    }
 
     #[test]
     fn alpha_default_is_2p_minus_1() {

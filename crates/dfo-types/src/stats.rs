@@ -128,6 +128,14 @@ pub struct PhaseStats {
     pub messages_generated: u64,
     /// Messages actually sent on the wire after filtering.
     pub messages_sent: u64,
+    /// Decoded-chunk cache hits this call (edge chunks + dispatch graphs);
+    /// 0 when `chunk_cache_bytes == 0`.
+    pub chunk_cache_hits: u64,
+    /// Decoded-chunk cache misses this call (each miss cost one chunk read).
+    pub chunk_cache_misses: u64,
+    /// Bytes of decoded chunks evicted from the cache this call to stay
+    /// inside the memory budget.
+    pub chunk_cache_evicted_bytes: u64,
 }
 
 impl PhaseStats {
@@ -143,6 +151,9 @@ impl PhaseStats {
         self.process_disk_write += other.process_disk_write;
         self.messages_generated += other.messages_generated;
         self.messages_sent += other.messages_sent;
+        self.chunk_cache_hits += other.chunk_cache_hits;
+        self.chunk_cache_misses += other.chunk_cache_misses;
+        self.chunk_cache_evicted_bytes += other.chunk_cache_evicted_bytes;
     }
 
     pub fn total_disk(&self) -> u64 {
