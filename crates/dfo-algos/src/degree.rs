@@ -63,14 +63,16 @@ pub fn out_degree_array(ctx: &mut NodeCtx) -> Result<VertexArray<u64>> {
 }
 
 /// Reads only the (src, idx) DCSR arrays of a chunk — they sit right after
-/// the header, before any width-dependent payload.
+/// the header, before any width-dependent payload. The framed reader
+/// transparently decodes compressed chunks, so only the blocks holding the
+/// header and index are ever decompressed.
 fn read_chunk_index(
     ctx: &NodeCtx,
     src_partition: usize,
     batch: usize,
 ) -> Result<(Vec<u32>, Vec<u64>)> {
     use dfo_types::codec::{read_u32, read_u64};
-    let mut r = ctx.disk().open(&paths::chunk(src_partition, batch))?;
+    let mut r = ctx.disk().open_framed(&paths::chunk(src_partition, batch))?;
     let _magic = read_u32(&mut r).map_err(|e| DfoError::io("chunk magic", e))?;
     let _flags = read_u32(&mut r).map_err(|e| DfoError::io("chunk flags", e))?;
     let _n_src = read_u64(&mut r).map_err(|e| DfoError::io("chunk n_src", e))?;

@@ -75,6 +75,46 @@ fn algorithms_bit_identical_across_chunk_cache_matrix() {
     }
 }
 
+/// Chunk compression must likewise be invisible to algorithm results:
+/// PageRank and BFS run bit-identically across the full
+/// {compress on/off} × {chunk_cache_bytes 0/small/large} matrix — the
+/// compressed arm exercises decode-before-cache, the uncompressed arm with
+/// BFS exercises the CSR seek mode that compression bypasses.
+#[test]
+fn algorithms_bit_identical_across_compression_matrix() {
+    let g = rmat(GenConfig::new(9, 6, 77));
+    let run = |compress: bool, budget: u64| -> (Vec<u64>, Vec<u32>) {
+        let mut c = cfg(3, 64);
+        c.compress_chunks = compress;
+        c.chunk_cache_bytes = budget;
+        let td = TempDir::new().unwrap();
+        let cluster = Cluster::create(c, td.path()).unwrap();
+        cluster.preprocess(&g).unwrap();
+        let out = cluster
+            .run(|ctx| {
+                let rank = pagerank(ctx, 5)?;
+                let pr = read_local(ctx, &rank)?;
+                let level = bfs(ctx, 0)?;
+                let lv = read_local(ctx, &level)?;
+                Ok((pr, lv))
+            })
+            .unwrap();
+        let mut pr_bits = Vec::new();
+        let mut levels = Vec::new();
+        for (pr, lv) in out {
+            pr_bits.extend(pr.into_iter().map(f64::to_bits));
+            levels.extend(lv);
+        }
+        (pr_bits, levels)
+    };
+    let baseline = run(false, 0);
+    for compress in [false, true] {
+        for budget in [0u64, 16 << 10, 1 << 30] {
+            assert_eq!(run(compress, budget), baseline, "compress={compress} budget={budget}");
+        }
+    }
+}
+
 #[test]
 fn bfs_matches_oracle_on_rmat() {
     let g = rmat(GenConfig::new(9, 5, 13));

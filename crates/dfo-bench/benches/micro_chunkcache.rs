@@ -8,75 +8,21 @@
 //! future PRs have a trajectory to compare against.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dfo_algos::degree::out_degree_array;
-use dfo_algos::pagerank::DAMPING;
-use dfo_bench::{fmt_bytes, fmt_secs, timed};
-use dfo_core::{Cluster, NodeCtx};
+use dfo_bench::{fmt_bytes, fmt_secs, pagerank_with_stats, timed};
+use dfo_core::Cluster;
 use dfo_graph::gen::{rmat, GenConfig};
-use dfo_types::{BatchPolicy, EngineConfig, PhaseStats, Result};
+use dfo_types::{BatchPolicy, EngineConfig, PhaseStats};
 
 const ITERS: usize = 5;
 
-/// One damped-PageRank run that records the edge pipeline's [`PhaseStats`]
-/// per iteration (the library's `pagerank` helper hides them).
-fn pagerank_with_stats(ctx: &mut NodeCtx, iters: usize) -> Result<Vec<PhaseStats>> {
-    let n = ctx.plan().n_vertices as f64;
-    let rank = ctx.vertex_array::<f64>("pr_rank")?;
-    let nextr = ctx.vertex_array::<f64>("pr_next")?;
-    let deg = out_degree_array(ctx)?;
-    {
-        let r = rank.clone();
-        ctx.process_vertices(&["pr_rank"], None, move |v, c| {
-            c.set(&r, v, 1.0 / n);
-            0u64
-        })?;
-    }
-    let mut stats = Vec::new();
-    for _ in 0..iters {
-        {
-            let nx = nextr.clone();
-            ctx.process_vertices(&["pr_next"], None, move |v, c| {
-                c.set(&nx, v, 0.0);
-                0u64
-            })?;
-        }
-        {
-            let (r, d, nx) = (rank.clone(), deg.clone(), nextr.clone());
-            ctx.process_edges(
-                &["pr_rank", "pr_deg"],
-                &["pr_next"],
-                None,
-                move |v, c| {
-                    let dv = c.get(&d, v);
-                    if dv == 0 {
-                        None
-                    } else {
-                        Some(c.get(&r, v) / dv as f64)
-                    }
-                },
-                move |msg: f64, _src, dst, _e: &(), c| {
-                    let cur = c.get(&nx, dst);
-                    c.set(&nx, dst, cur + msg);
-                    0u64
-                },
-            )?;
-        }
-        stats.push(ctx.last_phase_stats().clone());
-        {
-            let (r, nx) = (rank.clone(), nextr.clone());
-            ctx.process_vertices(&["pr_rank", "pr_next"], None, move |v, c| {
-                let s = c.get(&nx, v);
-                c.set(&r, v, (1.0 - DAMPING) / n + DAMPING * s);
-                0u64
-            })?;
-        }
-    }
-    Ok(stats)
-}
-
 struct RunOut {
-    /// Disk bytes read by the edge pipeline per iteration, cluster-wide.
+    /// *Physical* disk bytes read by the edge pipeline per iteration,
+    /// cluster-wide (post-compression: what actually crossed the device).
     per_iter_read: Vec<u64>,
+    /// *Logical* disk bytes read per iteration (pre-compression payload the
+    /// pipeline consumed) — separates the cache win (fewer logical reads)
+    /// from the compression win (physical < logical on what remains).
+    per_iter_logical: Vec<u64>,
     wall_secs: f64,
     cache_hits: u64,
 }
@@ -95,7 +41,7 @@ fn run(budget: u64) -> RunOut {
     let (per_node, wall_secs) =
         timed(|| cluster.run(|ctx| pagerank_with_stats(ctx, ITERS)).unwrap());
     let mut per_iter = vec![PhaseStats::default(); ITERS];
-    for stats in per_node {
+    for (_ranks, stats) in per_node {
         for (m, s) in per_iter.iter_mut().zip(&stats) {
             m.merge(s);
         }
@@ -107,7 +53,8 @@ fn run(budget: u64) -> RunOut {
             s.generate_disk_read + s.pass_disk_read + s.dispatch_disk_read + s.process_disk_read
         })
         .collect();
-    RunOut { per_iter_read, wall_secs, cache_hits }
+    let per_iter_logical = per_iter.iter().map(|s| s.logical_disk_read).collect();
+    RunOut { per_iter_read, per_iter_logical, wall_secs, cache_hits }
 }
 
 fn bench_chunk_cache(c: &mut Criterion) {
@@ -122,10 +69,13 @@ fn bench_chunk_cache(c: &mut Criterion) {
     let warm = run(1 << 30);
     for (name, r) in [("budget 0", &cold), ("fits-all", &warm)] {
         let iters: Vec<String> = r.per_iter_read.iter().map(|&b| fmt_bytes(b)).collect();
+        let logical: Vec<String> = r.per_iter_logical.iter().map(|&b| fmt_bytes(b)).collect();
         println!(
-            "{name:>9}: wall {} | per-iteration edge-pipeline reads: [{}] | cache hits {}",
+            "{name:>9}: wall {} | per-iteration edge-pipeline physical reads: [{}] | \
+             logical reads: [{}] | cache hits {}",
             fmt_secs(r.wall_secs),
             iters.join(", "),
+            logical.join(", "),
             r.cache_hits
         );
     }
@@ -150,17 +100,24 @@ fn bench_chunk_cache(c: &mut Criterion) {
         total(&cold)
     );
 
+    let total_logical = |r: &RunOut| r.per_iter_logical.iter().sum::<u64>();
     println!(
         "BENCH_3 {{\"bench\":\"micro_chunkcache\",\"iters\":{ITERS},\
-         \"budget0\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{}}},\
+         \"budget0\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{},\
+         \"logical_read_bytes_per_iter\":{:?},\"total_logical_read_bytes\":{}}},\
          \"fits_all\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{},\
+         \"logical_read_bytes_per_iter\":{:?},\"total_logical_read_bytes\":{},\
          \"cache_hits\":{}}}}}",
         cold.wall_secs,
         cold.per_iter_read,
         total(&cold),
+        cold.per_iter_logical,
+        total_logical(&cold),
         warm.wall_secs,
         warm.per_iter_read,
         total(&warm),
+        warm.per_iter_logical,
+        total_logical(&warm),
         warm.cache_hits
     );
 

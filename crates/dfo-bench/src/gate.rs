@@ -1,0 +1,432 @@
+//! The bench-regression gate: parses the `BENCH_*.json` trajectory files
+//! and compares a fresh bench run against the committed baseline.
+//!
+//! Policy (enforced by the `bench_gate` binary via `tools/bench_gate.sh`
+//! in CI):
+//!
+//! * numeric leaves whose key path mentions `bytes` are **hard-gated**: a
+//!   fresh value more than 5 % above the baseline fails the build — byte
+//!   counts are deterministic in this simulator, so drift means a real
+//!   I/O regression;
+//! * leaves mentioning `wall` or `secs` only **warn** — CI wall-clock is
+//!   noise;
+//! * other numerics (hit counts, iteration counts) are ignored by the
+//!   gate — the benches assert their own invariants on those;
+//! * a numeric baseline key missing from the fresh run hard-fails (schema
+//!   must evolve by updating the baseline, not by dropping metrics);
+//!   string metadata keys (`workload`, `recorded`, …) are ignored.
+//!
+//! The parser is a tiny recursive-descent JSON reader — the workspace is
+//! offline, so no serde; it supports exactly the JSON these benches emit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// True when this subtree contains at least one number.
+    fn has_numbers(&self) -> bool {
+        match self {
+            Json::Num(_) => true,
+            Json::Arr(items) => items.iter().any(Json::has_numbers),
+            Json::Obj(map) => map.values().any(Json::has_numbers),
+            _ => false,
+        }
+    }
+}
+
+/// Parses a JSON document (object, array or scalar).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    let start = self.pos;
+                    while self.peek().map(|b| b != b'"' && b != b'\\').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .map(|b| {
+                b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+            })
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// Severity of one gate finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Byte-metric regression or schema break: fails the build.
+    Fail,
+    /// Wall-clock drift: reported, never fails.
+    Warn,
+}
+
+/// One comparison finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub severity: Severity,
+    pub path: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Fail => "FAIL",
+            Severity::Warn => "warn",
+        };
+        write!(f, "[{tag}] {}: {}", self.path, self.message)
+    }
+}
+
+/// Fractional headroom for byte metrics (5 %).
+pub const BYTE_TOLERANCE: f64 = 0.05;
+/// Fractional headroom before a wall-clock warning (25 %).
+pub const WALL_TOLERANCE: f64 = 0.25;
+
+fn is_byte_metric(path: &str) -> bool {
+    path.to_ascii_lowercase().contains("bytes")
+}
+
+fn is_wall_metric(path: &str) -> bool {
+    let p = path.to_ascii_lowercase();
+    p.contains("wall") || p.contains("secs")
+}
+
+/// Compares `fresh` against `baseline`, returning every finding. An empty
+/// `Fail` set means the gate passes.
+pub fn compare(baseline: &Json, fresh: &Json) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    walk(baseline, fresh, "$", &mut findings);
+    findings
+}
+
+fn walk(base: &Json, fresh: &Json, path: &str, out: &mut Vec<Finding>) {
+    match (base, fresh) {
+        (Json::Obj(bm), Json::Obj(fm)) => {
+            for (k, bv) in bm {
+                match fm.get(k) {
+                    Some(fv) => walk(bv, fv, &format!("{path}.{k}"), out),
+                    None if bv.has_numbers() => out.push(Finding {
+                        severity: Severity::Fail,
+                        path: format!("{path}.{k}"),
+                        message: "metric present in baseline but missing from fresh run \
+                                  (update the baseline if the schema changed)"
+                            .into(),
+                    }),
+                    None => {} // string metadata may be baseline-only
+                }
+            }
+        }
+        (Json::Arr(ba), Json::Arr(fa)) => {
+            if ba.len() != fa.len() && ba.iter().any(Json::has_numbers) {
+                out.push(Finding {
+                    severity: Severity::Fail,
+                    path: path.into(),
+                    message: format!("array length changed: {} -> {}", ba.len(), fa.len()),
+                });
+                return;
+            }
+            for (i, (bv, fv)) in ba.iter().zip(fa).enumerate() {
+                walk(bv, fv, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Json::Num(b), Json::Num(f)) => {
+            if is_byte_metric(path) {
+                let limit = b * (1.0 + BYTE_TOLERANCE);
+                if *f > limit {
+                    out.push(Finding {
+                        severity: Severity::Fail,
+                        path: path.into(),
+                        message: format!(
+                            "byte metric regressed: {b:.0} -> {f:.0} (+{:.1}%, limit +{:.0}%)",
+                            (f / b - 1.0) * 100.0,
+                            BYTE_TOLERANCE * 100.0
+                        ),
+                    });
+                }
+            } else if is_wall_metric(path) {
+                let limit = b * (1.0 + WALL_TOLERANCE);
+                if *f > limit {
+                    out.push(Finding {
+                        severity: Severity::Warn,
+                        path: path.into(),
+                        message: format!(
+                            "wall-clock drifted: {b:.3} -> {f:.3} (+{:.0}%; warn-only)",
+                            (f / b - 1.0) * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+        (b, f) if std::mem::discriminant(b) != std::mem::discriminant(f) && b.has_numbers() => {
+            out.push(Finding {
+                severity: Severity::Fail,
+                path: path.into(),
+                message: "value type changed between baseline and fresh run".into(),
+            });
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fails(findings: &[Finding]) -> usize {
+        findings.iter().filter(|f| f.severity == Severity::Fail).count()
+    }
+
+    #[test]
+    fn parses_the_bench_shapes() {
+        let j = parse(
+            r#"{"bench":"x","iters":5,"a":{"wall_secs":0.118,"read_bytes_per_iter":[1,2,3],
+                "note":"free text, with ] and } inside"},"ok":true,"n":null,"f":-1.5e3}"#,
+        )
+        .unwrap();
+        let Json::Obj(m) = &j else { panic!("not an object") };
+        assert_eq!(m["iters"], Json::Num(5.0));
+        assert_eq!(m["f"], Json::Num(-1500.0));
+        let Json::Obj(a) = &m["a"] else { panic!() };
+        assert_eq!(
+            a["read_bytes_per_iter"],
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.0), Json::Num(3.0)])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = parse(r#"{"total_read_bytes":1000,"wall_secs":0.1}"#).unwrap();
+        assert!(compare(&b, &b).is_empty());
+    }
+
+    #[test]
+    fn small_byte_improvement_and_headroom_pass() {
+        let b = parse(r#"{"total_read_bytes":1000}"#).unwrap();
+        for fresh in [r#"{"total_read_bytes":900}"#, r#"{"total_read_bytes":1049}"#] {
+            let f = parse(fresh).unwrap();
+            assert!(compare(&b, &f).is_empty(), "{fresh}");
+        }
+    }
+
+    #[test]
+    fn byte_regression_fails() {
+        let b = parse(r#"{"x":{"total_read_bytes":1000}}"#).unwrap();
+        let f = parse(r#"{"x":{"total_read_bytes":1051}}"#).unwrap();
+        let findings = compare(&b, &f);
+        assert_eq!(fails(&findings), 1, "{findings:?}");
+        assert!(findings[0].path.contains("total_read_bytes"));
+    }
+
+    #[test]
+    fn per_iteration_arrays_gate_elementwise() {
+        let b = parse(r#"{"read_bytes_per_iter":[100,50,50]}"#).unwrap();
+        let ok = parse(r#"{"read_bytes_per_iter":[100,52,49]}"#).unwrap();
+        assert_eq!(fails(&compare(&b, &ok)), 0);
+        let bad = parse(r#"{"read_bytes_per_iter":[100,50,80]}"#).unwrap();
+        assert_eq!(fails(&compare(&b, &bad)), 1);
+        let reshaped = parse(r#"{"read_bytes_per_iter":[100,50]}"#).unwrap();
+        assert_eq!(fails(&compare(&b, &reshaped)), 1);
+    }
+
+    #[test]
+    fn wall_clock_only_warns() {
+        let b = parse(r#"{"wall_secs":0.1}"#).unwrap();
+        let f = parse(r#"{"wall_secs":9.0}"#).unwrap();
+        let findings = compare(&b, &f);
+        assert_eq!(fails(&findings), 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn missing_numeric_metric_fails_missing_metadata_does_not() {
+        let b = parse(r#"{"workload":"text","total_read_bytes":10,"hits":5}"#).unwrap();
+        let f = parse(r#"{"hits":5}"#).unwrap();
+        let findings = compare(&b, &f);
+        assert_eq!(fails(&findings), 1, "{findings:?}");
+        assert!(findings[0].path.contains("total_read_bytes"));
+        // extra keys in the fresh run are fine (schema growth)
+        let f2 =
+            parse(r#"{"workload":"text","total_read_bytes":10,"hits":5,"new_metric_bytes":1}"#)
+                .unwrap();
+        assert!(compare(&b, &f2).is_empty());
+    }
+
+    #[test]
+    fn non_byte_counters_are_not_gated() {
+        let b = parse(r#"{"cache_hits":182,"iters":5}"#).unwrap();
+        let f = parse(r#"{"cache_hits":10,"iters":5}"#).unwrap();
+        assert!(compare(&b, &f).is_empty());
+    }
+}

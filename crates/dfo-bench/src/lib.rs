@@ -6,6 +6,8 @@
 //! are interpretable. Simulated bandwidths keep the byte-volume-dominated
 //! regime of the paper's testbed (NVMe ≈ network per node).
 
+pub mod gate;
+
 use dfo_core::Cluster;
 use dfo_graph::gen::{kronecker, rmat, web_chain, GenConfig};
 use dfo_graph::EdgeList;
@@ -93,6 +95,71 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// One damped-PageRank run that records the edge pipeline's
+/// [`dfo_types::PhaseStats`] per iteration (the library's `pagerank`
+/// helper hides them) and returns the final ranks alongside — the workload
+/// behind the `micro_chunkcache` and `micro_compress` byte-trajectory
+/// benches, shared so their JSON rows measure the same thing.
+pub fn pagerank_with_stats(
+    ctx: &mut dfo_core::NodeCtx,
+    iters: usize,
+) -> dfo_types::Result<(Vec<f64>, Vec<dfo_types::PhaseStats>)> {
+    use dfo_algos::pagerank::DAMPING;
+    let n = ctx.plan().n_vertices as f64;
+    let rank = ctx.vertex_array::<f64>("pr_rank")?;
+    let nextr = ctx.vertex_array::<f64>("pr_next")?;
+    let deg = dfo_algos::degree::out_degree_array(ctx)?;
+    {
+        let r = rank.clone();
+        ctx.process_vertices(&["pr_rank"], None, move |v, c| {
+            c.set(&r, v, 1.0 / n);
+            0u64
+        })?;
+    }
+    let mut stats = Vec::new();
+    for _ in 0..iters {
+        {
+            let nx = nextr.clone();
+            ctx.process_vertices(&["pr_next"], None, move |v, c| {
+                c.set(&nx, v, 0.0);
+                0u64
+            })?;
+        }
+        {
+            let (r, d, nx) = (rank.clone(), deg.clone(), nextr.clone());
+            ctx.process_edges(
+                &["pr_rank", "pr_deg"],
+                &["pr_next"],
+                None,
+                move |v, c| {
+                    let dv = c.get(&d, v);
+                    if dv == 0 {
+                        None
+                    } else {
+                        Some(c.get(&r, v) / dv as f64)
+                    }
+                },
+                move |msg: f64, _src, dst, _e: &(), c| {
+                    let cur = c.get(&nx, dst);
+                    c.set(&nx, dst, cur + msg);
+                    0u64
+                },
+            )?;
+        }
+        stats.push(ctx.last_phase_stats().clone());
+        {
+            let (r, nx) = (rank.clone(), nextr.clone());
+            ctx.process_vertices(&["pr_rank", "pr_next"], None, move |v, c| {
+                let s = c.get(&nx, v);
+                c.set(&r, v, (1.0 - DAMPING) / n + DAMPING * s);
+                0u64
+            })?;
+        }
+    }
+    let ranks = dfo_algos::read_local(ctx, &rank)?;
+    Ok((ranks, stats))
 }
 
 /// Geometric mean of time ratios `other / reference` — the paper's

@@ -119,6 +119,8 @@ impl NodeCtx {
         let mut stats = PhaseStats::default();
         let disk_stats = self.disk.stats();
         let (r0, w0) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
+        let (lr0, lw0) =
+            (disk_stats.logical_read_bytes.get(), disk_stats.logical_write_bytes.get());
         let cache0 = self.chunk_cache.as_ref().map(|c| c.stats());
 
         // ---------------- phase 1: generating --------------------------------
@@ -278,6 +280,10 @@ impl NodeCtx {
         drop(prefetcher);
         stats.process_disk_read = disk_stats.read_bytes.get() - r1;
         stats.process_disk_write = disk_stats.write_bytes.get() - w1;
+        // whole-call logical (pre-compression) totals; the per-phase fields
+        // above stay physical
+        stats.logical_disk_read = disk_stats.logical_read_bytes.get() - lr0;
+        stats.logical_disk_write = disk_stats.logical_write_bytes.get() - lw0;
         if let (Some(cache), Some(s0)) = (&self.chunk_cache, cache0) {
             let s1 = cache.stats();
             stats.chunk_cache_hits = s1.hits - s0.hits;
@@ -660,12 +666,19 @@ impl NodeCtx {
         dinfo: &ChunkInfo,
     ) -> Result<DispatchAccess> {
         let n_src = self.plan.partitions[p].len();
+        // seek mode needs the raw on-disk layout: compressed dispatch
+        // graphs (the compress_chunks default) always load whole
         if self.cfg.repr_override.is_none()
+            && !self.cfg.compress_chunks
             && dfo_part::csr::should_seek(dinfo.has_csr, bound, n_src, self.cfg.gamma)
         {
-            let seeker = dfo_part::csr::ChunkSeeker::<()>::open(&self.disk, &paths::dispatch(p))?
-                .expect("seek mode requires a stored CSR");
-            return Ok(DispatchAccess::Seek(seeker));
+            if let Some(seeker) =
+                dfo_part::csr::ChunkSeeker::<()>::open(&self.disk, &paths::dispatch(p))?
+            {
+                return Ok(DispatchAccess::Seek(seeker));
+            }
+            // the file on disk is compressed despite the current config
+            // (stale preprocessing): fall through to a full load
         }
         let want = self.cfg.repr_override.unwrap_or_else(|| {
             choose_repr(dinfo.has_csr, dinfo.n_nonzero_src, n_src, bound, self.cfg.gamma)
@@ -703,16 +716,27 @@ impl NodeCtx {
     /// messages: `None` means seek mode (which bypasses cache and prefetch
     /// by design — it exists precisely because loading the whole chunk does
     /// not pay), `Some(want)` means load the chunk decoded with that index.
+    /// Compressed chunks never seek: positioned reads need the raw layout,
+    /// and decode-and-discard would pay the full physical read anyway.
     fn chunk_repr(&self, cinfo: &ChunkInfo, p: Rank, count: u64) -> Option<ReprKind> {
         let n_src = self.plan.partitions[p].len();
         if self.cfg.repr_override.is_none()
+            && !self.cfg.compress_chunks
             && dfo_part::csr::should_seek(cinfo.has_csr, count, n_src, self.cfg.gamma)
         {
             return None;
         }
-        Some(self.cfg.repr_override.unwrap_or_else(|| {
+        Some(self.full_repr(cinfo, p, count))
+    }
+
+    /// Index representation for a *full* load of chunk `(p, ·)` (the
+    /// `Some` arm of [`NodeCtx::chunk_repr`], also the fallback when seek
+    /// mode meets a compressed file from a stale config).
+    fn full_repr(&self, cinfo: &ChunkInfo, p: Rank, count: u64) -> ReprKind {
+        let n_src = self.plan.partitions[p].len();
+        self.cfg.repr_override.unwrap_or_else(|| {
             choose_repr(cinfo.has_csr, cinfo.n_nonzero_src, n_src, count, self.cfg.gamma)
-        }))
+        })
     }
 
     /// Loads the decoded edge chunk `(p, b)` with index `want`, through the
@@ -724,7 +748,7 @@ impl NodeCtx {
         want: ReprKind,
     ) -> Result<Arc<IndexedChunk<E>>> {
         let read = || -> Result<IndexedChunk<E>> {
-            let mut r = self.disk.open(&paths::chunk(p, b))?;
+            let mut r = self.disk.open_framed(&paths::chunk(p, b))?;
             IndexedChunk::read_from(&mut r, Some(want))
         };
         let Some(cache) = &self.chunk_cache else {
@@ -745,7 +769,7 @@ impl NodeCtx {
     /// chunk cache when one is configured (keyed with `batch: None`).
     fn load_dispatch_graph(&self, p: Rank, want: ReprKind) -> Result<Arc<IndexedChunk<()>>> {
         let read = || -> Result<IndexedChunk<()>> {
-            let mut r = self.disk.open(&paths::dispatch(p))?;
+            let mut r = self.disk.open_framed(&paths::dispatch(p))?;
             IndexedChunk::read_from(&mut r, Some(want))
         };
         let Some(cache) = &self.chunk_cache else {
@@ -807,7 +831,7 @@ impl NodeCtx {
                     key,
                     group: b,
                     load: Box::new(move || {
-                        let mut r = disk.open(&path)?;
+                        let mut r = disk.open_framed(&path)?;
                         let chunk = IndexedChunk::<E>::read_from(&mut r, Some(want))?;
                         let bytes = chunk.decoded_bytes();
                         Ok((Arc::new(chunk) as CachedValue, bytes))
@@ -872,9 +896,15 @@ impl NodeCtx {
             // full loads go through the chunk cache and prefetcher
             let (chunk, seeker) = match self.chunk_repr(&cinfo, p, count) {
                 None => {
-                    let s = dfo_part::csr::ChunkSeeker::<E>::open(&self.disk, &paths::chunk(p, b))?
-                        .expect("seek mode requires a stored CSR");
-                    (None, Some(s))
+                    match dfo_part::csr::ChunkSeeker::<E>::open(&self.disk, &paths::chunk(p, b))? {
+                        Some(s) => (None, Some(s)),
+                        // the file is compressed despite the current config
+                        // (stale preprocessing): load it whole instead
+                        None => {
+                            let want = self.full_repr(&cinfo, p, count);
+                            (Some(self.load_chunk::<E>(p, b, want)?), None)
+                        }
+                    }
                 }
                 Some(want) => (Some(self.load_chunk::<E>(p, b, want)?), None),
             };

@@ -136,19 +136,49 @@ impl<E: Pod + PartialEq> IndexedChunk<E> {
         Ok(())
     }
 
-    /// Reads a chunk back.
+    /// Serializes the chunk through the [`dfo_storage::compress`] framing:
+    /// block-compressed when `compress` is true, byte-identical to
+    /// [`IndexedChunk::write_to`] when false. Returns the inner writer for
+    /// the caller to close. [`IndexedChunk::read_from`] detects either
+    /// format on its own.
+    pub fn write_to_framed<W: Write>(&self, w: W, compress: bool) -> Result<W> {
+        let mut fw = dfo_storage::FrameWriter::new(w, compress)?;
+        self.write_to(&mut fw)?;
+        fw.finish()
+    }
+
+    /// Reads a chunk back, auto-detecting the compressed frame container
+    /// (chunks written with `compress_chunks` on) and decoding it
+    /// transparently.
     ///
     /// `want` selects which index to load: with `Some(ReprKind::Dcsr)` a
-    /// stored CSR section is *seeked over* (costing no read bytes); with
-    /// `Some(ReprKind::Csr)` the DCSR index is seeked over instead (DCSR
-    /// source list is still loaded — it is the pull-list surrogate and is
-    /// small). `None` loads everything.
+    /// stored CSR section is *seeked over* (costing no read bytes for
+    /// uncompressed chunks; compressed frames decode-and-discard instead);
+    /// with `Some(ReprKind::Csr)` the DCSR index is seeked over instead
+    /// (DCSR source list is still loaded — it is the pull-list surrogate
+    /// and is small). `None` loads everything.
     pub fn read_from<R: Read + Seek>(r: &mut R, want: Option<ReprKind>) -> Result<Self> {
         let io = |e| DfoError::io("reading chunk", e);
         let magic = read_u32(r).map_err(io)?;
+        if magic == dfo_storage::FRAME_MAGIC {
+            let mut fr = dfo_storage::FrameReader::resume(&mut *r)?;
+            let inner_magic = read_u32(&mut fr).map_err(io)?;
+            if inner_magic != MAGIC {
+                return Err(DfoError::Corrupt(format!(
+                    "compressed frame does not hold a chunk (magic {inner_magic:#x})"
+                )));
+            }
+            return Self::read_after_magic(&mut fr, want);
+        }
         if magic != MAGIC {
             return Err(DfoError::Corrupt(format!("bad chunk magic {magic:#x}")));
         }
+        Self::read_after_magic(r, want)
+    }
+
+    /// Shared decode body: everything after a validated chunk magic.
+    fn read_after_magic<R: Read + Seek>(r: &mut R, want: Option<ReprKind>) -> Result<Self> {
+        let io = |e| DfoError::io("reading chunk", e);
         let flags = read_u32(r).map_err(io)?;
         let has_csr = flags & FLAG_HAS_CSR != 0;
         let n_src = read_u64(r).map_err(io)? as u32;
@@ -267,12 +297,17 @@ pub struct ChunkSeeker<E: Pod + PartialEq> {
 }
 
 impl<E: Pod + PartialEq> ChunkSeeker<E> {
-    /// Opens `rel` on `disk`; returns `None` if the chunk has no CSR index.
+    /// Opens `rel` on `disk`; returns `None` if the chunk has no CSR index
+    /// — or is stored compressed, where positioned reads into the raw
+    /// layout are impossible (callers fall back to a full decoded load).
     pub fn open(disk: &dfo_storage::NodeDisk, rel: &str) -> Result<Option<Self>> {
         let file = disk.open_random(rel, false)?;
         let mut header = [0u8; 32];
         file.read_at(&mut header, 0)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic == dfo_storage::FRAME_MAGIC {
+            return Ok(None);
+        }
         if magic != MAGIC {
             return Err(DfoError::Corrupt(format!("bad chunk magic {magic:#x}")));
         }
@@ -422,6 +457,37 @@ mod tests {
         assert_eq!(buf.len() as u64, c.serialized_bytes());
         let back = IndexedChunk::<u8>::read_from(&mut Cursor::new(&buf), None).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_compressed_frame() {
+        // a chunk big enough for LZ4 to bite: 20k edges with repetitive
+        // payloads, read back through the same auto-detecting read_from
+        let edges: Vec<(u32, u32, u32)> =
+            (0..20_000u32).map(|i| (i / 4, i % 997, i % 13)).collect();
+        let c = IndexedChunk::build(5000, &edges, 32.0);
+        let framed = c.write_to_framed(Vec::new(), true).unwrap();
+        assert!(
+            (framed.len() as u64) < c.serialized_bytes(),
+            "compressed {} vs raw {}",
+            framed.len(),
+            c.serialized_bytes()
+        );
+        for want in [None, Some(ReprKind::Dcsr), Some(ReprKind::Csr)] {
+            let back = IndexedChunk::<u32>::read_from(&mut Cursor::new(&framed), want).unwrap();
+            assert_eq!(back.dst, c.dst);
+            assert_eq!(back.data, c.data);
+            assert_eq!(back.csr_idx.is_some(), !matches!(want, Some(ReprKind::Dcsr)));
+        }
+    }
+
+    #[test]
+    fn framed_passthrough_is_byte_identical() {
+        let c = figure1_chunk();
+        let mut plain = Vec::new();
+        c.write_to(&mut plain).unwrap();
+        let framed_off = c.write_to_framed(Vec::new(), false).unwrap();
+        assert_eq!(framed_off, plain, "compress=false must reproduce the raw layout");
     }
 
     #[test]

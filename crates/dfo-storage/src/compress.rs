@@ -1,0 +1,580 @@
+//! Transparent block compression for preprocessed chunk files.
+//!
+//! DFOGraph's premise is that fully-out-of-core performance is bounded by
+//! bytes moved through disk and network; edge chunks are written once at
+//! preprocessing time and re-read on every `ProcessEdges` call, so
+//! compressing them cuts the one I/O cost a decoded-chunk cache cannot
+//! help with — the cold read — and multiplies the effective cache budget
+//! (GraphMP's observation). This module provides the framing:
+//!
+//! ```text
+//! container:  magic "DFOZ" u32 | version u32
+//! per block:  raw_len u32 | enc_len u32 | flags u32 | crc32 u32   (header)
+//!             payload [enc_len bytes]
+//! trailer:    raw_len = 0 | enc_len = 0 | flags = END | crc32 = 0
+//! ```
+//!
+//! All integers little-endian. `flags` bit 0 (`LZ4`) marks an
+//! LZ4-block-compressed payload; a block whose LZ4 encoding would not be
+//! smaller than its input is stored **raw** (bit 0 clear) — the
+//! incompressible-data escape, bounding worst-case inflation to one
+//! 16-byte header per 128 KiB block. The CRC-32 (IEEE) covers the
+//! *encoded* payload, so corruption is caught before the decoder runs; a
+//! missing end trailer means truncation. [`FrameReader`] auto-detects the
+//! container magic and passes non-compressed files through byte-for-byte,
+//! so one read path serves both formats and `compress_chunks = false`
+//! keeps files byte-identical to the uncompressed layout.
+//!
+//! Seeking: passthrough streams seek natively. Compressed streams support
+//! *forward relative* seeks only, by decode-and-discard — skipping a
+//! section of a compressed chunk still pays its physical read, which is
+//! why the engine's CSR seek-mode bypass does not apply to compressed
+//! chunks.
+
+use crate::disk::NodeDisk;
+use dfo_types::{DfoError, Result};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// First four bytes of a compressed chunk container ("DFOZ" once the
+/// little-endian u32 is laid down, mirroring the chunk codec's "DFOC").
+pub const FRAME_MAGIC: u32 = 0x4446_4F5A;
+/// Container format version this build writes and accepts.
+pub const FRAME_VERSION: u32 = 1;
+/// Uncompressed payload bytes buffered per block. 128 KiB keeps header
+/// overhead < 0.02 % while bounding decode working memory.
+pub const BLOCK_BYTES: usize = 128 << 10;
+
+/// Block flag: payload is an LZ4 block of `raw_len` decoded bytes.
+const FLAG_LZ4: u32 = 1;
+/// Block flag: end-of-stream trailer (zero lengths, no payload).
+const FLAG_END: u32 = 2;
+/// Upper bound a reader accepts for either length field — far above any
+/// block this writer produces, low enough to refuse absurd allocations
+/// from a corrupt header.
+const MAX_BLOCK: usize = 64 << 20;
+
+const BLOCK_HEADER_BYTES: usize = 16;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Block-compressing writer (or transparent passthrough with
+/// `compress = false`, producing byte-identical plain files).
+///
+/// Buffers up to [`BLOCK_BYTES`] of payload, then writes one checksummed
+/// block — LZ4 if that is smaller, raw otherwise. [`FrameWriter::finish`]
+/// flushes the final partial block and the end trailer and returns the
+/// inner writer for the caller to close.
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    compress: bool,
+    buf: Vec<u8>,
+    logical_to: Option<NodeDisk>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Starts a frame stream on `inner`; in compress mode the container
+    /// header is written immediately.
+    pub fn new(mut inner: W, compress: bool) -> Result<Self> {
+        if compress {
+            inner
+                .write_all(&FRAME_MAGIC.to_le_bytes())
+                .and_then(|()| inner.write_all(&FRAME_VERSION.to_le_bytes()))
+                .map_err(|e| DfoError::io("writing frame container header", e))?;
+        }
+        Ok(Self {
+            inner,
+            compress,
+            buf: if compress { Vec::with_capacity(BLOCK_BYTES) } else { Vec::new() },
+            logical_to: None,
+        })
+    }
+
+    /// Routes logical-byte accounting to `disk` (the physical side is
+    /// accounted below this writer, at the device layer).
+    pub(crate) fn account_logical_to(&mut self, disk: NodeDisk) {
+        self.logical_to = Some(disk);
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let encoded = lz4_flex::compress(&self.buf);
+        let (flags, payload): (u32, &[u8]) =
+            if encoded.len() < self.buf.len() { (FLAG_LZ4, &encoded) } else { (0, &self.buf) };
+        let mut header = [0u8; BLOCK_HEADER_BYTES];
+        header[0..4].copy_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&flags.to_le_bytes());
+        header[12..16].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.inner.write_all(&header)?;
+        self.inner.write_all(payload)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the last partial block plus the end trailer and hands the
+    /// inner writer back. Compressed streams not closed through here are
+    /// truncated (readers will say so).
+    pub fn finish(mut self) -> Result<W> {
+        let io = |e| DfoError::io("finishing frame stream", e);
+        if self.compress {
+            self.flush_block().map_err(io)?;
+            let mut trailer = [0u8; BLOCK_HEADER_BYTES];
+            trailer[8..12].copy_from_slice(&FLAG_END.to_le_bytes());
+            self.inner.write_all(&trailer).map_err(io)?;
+        }
+        self.inner.flush().map_err(io)?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for FrameWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if !self.compress {
+            return self.inner.write(data);
+        }
+        if let Some(disk) = &self.logical_to {
+            disk.add_logical_write(data.len() as u64);
+        }
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (BLOCK_BYTES - self.buf.len()).min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == BLOCK_BYTES {
+                self.flush_block()?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.compress {
+            self.flush_block()?;
+        }
+        self.inner.flush()
+    }
+}
+
+enum ReadMode {
+    /// Not a compressed container: serve the peeked magic bytes, then the
+    /// inner stream untouched.
+    Passthrough { prefix: [u8; 4], prefix_len: usize, prefix_pos: usize },
+    /// Compressed container: serve decoded blocks.
+    Decode { block: Vec<u8>, pos: usize, done: bool, decoded_pos: u64 },
+}
+
+/// Auto-detecting reader over a chunk file: decodes [`FrameWriter`]
+/// containers, passes anything else through byte-for-byte (including the
+/// four peeked bytes).
+pub struct FrameReader<R: Read> {
+    inner: R,
+    mode: ReadMode,
+    logical_to: Option<NodeDisk>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Peeks the stream's first four bytes to pick the mode.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut prefix = [0u8; 4];
+        let mut n = 0;
+        while n < 4 {
+            let m =
+                inner.read(&mut prefix[n..]).map_err(|e| DfoError::io("peeking frame magic", e))?;
+            if m == 0 {
+                break;
+            }
+            n += m;
+        }
+        if n == 4 && u32::from_le_bytes(prefix) == FRAME_MAGIC {
+            let mode = Self::begin_decode(&mut inner)?;
+            Ok(Self { inner, mode, logical_to: None })
+        } else {
+            Ok(Self {
+                inner,
+                mode: ReadMode::Passthrough { prefix, prefix_len: n, prefix_pos: 0 },
+                logical_to: None,
+            })
+        }
+    }
+
+    /// Starts decoding a stream whose [`FRAME_MAGIC`] the caller already
+    /// consumed (the chunk codec's own auto-detection path).
+    pub fn resume(mut inner: R) -> Result<Self> {
+        let mode = Self::begin_decode(&mut inner)?;
+        Ok(Self { inner, mode, logical_to: None })
+    }
+
+    fn begin_decode(inner: &mut R) -> Result<ReadMode> {
+        let mut v = [0u8; 4];
+        inner.read_exact(&mut v).map_err(|e| DfoError::io("reading frame version", e))?;
+        let version = u32::from_le_bytes(v);
+        if version != FRAME_VERSION {
+            return Err(DfoError::Corrupt(format!("unsupported frame version {version}")));
+        }
+        Ok(ReadMode::Decode { block: Vec::new(), pos: 0, done: false, decoded_pos: 0 })
+    }
+
+    /// True when this stream is a compressed container (not passthrough).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.mode, ReadMode::Decode { .. })
+    }
+
+    /// Routes logical-byte accounting (bytes *served*, decoded for
+    /// compressed streams) to `disk`.
+    pub(crate) fn account_logical_to(&mut self, disk: NodeDisk) {
+        self.logical_to = Some(disk);
+    }
+
+    /// Loads the next block into the decode buffer; flips `done` at the
+    /// trailer. Only called in decode mode with the buffer exhausted.
+    fn next_block(&mut self) -> io::Result<()> {
+        let mut header = [0u8; BLOCK_HEADER_BYTES];
+        self.inner.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                corrupt("compressed stream truncated: missing end trailer")
+            } else {
+                e
+            }
+        })?;
+        let raw_len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let enc_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if flags & FLAG_END != 0 {
+            if raw_len != 0 || enc_len != 0 || flags != FLAG_END || crc != 0 {
+                return Err(corrupt("malformed end trailer"));
+            }
+            if let ReadMode::Decode { done, .. } = &mut self.mode {
+                *done = true;
+            }
+            return Ok(());
+        }
+        if raw_len == 0 || raw_len > MAX_BLOCK || enc_len == 0 || enc_len > MAX_BLOCK {
+            return Err(corrupt(format!("implausible block lengths raw={raw_len} enc={enc_len}")));
+        }
+        let mut payload = vec![0u8; enc_len];
+        self.inner.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                corrupt("compressed stream truncated inside a block")
+            } else {
+                e
+            }
+        })?;
+        if crc32(&payload) != crc {
+            return Err(corrupt("block checksum mismatch"));
+        }
+        let decoded = if flags & FLAG_LZ4 != 0 {
+            lz4_flex::decompress(&payload, raw_len)
+                .map_err(|e| corrupt(format!("block decode failed: {e}")))?
+        } else {
+            if enc_len != raw_len {
+                return Err(corrupt("raw block length mismatch"));
+            }
+            payload
+        };
+        if let ReadMode::Decode { block, pos, .. } = &mut self.mode {
+            *block = decoded;
+            *pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Serves up to `buf.len()` decoded/passthrough bytes (no accounting).
+    fn read_inner(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match &mut self.mode {
+                ReadMode::Passthrough { prefix, prefix_len, prefix_pos } => {
+                    if *prefix_pos < *prefix_len {
+                        let n = (*prefix_len - *prefix_pos).min(buf.len());
+                        buf[..n].copy_from_slice(&prefix[*prefix_pos..*prefix_pos + n]);
+                        *prefix_pos += n;
+                        return Ok(n);
+                    }
+                    return self.inner.read(buf);
+                }
+                ReadMode::Decode { block, pos, done, decoded_pos } => {
+                    if *pos < block.len() {
+                        let n = (block.len() - *pos).min(buf.len());
+                        buf[..n].copy_from_slice(&block[*pos..*pos + n]);
+                        *pos += n;
+                        *decoded_pos += n as u64;
+                        return Ok(n);
+                    }
+                    if *done {
+                        return Ok(0);
+                    }
+                }
+            }
+            self.next_block()?;
+        }
+    }
+}
+
+impl<R: Read> Read for FrameReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let n = self.read_inner(buf)?;
+        if n > 0 {
+            if let Some(disk) = &self.logical_to {
+                disk.add_logical_read(n as u64);
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl<R: Read + Seek> Seek for FrameReader<R> {
+    /// Passthrough streams seek natively. Decode streams support *forward
+    /// relative* seeks only (decode-and-discard) — all the chunk codec's
+    /// section skipping needs.
+    fn seek(&mut self, target: SeekFrom) -> io::Result<u64> {
+        if let ReadMode::Passthrough { prefix_len, prefix_pos, .. } = &mut self.mode {
+            // the consumer sits `remaining` bytes behind the inner stream
+            // while peeked bytes are unserved
+            let remaining = (*prefix_len - *prefix_pos) as i64;
+            *prefix_pos = *prefix_len;
+            return match target {
+                SeekFrom::Current(n) => self.inner.seek(SeekFrom::Current(n - remaining)),
+                other => self.inner.seek(other),
+            };
+        }
+        let mut left = match target {
+            SeekFrom::Current(n) if n >= 0 => n as u64,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "compressed frames only seek forward from the current position",
+                ))
+            }
+        };
+        let mut scratch = [0u8; 4096];
+        while left > 0 {
+            let want = (left as usize).min(scratch.len());
+            let n = self.read_inner(&mut scratch[..want])?;
+            if n == 0 {
+                return Err(corrupt("seek past end of compressed stream"));
+            }
+            left -= n as u64;
+        }
+        match &self.mode {
+            ReadMode::Decode { decoded_pos, .. } => Ok(*decoded_pos),
+            ReadMode::Passthrough { .. } => unreachable!("handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::{proptest, ProptestConfig, Strategy};
+    use std::io::Cursor;
+
+    fn compress_frames(data: &[u8]) -> Vec<u8> {
+        let mut w = FrameWriter::new(Vec::new(), true).unwrap();
+        w.write_all(data).unwrap();
+        w.finish().unwrap()
+    }
+
+    fn decode_all(frames: &[u8]) -> std::result::Result<Vec<u8>, String> {
+        let mut r = FrameReader::new(Cursor::new(frames)).map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).map_err(|e| e.to_string())?;
+        Ok(out)
+    }
+
+    fn byte() -> impl Strategy<Value = u8> {
+        (0u16..256).prop_map(|v| v as u8)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // the standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_small() {
+        for data in [&b""[..], b"x", b"hello dfograph", &[0u8; 1000][..]] {
+            assert_eq!(decode_all(&compress_frames(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_block() {
+        let data: Vec<u8> = (0..(3 * BLOCK_BYTES + 12345))
+            .map(|i| ((i / 7) % 251) as u8) // compressible structure
+            .collect();
+        let frames = compress_frames(&data);
+        assert!(frames.len() < data.len(), "{} vs {}", frames.len(), data.len());
+        assert_eq!(decode_all(&frames).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_blocks_stored_raw_with_bounded_overhead() {
+        let mut x = 0x853c49e6748fea9bu64;
+        let data: Vec<u8> = (0..2 * BLOCK_BYTES)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let frames = compress_frames(&data);
+        // container 8 B + 3 headers (2 blocks + trailer): noise must not
+        // inflate beyond the framing overhead
+        assert!(frames.len() <= data.len() + 8 + 3 * BLOCK_HEADER_BYTES);
+        assert_eq!(decode_all(&frames).unwrap(), data);
+    }
+
+    #[test]
+    fn passthrough_serves_raw_files_byte_identical() {
+        for data in [&b""[..], b"ab", b"DFOC and then some", &[7u8; 5000][..]] {
+            let mut r = FrameReader::new(Cursor::new(data)).unwrap();
+            assert!(!r.is_compressed());
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn passthrough_writer_is_identity() {
+        let mut w = FrameWriter::new(Vec::new(), false).unwrap();
+        w.write_all(b"plain bytes").unwrap();
+        assert_eq!(w.finish().unwrap(), b"plain bytes");
+    }
+
+    #[test]
+    fn forward_seek_in_decode_mode() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 256) as u8).collect();
+        let frames = compress_frames(&data);
+        let mut r = FrameReader::new(Cursor::new(&frames)).unwrap();
+        assert!(r.is_compressed());
+        let mut head = [0u8; 10];
+        r.read_exact(&mut head).unwrap();
+        assert_eq!(head, data[..10]);
+        r.seek(SeekFrom::Current(150_000)).unwrap();
+        let mut tail = Vec::new();
+        r.read_to_end(&mut tail).unwrap();
+        assert_eq!(tail, data[150_010..]);
+        // backward seeks are refused, not silently wrong
+        let mut r2 = FrameReader::new(Cursor::new(&frames)).unwrap();
+        assert!(r2.seek(SeekFrom::Current(-1)).is_err());
+        assert!(r2.seek(SeekFrom::Start(3)).is_err());
+    }
+
+    #[test]
+    fn passthrough_seek_matches_plain_reader() {
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 256) as u8).collect();
+        let mut r = FrameReader::new(Cursor::new(&data)).unwrap();
+        let mut head = [0u8; 2]; // leaves two peeked bytes unserved
+        r.read_exact(&mut head).unwrap();
+        r.seek(SeekFrom::Current(98)).unwrap();
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b).unwrap();
+        assert_eq!(b, data[100..104]);
+        r.seek(SeekFrom::Start(7000)).unwrap();
+        r.read_exact(&mut b).unwrap();
+        assert_eq!(b, data[7000..7004]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let data = vec![42u8; BLOCK_BYTES + 100];
+        let frames = compress_frames(&data);
+        for cut in [frames.len() - 1, frames.len() - BLOCK_HEADER_BYTES, 20, 9] {
+            assert!(decode_all(&frames[..cut]).is_err(), "cut at {cut} of {}", frames.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 93) as u8).collect();
+        let mut frames = compress_frames(&data);
+        // flip one payload byte (past container header + block header)
+        let idx = 8 + BLOCK_HEADER_BYTES + 5;
+        frames[idx] ^= 0x40;
+        let err = decode_all(&frames).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_header_lengths_rejected() {
+        let data = vec![1u8; 100];
+        let mut frames = compress_frames(&data);
+        // blow up enc_len in the first block header
+        frames[8 + 4..8 + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_all(&frames).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(byte(), 0..40_000)) {
+            let frames = compress_frames(&data);
+            let back = decode_all(&frames).unwrap();
+            assert_eq!(back, data);
+        }
+
+        #[test]
+        fn prop_truncation_never_roundtrips(
+            data in proptest::collection::vec(byte(), 8..5_000),
+            frac in 0usize..100,
+        ) {
+            let frames = compress_frames(&data);
+            let cut = frames.len() * frac / 100; // strictly shorter than full
+            if let Ok(back) = decode_all(&frames[..cut]) {
+                // a cut inside the magic degrades to passthrough, which
+                // must not reproduce the payload either
+                assert_ne!(back, data, "truncated stream decoded in full");
+            }
+        }
+
+        #[test]
+        fn prop_single_corrupt_byte_detected(
+            data in proptest::collection::vec(byte(), 64..8_000),
+            at in 0usize..1_000_000,
+            bit in 0u8..8,
+        ) {
+            let mut frames = compress_frames(&data);
+            // corrupt anywhere past the container magic (corrupting the
+            // magic itself flips the file to passthrough mode by design)
+            let idx = 4 + at % (frames.len() - 4);
+            frames[idx] ^= 1 << bit;
+            if let Ok(back) = decode_all(&frames) {
+                assert_ne!(back, data, "corruption at byte {idx} went unnoticed");
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! [`RandomFile`] (positioned reads/writes, one accounting event per call —
 //! matching how page-sized random I/O hits an SSD).
 
+use crate::compress::{FrameReader, FrameWriter};
 use crate::throttle::Throttle;
 use dfo_types::{Counter, DfoError, Result, TrafficRecorder};
 use std::fs::{self, File, OpenOptions};
@@ -16,9 +17,17 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Byte/op counters plus optional traffic time series for one node's disk.
+///
+/// `read_bytes`/`write_bytes` are *physical*: what actually crossed the
+/// (simulated) device, post-compression. `logical_read_bytes`/
+/// `logical_write_bytes` are what the pipeline consumed or produced —
+/// identical to physical for raw files, larger for compressed chunk frames
+/// (see [`crate::compress`]). The throttle paces physical bytes only.
 pub struct DiskStats {
     pub read_bytes: Counter,
     pub write_bytes: Counter,
+    pub logical_read_bytes: Counter,
+    pub logical_write_bytes: Counter,
     pub read_ops: Counter,
     pub write_ops: Counter,
     pub read_traffic: TrafficRecorder,
@@ -30,6 +39,8 @@ impl DiskStats {
         Self {
             read_bytes: Counter::new(),
             write_bytes: Counter::new(),
+            logical_read_bytes: Counter::new(),
+            logical_write_bytes: Counter::new(),
             read_ops: Counter::new(),
             write_ops: Counter::new(),
             read_traffic: TrafficRecorder::new(record_traffic),
@@ -37,6 +48,7 @@ impl DiskStats {
         }
     }
 
+    /// Total *physical* bytes moved.
     pub fn total_bytes(&self) -> u64 {
         self.read_bytes.get() + self.write_bytes.get()
     }
@@ -44,6 +56,8 @@ impl DiskStats {
     pub fn reset(&self) {
         self.read_bytes.reset();
         self.write_bytes.reset();
+        self.logical_read_bytes.reset();
+        self.logical_write_bytes.reset();
         self.read_ops.reset();
         self.write_ops.reset();
         self.read_traffic.reset();
@@ -104,14 +118,34 @@ impl NodeDisk {
     /// Like [`NodeDisk::create`] with an explicit buffer size — dispatching
     /// keeps one open writer per destination batch, so it uses small buffers.
     pub fn create_with_buffer(&self, rel: &str, buf_cap: usize) -> Result<DiskWriter> {
+        self.create_inner(rel, buf_cap, true)
+    }
+
+    fn create_inner(&self, rel: &str, buf_cap: usize, count_logical: bool) -> Result<DiskWriter> {
         let p = self.path(rel)?;
         let f = File::create(&p).map_err(|e| DfoError::io(format!("creating {rel}"), e))?;
         Ok(DiskWriter {
             inner: BufWriter::with_capacity(
                 buf_cap,
-                Accounted { file: f, disk: self.clone(), write: true },
+                Accounted { file: f, disk: self.clone(), write: true, count_logical },
             ),
         })
+    }
+
+    /// Creates a chunk-frame writer (see [`crate::compress`]): with
+    /// `compress = true` the stream is block-compressed on its way to disk
+    /// (physical bytes shrink, logical bytes record what the caller wrote);
+    /// with `compress = false` it is a plain passthrough producing files
+    /// byte-identical to [`NodeDisk::create`].
+    pub fn create_framed(&self, rel: &str, compress: bool) -> Result<FrameWriter<DiskWriter>> {
+        // when compressing, the Accounted layer must not also count its
+        // (physical) bytes as logical — the frame writer owns that number
+        let inner = self.create_inner(rel, BUF_CAP, !compress)?;
+        let mut w = FrameWriter::new(inner, compress)?;
+        if compress {
+            w.account_logical_to(self.clone());
+        }
+        Ok(w)
     }
 
     /// Opens a file for appending (creating it if absent).
@@ -125,21 +159,37 @@ impl NodeDisk {
         Ok(DiskWriter {
             inner: BufWriter::with_capacity(
                 BUF_CAP,
-                Accounted { file: f, disk: self.clone(), write: true },
+                Accounted { file: f, disk: self.clone(), write: true, count_logical: true },
             ),
         })
     }
 
     /// Opens a buffered, accounted sequential reader.
     pub fn open(&self, rel: &str) -> Result<DiskReader> {
+        self.open_inner(rel, true)
+    }
+
+    fn open_inner(&self, rel: &str, count_logical: bool) -> Result<DiskReader> {
         let p = self.root.join(rel);
         let f = File::open(&p).map_err(|e| DfoError::io(format!("opening {rel}"), e))?;
         Ok(DiskReader {
             inner: BufReader::with_capacity(
                 BUF_CAP,
-                Accounted { file: f, disk: self.clone(), write: false },
+                Accounted { file: f, disk: self.clone(), write: false, count_logical },
             ),
         })
+    }
+
+    /// Opens a chunk-frame reader (see [`crate::compress`]): compressed
+    /// files (detected by their magic) are transparently decoded, raw files
+    /// are passed through unchanged. Physical read bytes are accounted at
+    /// the device layer as always; logical read bytes count what this
+    /// reader *serves* (decoded payload for compressed files).
+    pub fn open_framed(&self, rel: &str) -> Result<FrameReader<DiskReader>> {
+        let inner = self.open_inner(rel, false)?;
+        let mut r = FrameReader::new(inner)?;
+        r.account_logical_to(self.clone());
+        Ok(r)
     }
 
     /// Opens a file for positioned (random) reads and writes.
@@ -197,35 +247,61 @@ impl NodeDisk {
     }
 
     fn account_read(&self, bytes: u64) {
+        self.account_read_inner(bytes, true);
+    }
+
+    fn account_read_inner(&self, bytes: u64, logical: bool) {
         self.throttle.acquire(bytes);
         self.stats.read_bytes.add(bytes);
         self.stats.read_ops.add(1);
         self.stats.read_traffic.record(bytes);
+        if logical {
+            self.stats.logical_read_bytes.add(bytes);
+        }
     }
 
     fn account_write(&self, bytes: u64) {
+        self.account_write_inner(bytes, true);
+    }
+
+    fn account_write_inner(&self, bytes: u64, logical: bool) {
         self.throttle.acquire(bytes);
         self.stats.write_bytes.add(bytes);
         self.stats.write_ops.add(1);
         self.stats.write_traffic.record(bytes);
+        if logical {
+            self.stats.logical_write_bytes.add(bytes);
+        }
+    }
+
+    /// Records logical-only bytes (the decoded side of a compressed frame);
+    /// physical accounting happened when the frame bytes hit the device.
+    pub(crate) fn add_logical_read(&self, bytes: u64) {
+        self.stats.logical_read_bytes.add(bytes);
+    }
+
+    pub(crate) fn add_logical_write(&self, bytes: u64) {
+        self.stats.logical_write_bytes.add(bytes);
     }
 }
 
 const BUF_CAP: usize = 256 << 10;
 
 /// File wrapper charging the node's throttle and counters per syscall-level
-/// operation.
+/// operation. `count_logical` is false when a frame codec sits above this
+/// file and owns the logical-byte numbers.
 struct Accounted {
     file: File,
     disk: NodeDisk,
     write: bool,
+    count_logical: bool,
 }
 
 impl Read for Accounted {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.file.read(buf)?;
         if n > 0 {
-            self.disk.account_read(n as u64);
+            self.disk.account_read_inner(n as u64, self.count_logical);
         }
         Ok(n)
     }
@@ -235,7 +311,7 @@ impl Write for Accounted {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.file.write(buf)?;
         if n > 0 {
-            self.disk.account_write(n as u64);
+            self.disk.account_write_inner(n as u64, self.count_logical);
         }
         Ok(n)
     }

@@ -11,12 +11,14 @@
 
 pub mod blockstore;
 pub mod chunkcache;
+pub mod compress;
 pub mod disk;
 pub mod pagecache;
 pub mod throttle;
 
 pub use blockstore::VersionedArrayStore;
 pub use chunkcache::{CachedValue, ChunkCache, ChunkCacheStats, ChunkKey, PrefetchJob, Prefetcher};
+pub use compress::{FrameReader, FrameWriter, FRAME_MAGIC};
 pub use disk::{DiskReader, DiskStats, DiskWriter, NodeDisk, RandomFile};
 pub use pagecache::{CacheStats, PageCache};
 pub use throttle::Throttle;

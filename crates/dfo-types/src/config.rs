@@ -99,6 +99,16 @@ pub struct EngineConfig {
     /// and decode edge chunks. Only active when `chunk_cache_bytes > 0`;
     /// `0` disables read-ahead while keeping the cache.
     pub prefetch_depth: usize,
+    /// Write preprocessed edge chunks and dispatching graphs through the
+    /// checksummed LZ4 block framing (GraphMP-style), shrinking cold reads
+    /// and preprocessing output at a small decode cost. On by default;
+    /// `false` reproduces the uncompressed on-disk layout byte-for-byte.
+    /// Readers auto-detect the format, so flipping this only affects newly
+    /// preprocessed data. While on, the §4.1 CSR seek mode is bypassed for
+    /// full chunk loads (positioned reads need the uncompressed layout).
+    /// Overridable with the `DFO_COMPRESS` environment variable (see
+    /// [`EngineConfig::apply_env_overrides`]).
+    pub compress_chunks: bool,
     /// Peer socket addresses (`host:port`, one per rank, index = rank) for
     /// the multi-process TCP transport used by `run_distributed`; `None`
     /// keeps the in-process channel transport. See
@@ -133,6 +143,7 @@ impl EngineConfig {
             record_traffic: false,
             chunk_cache_bytes: 0,
             prefetch_depth: 2,
+            compress_chunks: true,
             peers: None,
             connect_timeout_secs: 30,
         }
@@ -149,7 +160,8 @@ impl EngineConfig {
     /// `DFO_PEERS` is a comma-separated `host:port` list (one per rank, in
     /// rank order) that switches the config to the TCP transport and sets
     /// the node count to match; `DFO_CHUNK_CACHE` sets the chunk-cache
-    /// budget in bytes (optional `K`/`M`/`G` suffix).
+    /// budget in bytes (optional `K`/`M`/`G` suffix); `DFO_COMPRESS`
+    /// (`1`/`true`/`on` or `0`/`false`/`off`) toggles chunk compression.
     pub fn apply_env_overrides(&mut self) {
         if let Ok(s) = std::env::var("DFO_PEERS") {
             let peers: Vec<String> =
@@ -168,6 +180,16 @@ impl EngineConfig {
                     "DFO_CHUNK_CACHE={s:?} is not a byte size (use e.g. 67108864 or 64M); \
                      keeping chunk_cache_bytes = {}",
                     self.chunk_cache_bytes
+                ),
+            }
+        }
+        if let Ok(s) = std::env::var("DFO_COMPRESS") {
+            match parse_bool(&s) {
+                Some(on) => self.compress_chunks = on,
+                None => eprintln!(
+                    "DFO_COMPRESS={s:?} is not a boolean (use 1/0, true/false, on/off); \
+                     keeping compress_chunks = {}",
+                    self.compress_chunks
                 ),
             }
         }
@@ -226,6 +248,16 @@ impl EngineConfig {
     }
 }
 
+/// Parses `"1"`/`"true"`/`"on"`/`"yes"` and `"0"`/`"false"`/`"off"`/`"no"`
+/// (case-insensitive).
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
 /// Parses `"67108864"`, `"64M"`, `"2G"`, `"512K"` (optionally `"64MB"`)
 /// into bytes.
 fn parse_byte_size(s: &str) -> Option<u64> {
@@ -262,6 +294,25 @@ mod tests {
         let c = EngineConfig::for_test(2);
         assert_eq!(c.chunk_cache_bytes, 0);
         assert_eq!(c.prefetch_depth, 2);
+    }
+
+    #[test]
+    fn compression_defaults_on_and_bool_parsing() {
+        assert!(EngineConfig::for_test(2).compress_chunks);
+        for (s, want) in [
+            ("1", Some(true)),
+            ("true", Some(true)),
+            ("ON", Some(true)),
+            ("yes", Some(true)),
+            ("0", Some(false)),
+            ("False", Some(false)),
+            ("off", Some(false)),
+            ("no", Some(false)),
+            ("maybe", None),
+            ("", None),
+        ] {
+            assert_eq!(parse_bool(s), want, "parse_bool({s:?})");
+        }
     }
 
     #[test]

@@ -136,6 +136,14 @@ pub struct PhaseStats {
     /// Bytes of decoded chunks evicted from the cache this call to stay
     /// inside the memory budget.
     pub chunk_cache_evicted_bytes: u64,
+    /// *Logical* disk bytes read across the whole call: what the pipeline
+    /// consumed, before compression. Equal to the sum of physical reads
+    /// when chunk compression is off; larger when compressed chunks were
+    /// decoded on the way in.
+    pub logical_disk_read: u64,
+    /// *Logical* disk bytes written across the whole call (pre-compression
+    /// payload). The per-phase `*_disk_*` fields above stay physical.
+    pub logical_disk_write: u64,
 }
 
 impl PhaseStats {
@@ -154,8 +162,11 @@ impl PhaseStats {
         self.chunk_cache_hits += other.chunk_cache_hits;
         self.chunk_cache_misses += other.chunk_cache_misses;
         self.chunk_cache_evicted_bytes += other.chunk_cache_evicted_bytes;
+        self.logical_disk_read += other.logical_disk_read;
+        self.logical_disk_write += other.logical_disk_write;
     }
 
+    /// Total *physical* disk bytes this call moved (per-phase sums).
     pub fn total_disk(&self) -> u64 {
         self.generate_disk_read
             + self.generate_disk_write

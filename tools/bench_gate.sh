@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Bench-regression gate over the BENCH_*.json trajectory.
+#
+# Runs the JSON-emitting benches (micro_chunkcache -> BENCH_3,
+# micro_compress -> BENCH_4), extracts their one-line JSON payloads into
+# target/bench-gate/, and compares each against the committed baseline at
+# the repo root with the `bench_gate` binary: any byte metric more than 5 %
+# above baseline hard-fails; wall-clock drift only warns (CI timing is
+# noise). The benches themselves also carry hard asserts (cache reuse,
+# compression wins, bit-identical results), so a broken subsystem fails
+# before the comparison does.
+#
+# Usage:
+#   tools/bench_gate.sh            # gate against committed baselines
+#   tools/bench_gate.sh --update   # rewrite the committed baselines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=target/bench-gate
+mkdir -p "$out"
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+fi
+
+run_bench() { # <marker> <bench-target>
+  local marker=$1 bench=$2
+  echo "== $bench =="
+  cargo bench -q -p dfo-bench --bench "$bench" | tee "$out/$bench.log"
+  # `|| true`: under pipefail a missing marker must reach the diagnostic
+  # below, not kill the script with grep's bare exit 1
+  { grep -E "^$marker \{" "$out/$bench.log" || true; } \
+    | sed "s/^$marker //" > "$out/$marker.json"
+  if [ ! -s "$out/$marker.json" ]; then
+    echo "bench_gate.sh: $bench did not emit a $marker JSON line" >&2
+    exit 2
+  fi
+}
+
+run_bench BENCH_3 micro_chunkcache
+run_bench BENCH_4 micro_compress
+
+status=0
+for marker in BENCH_3 BENCH_4; do
+  if [ "$update" -eq 1 ]; then
+    cp "$out/$marker.json" "$marker.json"
+    echo "baseline $marker.json updated from this run"
+    echo "  note: restore the hand-written metadata keys (workload," \
+         "metric_note, recorded) and pretty-printing before committing"
+  elif [ ! -f "$marker.json" ]; then
+    # a vanished baseline must fail the gate, not silently disable it
+    echo "bench_gate.sh: committed baseline $marker.json is missing" >&2
+    echo "  (run tools/bench_gate.sh --update and commit it)" >&2
+    status=1
+  else
+    cargo run -q -p dfo-bench --bin bench_gate -- "$marker.json" "$out/$marker.json" || status=1
+  fi
+done
+
+exit $status

@@ -1,0 +1,335 @@
+//! Offline shim for the `lz4_flex` crate: a safe, dependency-free
+//! implementation of the LZ4 *block* format (the real crate's
+//! `lz4_flex::block` module), exposing only what the DFOGraph workspace
+//! uses: [`compress`], [`decompress`] and [`get_maximum_output_size`].
+//!
+//! The encoder is a greedy single-pass matcher over a 4-byte hash table —
+//! the same shape as the reference LZ4 fast path. It honours the block
+//! format's end-of-block rules (the last five bytes are always literals and
+//! no match starts within twelve bytes of the end), so output decodes with
+//! any conforming LZ4 block decoder. The decoder validates every length and
+//! offset and never panics on malformed input; memory use is bounded by the
+//! caller-provided uncompressed size.
+
+/// Minimum match length the block format can express.
+const MINMATCH: usize = 4;
+/// No match may *start* closer than this to the end of the input.
+const MFLIMIT: usize = 12;
+/// The last sequence is literals-only and at least this long.
+const LASTLITERALS: usize = 5;
+/// Matches reference at most this far back (2-byte offset).
+const MAX_OFFSET: usize = 65535;
+/// log2 of the hash table size; 16 KiB of table for 64 KiB+ blocks.
+const HASH_BITS: u32 = 12;
+
+/// Decoding failure: the input is not a valid LZ4 block for the stated
+/// uncompressed size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended inside a token, length extension, literal run or offset.
+    Truncated,
+    /// A match offset is zero or reaches before the start of the output.
+    OffsetOutOfBounds,
+    /// Decoded output does not match the expected uncompressed size.
+    UncompressedSizeMismatch { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "LZ4 block truncated"),
+            DecompressError::OffsetOutOfBounds => write!(f, "LZ4 match offset out of bounds"),
+            DecompressError::UncompressedSizeMismatch { expected, actual } => {
+                write!(f, "LZ4 block decoded to {actual} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Worst-case compressed size of `len` input bytes (all-literal output:
+/// one token plus one extension byte per 255 literals, plus slack).
+pub const fn get_maximum_output_size(len: usize) -> usize {
+    len + len / 255 + 16
+}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read_u32(input: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([input[i], input[i + 1], input[i + 2], input[i + 3]])
+}
+
+/// Appends an LSIC length extension (`255` bytes then the remainder).
+fn push_length_extension(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+/// Emits one sequence: `literals`, then a match of `match_len` bytes at
+/// `offset` back. `match_len` is the *full* length (≥ [`MINMATCH`]).
+fn push_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+    let lit_len = literals.len();
+    let ml = match_len - MINMATCH;
+    let token = ((lit_len.min(15) as u8) << 4) | ml.min(15) as u8;
+    out.push(token);
+    if lit_len >= 15 {
+        push_length_extension(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    if ml >= 15 {
+        push_length_extension(out, ml - 15);
+    }
+}
+
+/// Emits the final literals-only sequence (no offset follows the token).
+fn push_trailing_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    out.push((lit_len.min(15) as u8) << 4);
+    if lit_len >= 15 {
+        push_length_extension(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Compresses `input` into a standalone LZ4 block.
+///
+/// The output never exceeds [`get_maximum_output_size`]`(input.len())`;
+/// whether it *beats* `input.len()` is the caller's framing decision (this
+/// shim's user stores incompressible blocks raw).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(get_maximum_output_size(input.len()));
+    if input.len() < MFLIMIT {
+        push_trailing_literals(&mut out, input);
+        return out;
+    }
+    // positions stored +1 so 0 means "empty slot"
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let match_end_limit = input.len() - LASTLITERALS;
+    let search_limit = input.len() - MFLIMIT;
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i <= search_limit {
+        let seq = read_u32(input, i);
+        let slot = &mut table[hash(seq)];
+        let cand = *slot;
+        *slot = (i + 1) as u32;
+        if cand != 0 {
+            let c = (cand - 1) as usize;
+            if i - c <= MAX_OFFSET && read_u32(input, c) == seq {
+                let mut mlen = MINMATCH;
+                while i + mlen < match_end_limit && input[c + mlen] == input[i + mlen] {
+                    mlen += 1;
+                }
+                push_sequence(&mut out, &input[anchor..i], (i - c) as u16, mlen);
+                i += mlen;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    push_trailing_literals(&mut out, &input[anchor..]);
+    out
+}
+
+/// Reads an LSIC length extension starting at `*i`.
+fn read_length_extension(input: &[u8], i: &mut usize) -> Result<usize, DecompressError> {
+    let mut v = 0usize;
+    loop {
+        let b = *input.get(*i).ok_or(DecompressError::Truncated)?;
+        *i += 1;
+        v += b as usize;
+        if b != 255 {
+            return Ok(v);
+        }
+    }
+}
+
+/// Decompresses a standalone LZ4 block of known uncompressed size.
+///
+/// Strict: the block must decode to *exactly* `uncompressed_size` bytes
+/// (the framing this shim serves stores the exact size next to each block),
+/// and memory use is bounded by that size even for malformed input.
+pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out: Vec<u8> = Vec::with_capacity(uncompressed_size);
+    let mut i = 0usize;
+    if input.is_empty() {
+        if uncompressed_size == 0 {
+            return Ok(out);
+        }
+        return Err(DecompressError::Truncated);
+    }
+    loop {
+        let token = *input.get(i).ok_or(DecompressError::Truncated)?;
+        i += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_length_extension(input, &mut i)?;
+        }
+        if out.len() + lit_len > uncompressed_size {
+            return Err(DecompressError::UncompressedSizeMismatch {
+                expected: uncompressed_size,
+                actual: out.len() + lit_len,
+            });
+        }
+        let lit_end = i.checked_add(lit_len).ok_or(DecompressError::Truncated)?;
+        if lit_end > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        out.extend_from_slice(&input[i..lit_end]);
+        i = lit_end;
+        if i == input.len() {
+            break; // final literals-only sequence
+        }
+        if i + 2 > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        let offset = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(DecompressError::OffsetOutOfBounds);
+        }
+        let mut mlen = (token & 0x0f) as usize;
+        if mlen == 15 {
+            mlen += read_length_extension(input, &mut i)?;
+        }
+        mlen += MINMATCH;
+        if out.len() + mlen > uncompressed_size {
+            return Err(DecompressError::UncompressedSizeMismatch {
+                expected: uncompressed_size,
+                actual: out.len() + mlen,
+            });
+        }
+        // overlapping copy: byte-at-a-time is the format's semantics
+        let start = out.len() - offset;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != uncompressed_size {
+        return Err(DecompressError::UncompressedSizeMismatch {
+            expected: uncompressed_size,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let enc = compress(data);
+        assert!(enc.len() <= get_maximum_output_size(data.len()), "bound violated");
+        decompress(&enc, data.len()).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for data in [&b""[..], b"a", b"hello", b"hellohello!"] {
+            assert_eq!(roundtrip(data), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data: Vec<u8> =
+            std::iter::repeat_n(b"dfograph-chunk-", 500).flat_map(|s| s.iter().copied()).collect();
+        let enc = compress(&data);
+        assert!(enc.len() < data.len() / 4, "{} vs {}", enc.len(), data.len());
+        assert_eq!(decompress(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn zeros_compress_hard() {
+        let data = vec![0u8; 100_000];
+        let enc = compress(&data);
+        assert!(enc.len() < 1000);
+        assert_eq!(decompress(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn pseudorandom_input_roundtrips() {
+        // xorshift noise: essentially incompressible, exercises the
+        // all-literal path with long length extensions
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let data: Vec<u8> = (0..70_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn structured_u32_arrays_roundtrip() {
+        // the shape of chunk payloads: small integers in little-endian u32s
+        let data: Vec<u8> = (0..20_000u32).flat_map(|v| (v % 977).to_le_bytes()).collect();
+        let enc = compress(&data);
+        assert!(enc.len() < data.len());
+        assert_eq!(decompress(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        let mut data = b"ab".to_vec();
+        data.extend(std::iter::repeat_n(b'a', 5000));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let data: Vec<u8> =
+            std::iter::repeat_n(b"abcdefg0", 200).flat_map(|s| s.iter().copied()).collect();
+        let enc = compress(&data);
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(
+                decompress(&enc[..cut], data.len()).is_err(),
+                "cut at {cut} of {} must fail",
+                enc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_size_errors() {
+        let data = vec![7u8; 4096];
+        let enc = compress(&data);
+        assert!(decompress(&enc, data.len() - 1).is_err());
+        assert!(decompress(&enc, data.len() + 1).is_err());
+    }
+
+    #[test]
+    fn bad_offset_errors() {
+        // token: 1 literal + match, offset 9 with only 1 byte of history
+        let block = [0x10u8, b'x', 9, 0];
+        assert_eq!(decompress(&block, 100), Err(DecompressError::OffsetOutOfBounds));
+        // zero offset is never valid
+        let block = [0x10u8, b'x', 0, 0];
+        assert_eq!(decompress(&block, 100), Err(DecompressError::OffsetOutOfBounds));
+    }
+
+    #[test]
+    fn malformed_length_extension_bounded() {
+        // a token demanding a huge literal run must fail without allocating
+        // unbounded memory (the expected-size cap trips first)
+        let mut block = vec![0xf0u8];
+        block.extend(std::iter::repeat_n(255, 64));
+        block.push(0);
+        assert!(decompress(&block, 1024).is_err());
+    }
+}
