@@ -7,7 +7,7 @@ use dfo_net::{NetStats, SimCluster, TcpCluster, TcpOpts};
 use dfo_part::plan::Plan;
 use dfo_part::preprocess::preprocess;
 use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
-use dfo_types::{DfoError, EngineConfig, Pod, Rank, Result};
+use dfo_types::{DfoError, EngineConfig, Pod, Rank, RecoveryStats, Result};
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -18,7 +18,20 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
         .or_else(|| panic.downcast_ref::<String>().cloned())
+        .or_else(|| panic.downcast_ref::<DfoError>().map(|e| e.to_string()))
         .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+/// Classifies a caught node-program panic. The network endpoint panics
+/// collective failures with the [`DfoError`] itself as the payload, so a
+/// mesh failure comes back out as the typed error (retryable by supervised
+/// recovery); anything else is a deterministic bug in the program and maps
+/// to the non-retryable [`DfoError::Panic`].
+fn panic_to_error(panic: Box<dyn std::any::Any + Send>, rank: Rank) -> DfoError {
+    match panic.downcast::<DfoError>() {
+        Ok(e) => *e,
+        Err(panic) => DfoError::Panic(format!("rank {rank}: {}", panic_message(panic))),
+    }
 }
 
 /// A simulated DFOGraph cluster rooted at a base directory; node `i`'s disk
@@ -32,6 +45,8 @@ pub struct Cluster {
     /// `chunk_cache_bytes == 0` (nothing is allocated).
     chunk_caches: Vec<Arc<ChunkCache>>,
     last_net: Mutex<Vec<Arc<NetStats>>>,
+    /// Checkpoint-restart counters of the most recent supervised run.
+    recovery: Mutex<RecoveryStats>,
 }
 
 impl Cluster {
@@ -48,7 +63,14 @@ impl Cluster {
         } else {
             Vec::new()
         };
-        Ok(Self { cfg, base, disks, chunk_caches, last_net: Mutex::new(Vec::new()) })
+        Ok(Self {
+            cfg,
+            base,
+            disks,
+            chunk_caches,
+            last_net: Mutex::new(Vec::new()),
+            recovery: Mutex::new(RecoveryStats::default()),
+        })
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -111,8 +133,7 @@ impl Cluster {
                             }
                             Err(panic) => {
                                 ctx.net().poison_collective();
-                                let msg = panic_message(panic);
-                                Err(DfoError::NetClosed(format!("node {rank} panicked: {msg}")))
+                                Err(panic_to_error(panic, rank))
                             }
                         }
                     })
@@ -143,6 +164,78 @@ impl Cluster {
         rank: Rank,
         f: impl FnOnce(&mut NodeCtx) -> Result<T>,
     ) -> Result<T> {
+        let mut f = Some(f);
+        self.attempt_distributed(rank, self.cfg.epoch, &mut |ctx| {
+            (f.take().expect("run_distributed attempts exactly once"))(ctx)
+        })
+    }
+
+    /// Runs `f` as one rank of a multi-process cluster **with
+    /// checkpoint-restart**: like [`Cluster::run_distributed`], but a mesh
+    /// failure (a peer process died, or the bootstrap handshake failed)
+    /// does not abort the job. Instead the rank quiesces its transport
+    /// (poisons the mesh so nothing blocks, joins the codec threads, drops
+    /// the sockets), bumps the mesh *epoch*, re-bootstraps the TCP mesh —
+    /// stale-epoch connections are rejected in the handshake — and
+    /// re-executes `f` from scratch, up to `cfg.max_restarts` times.
+    ///
+    /// Pair it with a [`crate::Supervisor`] in the parent process: the
+    /// supervisor relaunches the dead rank under the incremented epoch
+    /// (`DFO_EPOCH`) while the survivors loop here in place. `f` must be
+    /// written recovery-style (§3.2): open its arrays with
+    /// [`NodeCtx::vertex_array`] (which recovers the last committed
+    /// checkpoint), agree on the global resume point — e.g. via
+    /// [`NodeCtx::committed_round`] — and re-execute deterministically
+    /// from there, so the {crash, no-crash} results stay bit-identical and
+    /// at most one `Process` call is lost.
+    ///
+    /// Non-mesh errors stay fatal: I/O, corruption, configuration — and
+    /// panics in `f` itself, which come back as the non-retryable
+    /// [`DfoError::Panic`] (the endpoint panics *collective* failures with
+    /// the typed `NetClosed` payload, so only genuine mesh failures are
+    /// retried). An exhausted restart budget surfaces as
+    /// [`DfoError::RestartsExhausted`].
+    pub fn run_supervised<T>(
+        &self,
+        rank: Rank,
+        mut f: impl FnMut(&mut NodeCtx) -> Result<T>,
+    ) -> Result<T> {
+        let mut epoch = self.cfg.epoch;
+        let mut restarts: u32 = 0;
+        loop {
+            let res = self.attempt_distributed(rank, epoch, &mut f);
+            *self.recovery.lock() = RecoveryStats { restarts: restarts as u64, mesh_epoch: epoch };
+            match res {
+                Ok(v) => return Ok(v),
+                Err(e @ (DfoError::NetClosed(_) | DfoError::Handshake(_))) => {
+                    if restarts >= self.cfg.max_restarts {
+                        return Err(DfoError::RestartsExhausted {
+                            attempts: restarts,
+                            last: Box::new(e),
+                        });
+                    }
+                    restarts += 1;
+                    epoch += 1;
+                    eprintln!(
+                        "[dfo] rank {rank}: mesh failure ({e}); re-bootstrapping at epoch \
+                         {epoch} (recovery {restarts}/{})",
+                        self.cfg.max_restarts
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One mesh bootstrap + execution attempt at a given epoch. On exit the
+    /// transport is fully quiesced (writer threads joined, sockets closed)
+    /// whatever happened, so the caller may immediately re-bootstrap.
+    fn attempt_distributed<T>(
+        &self,
+        rank: Rank,
+        epoch: u64,
+        f: &mut dyn FnMut(&mut NodeCtx) -> Result<T>,
+    ) -> Result<T> {
         let peers = self.cfg.peers.clone().ok_or_else(|| {
             DfoError::Config("run_distributed needs cfg.peers (the rank address list)".into())
         })?;
@@ -157,7 +250,7 @@ impl Cluster {
             &peers,
             self.cfg.net_bw,
             self.cfg.record_traffic,
-            TcpOpts { connect_timeout: Duration::from_secs(self.cfg.connect_timeout_secs) },
+            TcpOpts { connect_timeout: Duration::from_secs(self.cfg.connect_timeout_secs), epoch },
         )?;
         *self.last_net.lock() = vec![ep.stats_arc()];
         let mut ctx = NodeCtx::with_chunk_cache(
@@ -167,6 +260,9 @@ impl Cluster {
             ep,
             self.chunk_caches.get(rank).cloned(),
         )?;
+        // multi-process deployment: an injected crash must kill the whole
+        // OS process (like a SIGKILL), not just unwind one thread
+        ctx.crash_abort = true;
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
         match res {
             Ok(Ok(v)) => Ok(v),
@@ -176,10 +272,16 @@ impl Cluster {
             }
             Err(panic) => {
                 ctx.net().poison_collective();
-                let msg = panic_message(panic);
-                Err(DfoError::NetClosed(format!("rank {rank} failed: {msg}")))
+                Err(panic_to_error(panic, rank))
             }
         }
+    }
+
+    /// Checkpoint-restart counters of the most recent
+    /// [`Cluster::run_supervised`] call on this handle (zeroes if it never
+    /// had to recover).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        *self.recovery.lock()
     }
 
     /// Aggregate disk bytes (read + written) across all nodes.

@@ -50,8 +50,10 @@ pub mod cluster;
 pub mod edges;
 pub mod messages;
 pub mod node;
+pub mod supervisor;
 
 pub use accum::Accum;
 pub use array::{BatchCtx, VertexArray};
 pub use cluster::Cluster;
 pub use node::NodeCtx;
+pub use supervisor::{RankSpec, SuperviseReport, Supervisor};

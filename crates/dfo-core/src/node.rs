@@ -12,7 +12,7 @@ use dfo_part::plan::{ChunkInfo, Plan};
 use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
 use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub struct NodeCtx {
@@ -31,6 +31,14 @@ pub struct NodeCtx {
     pub(crate) chunk_cache: Option<Arc<ChunkCache>>,
     pub(crate) call_seq: u64,
     pub(crate) last_stats: PhaseStats,
+    /// `Process` calls whose epoch commit completed in this context's
+    /// lifetime — the clock the deterministic crash hook
+    /// (`cfg.crash_at` / `DFO_CRASH_AT`) counts against.
+    pub(crate) calls_committed: AtomicU64,
+    /// How an injected crash dies: `false` (in-process simulation) panics
+    /// the node thread, `true` (one-rank-per-process deployments) aborts
+    /// the whole OS process — indistinguishable from a SIGKILL.
+    pub(crate) crash_abort: bool,
 }
 
 impl NodeCtx {
@@ -70,6 +78,8 @@ impl NodeCtx {
             chunk_cache,
             call_seq: 0,
             last_stats: PhaseStats::default(),
+            calls_committed: AtomicU64::new(0),
+            crash_abort: false,
         })
     }
 
@@ -173,11 +183,68 @@ impl NodeCtx {
         }
     }
 
+    /// Commits one `Process` call's array epochs. This is the commit
+    /// boundary the deterministic fault-injection hook fires at: with
+    /// `cfg.crash_at = Some(CrashPoint { call: k, .. })`, the `k`-th call
+    /// of this context dies right *before* its commit, so that call is
+    /// lost exactly — and, because the crash precedes every per-array
+    /// commit of the call, the surviving on-disk state is the consistent
+    /// state after call `k - 1` on every array.
     pub(crate) fn commit_epochs(&self, entries: &[Arc<ArrayEntry>]) -> Result<()> {
+        self.crash_if_scheduled();
         for e in entries {
             e.commit()?;
         }
+        self.calls_committed.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn crash_if_scheduled(&self) {
+        let Some(cp) = self.cfg.crash_at else { return };
+        if cp.rank.is_some_and(|r| r != self.rank) {
+            return;
+        }
+        if self.calls_committed.load(Ordering::Relaxed) != cp.call {
+            return;
+        }
+        if self.crash_abort {
+            eprintln!(
+                "[dfo] rank {}: DFO_CRASH_AT fired — aborting before Process call {} commits",
+                self.rank, cp.call
+            );
+            std::process::abort();
+        }
+        panic!(
+            "injected crash (DFO_CRASH_AT): rank {} dies before Process call {} commits",
+            self.rank, cp.call
+        );
+    }
+
+    /// Resume plumbing for recovery-style programs (§3.2): opens (or
+    /// recovers) the `u64` round-marker array `name`, takes the minimum
+    /// committed marker across this rank's vertices, and all-reduces the
+    /// minimum across ranks — the last round known to have committed
+    /// *everywhere*, i.e. the global resume point. A fresh array yields 0.
+    ///
+    /// Counts as one `Process` call. Programs write `round + 1` into the
+    /// marker inside the **last** `Process` call of each round (listing it
+    /// alongside that call's data arrays, so marker and data commit at the
+    /// same boundary), and resume their loop at the returned round after a
+    /// restart — re-executing at most one lost call per array.
+    pub fn committed_round(&mut self, name: &str) -> Result<u64> {
+        let marker = self.vertex_array::<u64>(name)?;
+        let min = AtomicU64::new(u64::MAX);
+        {
+            let h = marker.clone();
+            let min = &min;
+            self.process_vertices(&[name], None, move |v, c| {
+                min.fetch_min(c.get(&h, v), Ordering::Relaxed);
+                0u64
+            })?;
+        }
+        let m = min.load(Ordering::Relaxed);
+        let local = if m == u64::MAX { 0 } else { m };
+        Ok(self.net.allreduce_min_u64(local))
     }
 
     /// The paper's `ProcessVertices`: runs `work` on every vertex (or every

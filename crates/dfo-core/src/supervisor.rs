@@ -1,0 +1,266 @@
+//! Parent-side process supervision for distributed checkpoint-restart
+//! (paper §3.2 layered over process relaunch).
+//!
+//! A [`Supervisor`] launches one OS process per rank and babysits them:
+//! a rank that exits cleanly is done; a rank that dies (non-zero exit,
+//! SIGKILL, SIGABRT from the fault-injection hook…) is **relaunched**
+//! under the next mesh *epoch*. Inside each rank process,
+//! [`crate::Cluster::run_supervised`] is the other half of the protocol:
+//! survivors observe the failure as `NetClosed`, quiesce their transport,
+//! bump their epoch by one, and re-enter the TCP bootstrap — where they
+//! meet the relaunched process, which received the same epoch via
+//! `DFO_EPOCH`. Stale-epoch connections are rejected by the handshake, so
+//! sockets of the dead incarnation can never rejoin.
+//!
+//! ## Failure model
+//!
+//! Fail-stop process crashes, at most one outstanding failure per recovery
+//! window: epochs stay in sync because every survivor observes each crash
+//! exactly once (its collectives and streams fail) while the supervisor
+//! relaunches exactly once per crash. Overlapping failures — a second rank
+//! dying while a recovery is still bootstrapping — exhaust the restart
+//! budget or time out the bootstrap, and the job fails loudly instead of
+//! wedging. Byzantine behaviour and network partitions are out of scope
+//! (as in the paper, which targets small trusted clusters).
+
+use dfo_types::{DfoError, Rank, Result};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// What a rank process must be launched (or relaunched) as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankSpec {
+    /// The rank to run.
+    pub rank: Rank,
+    /// Mesh epoch the process must bootstrap at (`DFO_EPOCH`).
+    pub epoch: u64,
+    /// 0 for the initial launch, incremented per relaunch of this rank.
+    pub attempt: u32,
+}
+
+impl RankSpec {
+    /// Applies the conventional environment to a [`Command`]: `DFO_RANK`,
+    /// `DFO_PEERS`, `DFO_EPOCH` and `DFO_MAX_RESTARTS` (all consumed by
+    /// [`dfo_types::EngineConfig::apply_env_overrides`]). Relaunches also
+    /// scrub any inherited `DFO_CRASH_AT` so a deterministic kill test
+    /// crashes once, not on every incarnation.
+    pub fn configure(&self, cmd: &mut Command, peers: &[String], max_restarts: u32) {
+        cmd.env("DFO_RANK", self.rank.to_string())
+            .env("DFO_PEERS", peers.join(","))
+            .env("DFO_EPOCH", self.epoch.to_string())
+            .env("DFO_MAX_RESTARTS", max_restarts.to_string());
+        if self.attempt > 0 {
+            cmd.env_remove("DFO_CRASH_AT");
+        }
+    }
+}
+
+/// What a completed supervision run looked like.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperviseReport {
+    /// Total relaunches across all ranks.
+    pub restarts: u32,
+    /// Every relaunch performed, as `(rank, epoch it was relaunched at)`.
+    pub relaunches: Vec<(Rank, u64)>,
+}
+
+/// Relaunching process supervisor for a multi-process cluster; see the
+/// module docs for the protocol it shares with
+/// [`crate::Cluster::run_supervised`].
+pub struct Supervisor {
+    peers: Vec<String>,
+    max_restarts: u32,
+    poll: Duration,
+    deadline: Duration,
+}
+
+impl Supervisor {
+    /// A supervisor for the mesh `peers` (one `host:port` per rank),
+    /// allowing `max_restarts` relaunches in total before giving up.
+    pub fn new(peers: Vec<String>, max_restarts: u32) -> Self {
+        Self {
+            peers,
+            max_restarts,
+            poll: Duration::from_millis(25),
+            deadline: Duration::from_secs(300),
+        }
+    }
+
+    /// Caps the whole supervised job's wall-clock time (default 300 s); on
+    /// expiry every child is killed and the run fails.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    pub fn max_restarts(&self) -> u32 {
+        self.max_restarts
+    }
+
+    /// Launches every rank via `spawn` and supervises until all exit
+    /// cleanly, relaunching crashed ranks under incremented epochs.
+    /// `spawn` builds and starts the process for a [`RankSpec`] — typically
+    /// `Command::new(exe)` plus [`RankSpec::configure`] plus whatever
+    /// job-specific environment the workers need.
+    pub fn run(
+        &self,
+        mut spawn: impl FnMut(&RankSpec) -> std::io::Result<Child>,
+    ) -> Result<SuperviseReport> {
+        let p = self.peers.len();
+        let mut epoch = 0u64;
+        let mut report = SuperviseReport::default();
+        let mut attempts = vec![0u32; p];
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(p);
+        for rank in 0..p {
+            let spec = RankSpec { rank, epoch, attempt: 0 };
+            match spawn(&spec) {
+                Ok(c) => children.push(Some(c)),
+                Err(e) => {
+                    Self::kill_all(&mut children);
+                    return Err(DfoError::io(format!("launching rank {rank}"), e));
+                }
+            }
+        }
+        let deadline = Instant::now() + self.deadline;
+        loop {
+            let mut running = false;
+            for rank in 0..p {
+                let Some(child) = children[rank].as_mut() else { continue };
+                let status = match child.try_wait() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        Self::kill_all(&mut children);
+                        return Err(DfoError::io(format!("waiting on rank {rank}"), e));
+                    }
+                };
+                match status {
+                    None => running = true,
+                    Some(st) if st.success() => {
+                        children[rank] = None; // rank finished its program
+                    }
+                    Some(st) => {
+                        // rank died: relaunch it under the next epoch (the
+                        // survivors bump to the same epoch on their own
+                        // when their collectives fail)
+                        if report.restarts >= self.max_restarts {
+                            Self::kill_all(&mut children);
+                            return Err(DfoError::RestartsExhausted {
+                                attempts: report.restarts,
+                                last: Box::new(DfoError::NetClosed(format!(
+                                    "rank {rank} died ({st}) with no restart budget left"
+                                ))),
+                            });
+                        }
+                        report.restarts += 1;
+                        epoch += 1;
+                        attempts[rank] += 1;
+                        report.relaunches.push((rank, epoch));
+                        eprintln!(
+                            "[dfo] supervisor: rank {rank} died ({st}); relaunching at epoch \
+                             {epoch} (restart {}/{})",
+                            report.restarts, self.max_restarts
+                        );
+                        let spec = RankSpec { rank, epoch, attempt: attempts[rank] };
+                        match spawn(&spec) {
+                            Ok(c) => children[rank] = Some(c),
+                            Err(e) => {
+                                Self::kill_all(&mut children);
+                                return Err(DfoError::io(format!("relaunching rank {rank}"), e));
+                            }
+                        }
+                        running = true;
+                    }
+                }
+            }
+            if !running {
+                return Ok(report);
+            }
+            if Instant::now() >= deadline {
+                Self::kill_all(&mut children);
+                return Err(DfoError::NetClosed(format!(
+                    "supervision deadline ({:?}) passed with ranks still running",
+                    self.deadline
+                )));
+            }
+            std::thread::sleep(self.poll);
+        }
+    }
+
+    fn kill_all(children: &mut [Option<Child>]) {
+        for c in children.iter_mut().filter_map(Option::take) {
+            let mut c = c;
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(script);
+        cmd
+    }
+
+    #[test]
+    fn all_ranks_exit_clean_no_restarts() {
+        let sup = Supervisor::new(vec!["a:1".into(), "b:2".into()], 3)
+            .with_deadline(Duration::from_secs(30));
+        let report = sup.run(|_spec| sh("exit 0").spawn()).unwrap();
+        assert_eq!(report, SuperviseReport::default());
+    }
+
+    #[test]
+    fn crashed_rank_is_relaunched_under_next_epoch() {
+        let sup = Supervisor::new(vec!["a:1".into(), "b:2".into()], 3)
+            .with_deadline(Duration::from_secs(30));
+        // rank 1's first attempt dies; its relaunch succeeds
+        let report = sup
+            .run(|spec| {
+                if spec.rank == 1 && spec.attempt == 0 {
+                    sh("exit 7").spawn()
+                } else {
+                    sh("exit 0").spawn()
+                }
+            })
+            .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.relaunches, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_fatal() {
+        let sup = Supervisor::new(vec!["a:1".into()], 2).with_deadline(Duration::from_secs(30));
+        let err = sup.run(|_spec| sh("exit 3").spawn()).unwrap_err();
+        match err {
+            DfoError::RestartsExhausted { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("want RestartsExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_spec_configures_the_conventional_env() {
+        let spec = RankSpec { rank: 1, epoch: 4, attempt: 2 };
+        let mut cmd = Command::new("true");
+        spec.configure(&mut cmd, &["h:1".into(), "h:2".into()], 9);
+        let envs: Vec<(String, Option<String>)> = cmd
+            .get_envs()
+            .map(|(k, v)| {
+                (k.to_string_lossy().into_owned(), v.map(|v| v.to_string_lossy().into_owned()))
+            })
+            .collect();
+        assert!(envs.contains(&("DFO_RANK".into(), Some("1".into()))));
+        assert!(envs.contains(&("DFO_PEERS".into(), Some("h:1,h:2".into()))));
+        assert!(envs.contains(&("DFO_EPOCH".into(), Some("4".into()))));
+        assert!(envs.contains(&("DFO_MAX_RESTARTS".into(), Some("9".into()))));
+        // relaunches scrub the crash hook
+        assert!(envs.contains(&("DFO_CRASH_AT".into(), None)));
+    }
+}

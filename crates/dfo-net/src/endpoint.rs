@@ -166,11 +166,13 @@ impl Endpoint {
     }
 
     /// Blocks until every rank arrives. Panics if the cluster is poisoned
-    /// or a peer died mid-collective; the cluster runner catches the panic
-    /// and surfaces it as [`DfoError::NetClosed`] on the failed rank.
+    /// or a peer died mid-collective — with the [`DfoError`] itself as the
+    /// panic payload, so the cluster runner can recover the typed error
+    /// (telling a mesh failure apart from a user-code bug) instead of a
+    /// formatted string.
     pub fn barrier(&self) {
         if let Err(e) = self.transport.barrier() {
-            panic!("cluster barrier failed: {e}");
+            std::panic::panic_any(e);
         }
     }
 
@@ -183,7 +185,7 @@ impl Endpoint {
     fn allreduce_u64_with(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> u64 {
         match self.transport.allreduce_u64(v, fold) {
             Ok(out) => out,
-            Err(e) => panic!("cluster all-reduce failed: {e}"),
+            Err(e) => std::panic::panic_any(e),
         }
     }
 
@@ -194,7 +196,7 @@ impl Endpoint {
     pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
         match self.transport.allreduce_f64(v, &|a, b| a + b) {
             Ok(out) => out,
-            Err(e) => panic!("cluster all-reduce failed: {e}"),
+            Err(e) => std::panic::panic_any(e),
         }
     }
 

@@ -18,9 +18,25 @@
 //! connected by the *higher* rank dialing the lower one — so rank 0 only
 //! listens and every peer dials it, rank `P-1` only dials. Dialers retry
 //! until the deadline, which makes process start order irrelevant. A
-//! handshake (magic, protocol version, rank, cluster size) validates both
-//! ends before the connection joins the mesh; the mesh is complete before
-//! `connect` returns, i.e. before any `NodeCtx` is built on top of it.
+//! handshake (magic, protocol version, rank, cluster size, **epoch**)
+//! validates both ends before the connection joins the mesh; the mesh is
+//! complete before `connect` returns, i.e. before any `NodeCtx` is built on
+//! top of it.
+//!
+//! ## Epochs and restart
+//!
+//! Checkpoint-restart (paper §3.2 over process relaunch) rebuilds the mesh
+//! after a rank dies: survivors tear their transport down and re-enter this
+//! bootstrap under an *incremented epoch*, while a supervisor relaunches
+//! the dead rank with the same epoch (`DFO_EPOCH`). The epoch rides in the
+//! hello: a listener silently drops hellos from any other epoch (a stale
+//! incarnation's late dial can never join the new mesh), and a dialer whose
+//! hello is dropped — or whose ack carries a different epoch — keeps
+//! retrying until the deadline, because the peer may simply not have
+//! finished tearing down the old mesh yet. Listeners bind with
+//! `SO_REUSEADDR` so a surviving rank can re-listen on its fixed address
+//! immediately, even while sockets of the previous mesh linger in
+//! `TIME_WAIT`.
 //!
 //! ## Collectives
 //!
@@ -54,7 +70,7 @@ use std::time::{Duration, Instant};
 /// `"DFOG"` + protocol tag; rejects accidental cross-talk with anything
 /// that is not a DFOGraph mesh peer.
 const MAGIC: u64 = 0x4446_4f47_4d45_5348; // "DFOGMESH"
-const PROTO_VERSION: u32 = 1;
+const PROTO_VERSION: u32 = 2; // v2: hello carries the mesh epoch
 
 /// Tag namespace bit reserved for collectives; engine stream tags are call
 /// sequence numbers and never reach it.
@@ -72,11 +88,15 @@ const IO_BUF: usize = 256 << 10;
 pub struct TcpOpts {
     /// Deadline for the whole mesh to come up (dial retries + handshakes).
     pub connect_timeout: Duration,
+    /// Mesh epoch announced in the handshake; connections from any other
+    /// epoch are rejected. Bumped once per checkpoint-restart recovery so a
+    /// dead incarnation's sockets can never rejoin.
+    pub epoch: u64,
 }
 
 impl Default for TcpOpts {
     fn default() -> Self {
-        Self { connect_timeout: Duration::from_secs(30) }
+        Self { connect_timeout: Duration::from_secs(30), epoch: 0 }
     }
 }
 
@@ -107,14 +127,15 @@ fn handshake_err(msg: impl Into<String>) -> DfoError {
     DfoError::Handshake(msg.into())
 }
 
-fn write_hello(s: &mut TcpStream, rank: Rank, p: usize) -> std::io::Result<()> {
+fn write_hello(s: &mut TcpStream, rank: Rank, p: usize, epoch: u64) -> std::io::Result<()> {
     write_u64(s, MAGIC)?;
     write_u32(s, PROTO_VERSION)?;
     write_u32(s, rank as u32)?;
-    write_u32(s, p as u32)
+    write_u32(s, p as u32)?;
+    write_u64(s, epoch)
 }
 
-fn read_hello(s: &mut TcpStream) -> Result<(Rank, usize)> {
+fn read_hello(s: &mut TcpStream) -> Result<(Rank, usize, u64)> {
     let magic = read_u64(s).map_err(|e| handshake_err(format!("reading hello: {e}")))?;
     if magic != MAGIC {
         return Err(handshake_err(format!("bad magic {magic:#x}: not a DFOGraph mesh peer")));
@@ -125,7 +146,8 @@ fn read_hello(s: &mut TcpStream) -> Result<(Rank, usize)> {
     }
     let rank = read_u32(s).map_err(|e| handshake_err(format!("reading hello: {e}")))? as Rank;
     let p = read_u32(s).map_err(|e| handshake_err(format!("reading hello: {e}")))? as usize;
-    Ok((rank, p))
+    let epoch = read_u64(s).map_err(|e| handshake_err(format!("reading hello: {e}")))?;
+    Ok((rank, p, epoch))
 }
 
 // ---------------------------------------------------------------------------
@@ -308,9 +330,12 @@ impl TcpTransport {
         let deadline = Instant::now() + opts.connect_timeout;
 
         // bind before dialing anyone so lower ranks never observe a window
-        // where our higher-rank dialers could outrun the listener
+        // where our higher-rank dialers could outrun the listener.
+        // SO_REUSEADDR lets a recovering rank re-listen on its fixed
+        // address while sockets of the torn-down mesh are still in
+        // TIME_WAIT.
         let listener = if rank + 1 < p {
-            let l = TcpListener::bind(&peers[rank])
+            let l = bind_reuse(&peers[rank])
                 .map_err(|e| handshake_err(format!("rank {rank} binding {}: {e}", peers[rank])))?;
             l.set_nonblocking(true)
                 .map_err(|e| handshake_err(format!("listener nonblocking: {e}")))?;
@@ -323,31 +348,18 @@ impl TcpTransport {
 
         // dial every lower rank (retrying: start order must not matter)
         for dst in 0..rank {
-            let stream = dial_retry(&peers[dst], deadline)
-                .map_err(|e| handshake_err(format!("rank {rank} dialing rank {dst}: {e}")))?;
-            let mut stream = configure(stream)?;
-            stream
-                .set_read_timeout(Some(remaining(deadline)?))
-                .map_err(|e| handshake_err(format!("handshake timeout setup: {e}")))?;
-            write_hello(&mut stream, rank, p)
-                .map_err(|e| handshake_err(format!("hello to rank {dst}: {e}")))?;
-            let (ack_rank, ack_p) = read_hello(&mut stream)?;
-            if ack_rank != dst || ack_p != p {
-                return Err(handshake_err(format!(
-                    "dialed {} expecting rank {dst} of {p}, got rank {ack_rank} of {ack_p}",
-                    peers[dst]
-                )));
-            }
-            stream.set_read_timeout(None).map_err(|e| handshake_err(e.to_string()))?;
-            streams[dst] = Some(stream);
+            streams[dst] = Some(dial_handshake(&peers[dst], dst, rank, p, opts.epoch, deadline)?);
         }
 
         // accept every higher rank. A connection that fails the handshake
         // (port scan, health probe, dialer that died mid-handshake) is
         // *dropped* and accepting continues — that is the MAGIC check's
-        // whole point; only a well-formed hello that is inconsistent with
-        // this mesh (wrong size, bad or duplicate rank: a real peer that is
-        // misconfigured) aborts the bootstrap.
+        // whole point — and so is a well-formed hello from a different
+        // *epoch* (a stale incarnation, or a recovered peer that noticed
+        // the failure before we did: it will redial); only a well-formed
+        // same-epoch hello that is inconsistent with this mesh (wrong
+        // size, bad or duplicate rank: a real peer that is misconfigured)
+        // aborts the bootstrap.
         if let Some(listener) = listener {
             let expected = p - rank - 1;
             let mut accepted = 0;
@@ -360,7 +372,10 @@ impl TcpTransport {
                 if stream.set_read_timeout(Some(left)).is_err() {
                     continue;
                 }
-                let Ok((peer, peer_p)) = read_hello(&mut stream) else { continue };
+                let Ok((peer, peer_p, peer_epoch)) = read_hello(&mut stream) else { continue };
+                if peer_epoch != opts.epoch {
+                    continue; // stale (or too-new) epoch: reject, keep accepting
+                }
                 if peer_p != p || peer <= rank || peer >= p {
                     return Err(handshake_err(format!(
                         "rank {rank} accepted bogus hello: rank {peer} of {peer_p}"
@@ -369,7 +384,7 @@ impl TcpTransport {
                 if streams[peer].is_some() {
                     return Err(handshake_err(format!("rank {peer} connected twice")));
                 }
-                if write_hello(&mut stream, rank, p).is_err() {
+                if write_hello(&mut stream, rank, p, opts.epoch).is_err() {
                     continue; // peer died between hello and ack: drop it
                 }
                 if stream.set_read_timeout(None).is_err() {
@@ -573,6 +588,173 @@ fn remaining(deadline: Instant) -> Result<Duration> {
         return Err(handshake_err("mesh bootstrap timed out"));
     }
     Ok(left)
+}
+
+/// Dials `dst` and completes the epoch-checked handshake, retrying the
+/// *whole* dial on any retryable outcome until the deadline: connection
+/// refused/reset, EOF mid-handshake (the listener dropped our hello — it
+/// is still on another epoch, or we raced its teardown), or an ack with a
+/// different epoch. Only a well-formed same-epoch ack that is inconsistent
+/// with this mesh (wrong rank or size: misconfiguration) is fatal.
+fn dial_handshake(
+    addr: &str,
+    dst: Rank,
+    rank: Rank,
+    p: usize,
+    epoch: u64,
+    deadline: Instant,
+) -> Result<TcpStream> {
+    loop {
+        let retry = |what: &str| -> Result<()> {
+            if Instant::now() >= deadline {
+                return Err(handshake_err(format!(
+                    "rank {rank} dialing rank {dst}: mesh bootstrap timed out ({what})"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            Ok(())
+        };
+        let stream = dial_retry(addr, deadline)
+            .map_err(|e| handshake_err(format!("rank {rank} dialing rank {dst}: {e}")))?;
+        let mut stream = configure(stream)?;
+        if stream.set_read_timeout(Some(remaining(deadline)?)).is_err() {
+            retry("timeout setup failed")?;
+            continue;
+        }
+        if write_hello(&mut stream, rank, p, epoch).is_err() {
+            retry("peer closed during hello")?;
+            continue;
+        }
+        let (ack_rank, ack_p, ack_epoch) = match read_hello(&mut stream) {
+            Ok(ack) => ack,
+            Err(_) => {
+                // EOF or timeout: the listener rejected our epoch or died;
+                // keep dialing — it may re-enter bootstrap at our epoch
+                retry("hello rejected")?;
+                continue;
+            }
+        };
+        if ack_epoch != epoch {
+            retry("epoch mismatch")?;
+            continue;
+        }
+        if ack_rank != dst || ack_p != p {
+            return Err(handshake_err(format!(
+                "dialed {addr} expecting rank {dst} of {p}, got rank {ack_rank} of {ack_p}"
+            )));
+        }
+        stream.set_read_timeout(None).map_err(|e| handshake_err(e.to_string()))?;
+        return Ok(stream);
+    }
+}
+
+/// Binds a listener with `SO_REUSEADDR` so a recovering rank can re-listen
+/// on its fixed address while connections of the previous mesh incarnation
+/// are still in `TIME_WAIT` (plain `TcpListener::bind` would fail with
+/// `EADDRINUSE` for up to a minute). Uses raw libc calls on Linux — no
+/// crate dependency — for both IPv4 and IPv6; other platforms fall back to
+/// the std bind, so their recovery rebind can hit `EADDRINUSE` until the
+/// `TIME_WAIT` sockets expire (retried by the bootstrap deadline).
+fn bind_reuse(addr: &str) -> std::io::Result<TcpListener> {
+    let sa = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("no address: {addr}"))
+    })?;
+    #[cfg(target_os = "linux")]
+    return bind_reuse_linux(&sa);
+    #[cfg(not(target_os = "linux"))]
+    TcpListener::bind(sa)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reuse_linux(addr: &std::net::SocketAddr) -> std::io::Result<TcpListener> {
+    use std::net::SocketAddr;
+    use std::os::fd::FromRawFd;
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    /// `struct sockaddr_in` (fields already in network byte order).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+    /// `struct sockaddr_in6`.
+    #[repr(C)]
+    struct SockaddrIn6 {
+        family: u16,
+        port_be: u16,
+        flowinfo: u32,
+        addr_be: [u8; 16],
+        scope_id: u32,
+    }
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const std::ffi::c_void, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    unsafe {
+        let fd = socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> std::io::Error {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            return Err(fail(fd));
+        }
+        // octets() are already big-endian; keep their memory order
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockaddrIn {
+                    family: AF_INET as u16,
+                    port_be: v4.port().to_be(),
+                    addr_be: u32::from_ne_bytes(v4.ip().octets()),
+                    zero: [0; 8],
+                };
+                bind(
+                    fd,
+                    (&sa as *const SockaddrIn).cast(),
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockaddrIn6 {
+                    family: AF_INET6 as u16,
+                    port_be: v6.port().to_be(),
+                    flowinfo: v6.flowinfo(),
+                    addr_be: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                bind(
+                    fd,
+                    (&sa as *const SockaddrIn6).cast(),
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            }
+        };
+        if rc != 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
 }
 
 /// Dials until the deadline. *Every* failure — refused connection, but also

@@ -20,7 +20,7 @@ fn free_addrs(n: usize) -> Vec<String> {
 }
 
 fn opts() -> TcpOpts {
-    TcpOpts { connect_timeout: Duration::from_secs(20) }
+    TcpOpts { connect_timeout: Duration::from_secs(20), ..Default::default() }
 }
 
 /// Builds a `p`-rank TCP mesh on localhost, one thread per rank, and runs
@@ -245,6 +245,58 @@ fn handshake_rejects_rank_out_of_range() {
         dfo_net::TcpTransport::connect(3, &peers, opts()),
         Err(DfoError::Handshake(_))
     ));
+}
+
+#[test]
+fn stale_epoch_never_joins_the_mesh() {
+    // rank 0 bootstraps at epoch 1; a rank-1 incarnation still on epoch 0
+    // must be rejected (dropped hello → its dial keeps retrying until its
+    // deadline), and rank 0 must keep waiting rather than accept it
+    let peers = free_addrs(2);
+    std::thread::scope(|s| {
+        {
+            let peers = peers.clone();
+            s.spawn(move || {
+                let o = TcpOpts { connect_timeout: Duration::from_secs(3), epoch: 1 };
+                match TcpCluster::connect(0, &peers, None, false, o) {
+                    Err(DfoError::Handshake(_)) => {} // timed out: stale peer never joined
+                    Err(other) => panic!("epoch-1 rank 0: unexpected error {other:?}"),
+                    Ok(_) => panic!("epoch-1 rank 0 must not complete its mesh"),
+                }
+            });
+        }
+        let peers = peers.clone();
+        s.spawn(move || {
+            let o = TcpOpts { connect_timeout: Duration::from_secs(3), epoch: 0 };
+            match TcpCluster::connect(1, &peers, None, false, o) {
+                Err(DfoError::Handshake(_)) => {}
+                Err(other) => panic!("epoch-0 rank 1: unexpected error {other:?}"),
+                Ok(_) => panic!("epoch-0 rank 1 must be rejected"),
+            }
+        });
+    });
+}
+
+#[test]
+fn mesh_rebuilds_on_same_addresses_under_new_epoch() {
+    // checkpoint-restart re-bootstrap: tear a mesh down (including the
+    // rank-0 listener), then bring it back up on the *same* addresses at
+    // the next epoch — exercises the SO_REUSEADDR rebind path
+    let peers = free_addrs(2);
+    for epoch in 0..3u64 {
+        let tcp = TcpOpts { connect_timeout: Duration::from_secs(20), epoch };
+        std::thread::scope(|s| {
+            for rank in 0..2 {
+                let peers = peers.clone();
+                let tcp = tcp.clone();
+                s.spawn(move || {
+                    let ep = TcpCluster::connect(rank, &peers, None, false, tcp).unwrap();
+                    assert_eq!(ep.allreduce_sum_u64(epoch), 2 * epoch);
+                    ep.barrier();
+                });
+            }
+        });
+    }
 }
 
 #[test]

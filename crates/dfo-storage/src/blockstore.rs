@@ -14,10 +14,22 @@
 //!
 //! ```text
 //! blocks/<id>.bin        one file per block version
-//! meta/ckpt_<epoch>.bin  committed mapping batch -> block id
+//! meta/ckpt_<epoch>.bin  committed manifest: magic, mapping, CRC-32
 //! CURRENT                latest committed epoch (written atomically)
 //! ```
+//!
+//! ## Crash-consistent commits
+//!
+//! A checkpoint *manifest* (`meta/ckpt_<epoch>.bin`) carries a magic
+//! number and a trailing CRC-32 over its whole body, and is written via
+//! temp-file + atomic rename — so a torn, truncated, or bit-flipped
+//! manifest is always *detectable*, never silently loaded. Recovery
+//! ([`VersionedArrayStore::recover`]) discards invalid manifests and falls
+//! back to the newest surviving valid checkpoint (rewriting `CURRENT` to
+//! match), which with `keep ≥ 2` retained checkpoints means a corrupted
+//! in-flight commit costs exactly one checkpoint, never the array.
 
+use crate::compress::crc32;
 use crate::disk::NodeDisk;
 use dfo_types::codec::{read_u64, write_u64};
 use dfo_types::{DfoError, Result};
@@ -25,6 +37,9 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{Cursor, Write};
 
 type BlockId = u64;
+
+/// `"DFOMANIF"`: identifies a checkpoint manifest.
+const MANIFEST_MAGIC: u64 = 0x4446_4f4d_414e_4946;
 
 enum Mode {
     /// Copy-on-write with `keep` retained checkpoints.
@@ -120,6 +135,12 @@ impl VersionedArrayStore {
     /// Reopens a store from its last committed checkpoint. Pending blocks
     /// from a crashed epoch are deleted; the array is exactly the state
     /// after the last successful `Process` call (§3.2).
+    ///
+    /// Crash consistency: a manifest that fails validation (truncated,
+    /// torn, bit-flipped — anything the magic/shape/CRC checks catch) is
+    /// **discarded**, and recovery lands on the newest surviving valid
+    /// checkpoint, rewriting `CURRENT` to match. An unreadable `CURRENT`
+    /// likewise falls back to the newest valid manifest.
     pub fn recover(
         disk: NodeDisk,
         dir: impl Into<String>,
@@ -131,33 +152,46 @@ impl VersionedArrayStore {
         if !disk.exists(&current_rel) {
             return Err(DfoError::NoCheckpoint(format!("{dir}: no CURRENT file")));
         }
-        let cur_bytes = disk.read_to_vec(&current_rel)?;
-        let committed: u64 = read_u64(&mut Cursor::new(&cur_bytes))
-            .map_err(|e| DfoError::io("parsing CURRENT", e))?;
+        // CURRENT is written atomically, but tolerate a damaged one anyway:
+        // the validated manifests are the real source of truth
+        let committed: Option<u64> =
+            disk.read_to_vec(&current_rel).ok().and_then(|b| read_u64(&mut Cursor::new(&b)).ok());
         let keep = keep.max(1);
 
-        // load the retained committed epochs (<= committed, newest `keep`)
+        // load the retained committed epochs (<= committed, newest `keep`),
+        // discarding anything that fails validation
         let mut epochs: Vec<u64> = Self::list_meta_epochs(&disk, &dir)?;
         epochs.sort_unstable();
         let mut history: VecDeque<(u64, Vec<BlockId>)> = VecDeque::new();
         let mut refcounts: HashMap<BlockId, u32> = HashMap::new();
         let mut max_block: BlockId = 0;
         for &e in epochs.iter() {
-            if e > committed {
+            if committed.is_some_and(|c| e > c) {
                 // uncommitted metadata from a crash: remove
                 disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
                 continue;
             }
-            let mapping = Self::read_meta(&disk, &dir, e, n_batches)?;
-            history.push_back((e, mapping));
+            match Self::read_meta(&disk, &dir, e, n_batches) {
+                Ok(mapping) => history.push_back((e, mapping)),
+                Err(_) => {
+                    // torn/corrupt manifest: never load it — fall back to
+                    // an older complete checkpoint instead
+                    disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
+                }
+            }
         }
         while history.len() > keep {
             let (e, _) = history.pop_front().unwrap();
             disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
         }
         if history.is_empty() {
-            return Err(DfoError::NoCheckpoint(format!("{dir}: no committed checkpoint metadata")));
+            return Err(DfoError::NoCheckpoint(format!("{dir}: no valid checkpoint manifest")));
         }
+        let committed = history.back().unwrap().0;
+        // re-point CURRENT if the committed checkpoint fell back
+        let mut cur = Vec::new();
+        write_u64(&mut cur, committed).unwrap();
+        disk.write_atomic(&current_rel, &cur)?;
         for (_, mapping) in history.iter() {
             for &id in mapping {
                 *refcounts.entry(id).or_insert(0) += 1;
@@ -303,16 +337,20 @@ impl VersionedArrayStore {
         };
         let new_epoch = if history.is_empty() { *epoch } else { *epoch + 1 };
 
-        // persist metadata for the new checkpoint first
-        let mut buf = Vec::with_capacity(16 + mapping.len() * 8);
+        // persist the manifest for the new checkpoint first: checksummed
+        // and written via temp-file + atomic rename, so a crash mid-commit
+        // leaves either no manifest or a complete, verifiable one — a torn
+        // write is detected at recovery and recovery falls back
+        let mut buf = Vec::with_capacity(28 + mapping.len() * 8);
+        write_u64(&mut buf, MANIFEST_MAGIC).unwrap();
         write_u64(&mut buf, new_epoch).unwrap();
         write_u64(&mut buf, mapping.len() as u64).unwrap();
         for &id in &mapping {
             write_u64(&mut buf, id).unwrap();
         }
-        let mut w = self.disk.create(&format!("{dir}/meta/ckpt_{new_epoch}.bin"))?;
-        w.write_all(&buf).map_err(|e| DfoError::io("writing checkpoint meta", e))?;
-        w.finish()?;
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        self.disk.write_atomic(&format!("{dir}/meta/ckpt_{new_epoch}.bin"), &buf)?;
 
         for &id in &mapping {
             *refcounts.entry(id).or_insert(0) += 1;
@@ -386,20 +424,39 @@ impl VersionedArrayStore {
         Ok(out)
     }
 
+    /// Reads and fully validates one manifest: exact length, magic, epoch,
+    /// batch count, and the trailing CRC-32 over the whole body. Any
+    /// mismatch is `Corrupt` — a manifest is either complete or worthless.
     fn read_meta(disk: &NodeDisk, dir: &str, epoch: u64, n_batches: usize) -> Result<Vec<BlockId>> {
         let bytes = disk.read_to_vec(&format!("{dir}/meta/ckpt_{epoch}.bin"))?;
-        let mut c = Cursor::new(&bytes);
-        let e = read_u64(&mut c).map_err(|e| DfoError::io("meta epoch", e))?;
-        if e != epoch {
-            return Err(DfoError::Corrupt(format!("meta file epoch {e} != name {epoch}")));
+        let want_len = 28 + n_batches * 8;
+        if bytes.len() != want_len {
+            return Err(DfoError::Corrupt(format!(
+                "manifest {epoch}: {} bytes, want {want_len} (truncated or torn)",
+                bytes.len()
+            )));
         }
-        let n = read_u64(&mut c).map_err(|e| DfoError::io("meta len", e))? as usize;
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let want_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != want_crc {
+            return Err(DfoError::Corrupt(format!("manifest {epoch}: CRC mismatch")));
+        }
+        let mut c = Cursor::new(body);
+        let magic = read_u64(&mut c).map_err(|e| DfoError::io("manifest magic", e))?;
+        if magic != MANIFEST_MAGIC {
+            return Err(DfoError::Corrupt(format!("manifest {epoch}: bad magic {magic:#x}")));
+        }
+        let e = read_u64(&mut c).map_err(|e| DfoError::io("manifest epoch", e))?;
+        if e != epoch {
+            return Err(DfoError::Corrupt(format!("manifest epoch {e} != name {epoch}")));
+        }
+        let n = read_u64(&mut c).map_err(|e| DfoError::io("manifest len", e))? as usize;
         if n != n_batches {
-            return Err(DfoError::Corrupt(format!("meta batches {n} != expected {n_batches}")));
+            return Err(DfoError::Corrupt(format!("manifest batches {n} != expected {n_batches}")));
         }
         let mut mapping = Vec::with_capacity(n);
         for _ in 0..n {
-            mapping.push(read_u64(&mut c).map_err(|e| DfoError::io("meta block id", e))?);
+            mapping.push(read_u64(&mut c).map_err(|e| DfoError::io("manifest block id", e))?);
         }
         Ok(mapping)
     }
@@ -531,6 +588,86 @@ mod tests {
             VersionedArrayStore::recover(disk, "nope", 2, 1),
             Err(DfoError::NoCheckpoint(_))
         ));
+    }
+
+    /// Path of epoch `e`'s manifest under the test layout of `mk`-style
+    /// stores rooted at `td/arr`.
+    fn manifest_path(td: &TempDir, e: u64) -> std::path::PathBuf {
+        td.path().join(format!("arr/meta/ckpt_{e}.bin"))
+    }
+
+    /// Builds a two-checkpoint store: epoch 1 holds `[1; 4]` everywhere,
+    /// epoch 2 holds `[2; 4]` everywhere.
+    fn two_checkpoints() -> (TempDir, NodeDisk) {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        let mut s =
+            VersionedArrayStore::create(disk.clone(), "arr", 3, |b| vec![b as u8; 4], true, 2)
+                .unwrap();
+        for val in [1u8, 2] {
+            s.begin_epoch();
+            for b in 0..3 {
+                s.write_batch(b, &[val; 4]).unwrap();
+            }
+            s.commit().unwrap();
+        }
+        (td, disk)
+    }
+
+    #[test]
+    fn bit_flipped_manifest_falls_back_one_checkpoint() {
+        let (td, disk) = two_checkpoints();
+        let path = manifest_path(&td, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = VersionedArrayStore::recover(disk, "arr", 3, 2).unwrap();
+        assert_eq!(s.epoch(), 1, "must land on the previous complete checkpoint");
+        for b in 0..3 {
+            assert_eq!(s.read_batch(b).unwrap(), vec![1u8; 4]);
+        }
+        // the corrupt manifest is gone and CURRENT re-points to epoch 1
+        assert!(!manifest_path(&td, 2).exists());
+        let cur = std::fs::read(td.path().join("arr/CURRENT")).unwrap();
+        assert_eq!(u64::from_le_bytes(cur.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn truncated_manifest_falls_back_and_store_stays_usable() {
+        let (td, disk) = two_checkpoints();
+        let path = manifest_path(&td, 2);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+
+        let mut s = VersionedArrayStore::recover(disk.clone(), "arr", 3, 2).unwrap();
+        assert_eq!(s.read_batch(0).unwrap(), vec![1u8; 4]);
+        // the fallen-back store must commit cleanly on top of epoch 1
+        s.begin_epoch();
+        s.write_batch(0, &[9u8; 4]).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.epoch(), 2);
+        drop(s);
+        let s = VersionedArrayStore::recover(disk, "arr", 3, 2).unwrap();
+        assert_eq!(s.read_batch(0).unwrap(), vec![9u8; 4]);
+    }
+
+    #[test]
+    fn corrupting_the_only_manifest_is_no_checkpoint_not_garbage() {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        let _ = VersionedArrayStore::create(disk.clone(), "arr", 2, |b| vec![b as u8; 2], true, 1)
+            .unwrap();
+        let path = manifest_path(&td, 0);
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(
+            matches!(
+                VersionedArrayStore::recover(disk, "arr", 2, 1),
+                Err(DfoError::NoCheckpoint(_))
+            ),
+            "a corrupt manifest must never be loaded"
+        );
     }
 
     #[test]

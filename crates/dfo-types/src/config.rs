@@ -20,6 +20,38 @@ pub enum BatchPolicy {
     SemiOutOfCore,
 }
 
+/// A deterministic fault-injection point: abort this process right before
+/// the `call`-th `Process` call (counting `ProcessVertices` and
+/// `ProcessEdges` commits on this rank from 0) would commit, optionally
+/// only on one rank. Kill tests use it to die at a *precise commit
+/// boundary* instead of relying on timing; see
+/// [`EngineConfig::apply_env_overrides`] for the `DFO_CRASH_AT` syntax.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Zero-based index of the `Process` call whose commit never happens.
+    pub call: u64,
+    /// Restrict the crash to one rank; `None` crashes every rank that
+    /// reaches the call (useful only in single-rank setups).
+    pub rank: Option<Rank>,
+}
+
+impl CrashPoint {
+    /// Parses `"<call>"` or `"<call>:<rank>"` (the `DFO_CRASH_AT` format).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        match s.split_once(':') {
+            Some((call, rank)) => Some(CrashPoint {
+                call: call.trim().parse().ok()?,
+                rank: Some(rank.trim().parse().ok()?),
+            }),
+            None => Some(CrashPoint { call: s.parse().ok()?, rank: None }),
+        }
+    }
+}
+
 /// Forces a particular intra-node message dispatching strategy (§4.2);
 /// `None` in [`EngineConfig::dispatch_override`] keeps the adaptive choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +148,20 @@ pub struct EngineConfig {
     pub peers: Option<Vec<String>>,
     /// Seconds each rank waits for the full TCP mesh at bootstrap.
     pub connect_timeout_secs: u64,
+    /// Mesh epoch this rank bootstraps at (§3.2 checkpoint-restart): the
+    /// TCP handshake carries it and connections from a different epoch are
+    /// rejected, so sockets of a dead incarnation can never join the
+    /// rebuilt mesh. Supervised ranks bump it by one per recovery;
+    /// relaunched processes receive theirs via the `DFO_EPOCH` override.
+    pub epoch: u64,
+    /// How many mesh failures a supervised run may recover from before
+    /// giving up (`Cluster::run_supervised`; 0 = fail on the first one,
+    /// the old fail-stop behaviour). `DFO_MAX_RESTARTS` overrides.
+    pub max_restarts: u32,
+    /// Deterministic fault injection: abort the process right before this
+    /// `Process`-call commit. `None` (the default) injects nothing.
+    /// `DFO_CRASH_AT=<call>[:<rank>]` overrides.
+    pub crash_at: Option<CrashPoint>,
 }
 
 impl EngineConfig {
@@ -146,6 +192,9 @@ impl EngineConfig {
             compress_chunks: true,
             peers: None,
             connect_timeout_secs: 30,
+            epoch: 0,
+            max_restarts: 0,
+            crash_at: None,
         }
     }
 
@@ -161,7 +210,11 @@ impl EngineConfig {
     /// rank order) that switches the config to the TCP transport and sets
     /// the node count to match; `DFO_CHUNK_CACHE` sets the chunk-cache
     /// budget in bytes (optional `K`/`M`/`G` suffix); `DFO_COMPRESS`
-    /// (`1`/`true`/`on` or `0`/`false`/`off`) toggles chunk compression.
+    /// (`1`/`true`/`on` or `0`/`false`/`off`) toggles chunk compression;
+    /// `DFO_EPOCH` sets the mesh bootstrap epoch (a supervisor passes it to
+    /// relaunched ranks); `DFO_MAX_RESTARTS` bounds supervised recoveries;
+    /// `DFO_CRASH_AT=<call>[:<rank>]` injects a deterministic crash right
+    /// before that `Process`-call commit.
     pub fn apply_env_overrides(&mut self) {
         if let Ok(s) = std::env::var("DFO_PEERS") {
             let peers: Vec<String> =
@@ -191,6 +244,36 @@ impl EngineConfig {
                      keeping compress_chunks = {}",
                     self.compress_chunks
                 ),
+            }
+        }
+        if let Ok(s) = std::env::var("DFO_EPOCH") {
+            match s.trim().parse::<u64>() {
+                Ok(e) => self.epoch = e,
+                Err(_) => {
+                    eprintln!("DFO_EPOCH={s:?} is not an integer; keeping epoch = {}", self.epoch)
+                }
+            }
+        }
+        if let Ok(s) = std::env::var("DFO_MAX_RESTARTS") {
+            match s.trim().parse::<u32>() {
+                Ok(n) => self.max_restarts = n,
+                Err(_) => eprintln!(
+                    "DFO_MAX_RESTARTS={s:?} is not an integer; keeping max_restarts = {}",
+                    self.max_restarts
+                ),
+            }
+        }
+        if let Ok(s) = std::env::var("DFO_CRASH_AT") {
+            if s.trim().is_empty() {
+                self.crash_at = None; // explicit disable (supervisor relaunch)
+            } else {
+                match CrashPoint::parse(&s) {
+                    Some(cp) => self.crash_at = Some(cp),
+                    None => eprintln!(
+                        "DFO_CRASH_AT={s:?} is not <call>[:<rank>]; keeping crash_at = {:?}",
+                        self.crash_at
+                    ),
+                }
             }
         }
     }
@@ -347,6 +430,24 @@ mod tests {
         c.nodes = 0;
         assert!(c.validate().is_err());
         assert!(EngineConfig::for_test(2).validate().is_ok());
+    }
+
+    #[test]
+    fn crash_point_parsing() {
+        assert_eq!(CrashPoint::parse("5"), Some(CrashPoint { call: 5, rank: None }));
+        assert_eq!(CrashPoint::parse(" 9:1 "), Some(CrashPoint { call: 9, rank: Some(1) }));
+        assert_eq!(CrashPoint::parse("9:"), None);
+        assert_eq!(CrashPoint::parse(":1"), None);
+        assert_eq!(CrashPoint::parse("x"), None);
+        assert_eq!(CrashPoint::parse(""), None);
+    }
+
+    #[test]
+    fn recovery_knobs_default_off() {
+        let c = EngineConfig::for_test(2);
+        assert_eq!(c.epoch, 0);
+        assert_eq!(c.max_restarts, 0);
+        assert_eq!(c.crash_at, None);
     }
 
     #[test]

@@ -21,6 +21,18 @@ pub enum DfoError {
     Handshake(String),
     /// Recovery was requested but no committed checkpoint exists.
     NoCheckpoint(String),
+    /// A node program panicked (a bug in user code, not a mesh failure):
+    /// deterministic, so never retried by supervised recovery.
+    Panic(String),
+    /// A supervised run (or its supervisor) recovered from mesh failures
+    /// until the restart budget ran out; `last` is the failure that broke
+    /// the camel's back.
+    RestartsExhausted {
+        /// Recoveries attempted before giving up.
+        attempts: u32,
+        /// The final underlying failure.
+        last: Box<DfoError>,
+    },
 }
 
 impl DfoError {
@@ -39,6 +51,10 @@ impl fmt::Display for DfoError {
             DfoError::NetClosed(m) => write!(f, "network closed: {m}"),
             DfoError::Handshake(m) => write!(f, "cluster bootstrap failed: {m}"),
             DfoError::NoCheckpoint(m) => write!(f, "no checkpoint available: {m}"),
+            DfoError::Panic(m) => write!(f, "node program panicked: {m}"),
+            DfoError::RestartsExhausted { attempts, last } => {
+                write!(f, "restart budget exhausted after {attempts} recoveries: {last}")
+            }
         }
     }
 }
@@ -47,6 +63,7 @@ impl std::error::Error for DfoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DfoError::Io { source, .. } => Some(source),
+            DfoError::RestartsExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -68,6 +85,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("p0_b3"));
         assert!(s.contains("disk full"));
+    }
+
+    #[test]
+    fn restarts_exhausted_chains_source() {
+        let e = DfoError::RestartsExhausted {
+            attempts: 3,
+            last: Box::new(DfoError::NetClosed("peer gone".into())),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("peer gone"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -14,10 +14,10 @@ pub mod pod;
 pub mod stats;
 
 pub use codec::{read_exact_or_eof, read_u32, read_u64, write_u32, write_u64};
-pub use config::{BatchPolicy, DispatchKind, EngineConfig, ReprKind};
+pub use config::{BatchPolicy, CrashPoint, DispatchKind, EngineConfig, ReprKind};
 pub use error::{DfoError, Result};
 pub use ids::{BatchId, PartitionId, Rank, VertexId, VertexRange};
 pub use pod::{
     bytes_of, pod_from_bytes, pod_size, pod_zeroed, slice_as_bytes, vec_from_bytes, Pod,
 };
-pub use stats::{Counter, PhaseStats, TrafficRecorder, TrafficSample};
+pub use stats::{Counter, PhaseStats, RecoveryStats, TrafficRecorder, TrafficSample};

@@ -182,9 +182,26 @@ impl PhaseStats {
     }
 }
 
+/// Checkpoint-restart counters of one supervised rank (§3.2 over process
+/// relaunch): how many times the rank re-bootstrapped the mesh after a peer
+/// failure, and the epoch it last joined under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Mesh re-bootstraps performed by this rank (0 = never failed over).
+    pub restarts: u64,
+    /// Epoch of the most recent successful mesh bootstrap.
+    pub mesh_epoch: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_stats_default_is_clean() {
+        let r = RecoveryStats::default();
+        assert_eq!(r, RecoveryStats { restarts: 0, mesh_epoch: 0 });
+    }
 
     #[test]
     fn counter_accumulates() {

@@ -5,10 +5,17 @@
 //! arguments), range/tuple/`Just` strategies, `prop_map`, `prop_oneof!`,
 //! `proptest::collection::{vec, btree_set}`, and the `prop_assert*` macros.
 //!
-//! Differences from the real crate: no shrinking — a failing case panics
-//! with the case number so it can be replayed deterministically (generation
-//! is a pure function of test name and case index) — and `prop_assert*`
-//! panic instead of returning `TestCaseError`.
+//! Shrinking: on a failing case the runner greedily minimises the input —
+//! integer range strategies shrink toward their lower bound, `Vec`
+//! strategies shrink by dropping elements and shrinking survivors, tuples
+//! shrink componentwise — and reports the minimal counterexample before
+//! re-panicking with it. Strategies built with `prop_map`, `prop_oneof!`
+//! or `Just` do not shrink (the mapping cannot be inverted), matching the
+//! subset this workspace needs.
+//!
+//! Other differences from the real crate: generation is a pure function of
+//! test name and case index (failures replay deterministically), and
+//! `prop_assert*` panic instead of returning `TestCaseError`.
 
 use std::ops::Range;
 
@@ -79,6 +86,15 @@ pub trait Strategy {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, in the order they
+    /// should be tried (each strictly "smaller" than `value`, so the
+    /// greedy loop in [`shrink_until`] terminates). The default — no
+    /// candidates — is correct for any strategy that cannot shrink.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -102,12 +118,18 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -164,6 +186,30 @@ macro_rules! impl_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $t
             }
+            /// Shrinks toward the range's lower bound along a geometric
+            /// ladder — the bound, then `value - span/2`, `- span/4`, …,
+            /// then `value - 1` — so the greedy runner closes in on the
+            /// boundary of the failing region from above in O(log span)
+            /// accepted steps instead of descending linearly.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out: Vec<$t> = Vec::new();
+                if *value > self.start {
+                    let span = *value - self.start;
+                    let mut push = |cand: $t| {
+                        if cand < *value && !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    };
+                    push(self.start);
+                    let mut step = span / 2;
+                    while step > 0 {
+                        push(*value - step);
+                        step /= 2;
+                    }
+                    push(*value - 1);
+                }
+                out
+            }
         }
     )*};
 }
@@ -175,26 +221,51 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         self.start + rng.next_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for cand in [self.start, self.start + (*value - self.start) / 2.0] {
+            if cand < *value && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            /// Componentwise: each candidate shrinks one component and
+            /// clones the rest.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
 
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -211,11 +282,46 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = self.size.generate(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Shrinks the length first (straight to the minimum, then halves,
+        /// then single-element removals), then individual elements via the
+        /// element strategy. Candidate counts are bounded so one shrink
+        /// round of a huge vector stays cheap.
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            const REMOVE_CAP: usize = 16;
+            const ELEM_CAP: usize = 16;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let min = self.size.start;
+            let n = v.len();
+            if n > min {
+                out.push(v[..min].to_vec());
+                if n / 2 > min {
+                    out.push(v[..n / 2].to_vec());
+                }
+                out.push(v[..n - 1].to_vec());
+                for i in 0..n.min(REMOVE_CAP) {
+                    let mut shorter = Vec::with_capacity(n - 1);
+                    shorter.extend_from_slice(&v[..i]);
+                    shorter.extend_from_slice(&v[i + 1..]);
+                    out.push(shorter);
+                }
+            }
+            for (i, elem) in v.iter().enumerate().take(ELEM_CAP) {
+                for cand in self.element.shrink(elem) {
+                    let mut next = v.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -245,6 +351,54 @@ pub mod collection {
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
+}
+
+/// Greedily minimises a failing input: repeatedly replaces `current` with
+/// the first shrink candidate that still fails, until no candidate fails
+/// any more or the trial `budget` is spent. Every accepted candidate is
+/// strictly smaller (a [`Strategy::shrink`] contract), so this terminates.
+/// The `proptest!` macro runs it on every failure; public so shrinking is
+/// testable on its own.
+pub fn shrink_until<S: Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut budget: usize,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value {
+    loop {
+        let mut improved = false;
+        for cand in strategy.shrink(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if fails(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// One shrink/replay trial for the `proptest!` macro: clones the candidate
+/// argument tuple and runs the test body on it, catching panics. The
+/// `_strategy` parameter only pins `vals` to the strategy's value type so
+/// closure inference inside the macro cannot wander.
+#[doc(hidden)]
+pub fn run_case<S: Strategy, R>(
+    _strategy: &S,
+    vals: &S::Value,
+    body: impl FnOnce(S::Value) -> R,
+) -> std::thread::Result<R>
+where
+    S::Value: Clone,
+{
+    let cloned = vals.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(cloned)))
 }
 
 /// Everything the tests import.
@@ -301,18 +455,48 @@ macro_rules! __proptest_fns {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
+                // the argument strategies as one tuple strategy, so the
+                // shrinker can minimise all arguments jointly
+                let __strat = ($(($strategy),)+);
                 for case in 0..config.cases {
                     let mut rng = $crate::TestRng::for_case(stringify!($name), case);
-                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
-                    let run = move || $body;
-                    if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    let __vals = $crate::Strategy::generate(&__strat, &mut rng);
+                    let __first = $crate::run_case(&__strat, &__vals, |__c| {
+                        let ($($arg,)+) = __c;
+                        $body
+                    });
+                    if let Err(first_panic) = __first {
+                        const SHRINK_BUDGET: usize = 400;
                         eprintln!(
-                            "proptest case {}/{} of `{}` failed (deterministic; re-run reproduces it)",
+                            "proptest case {}/{} of `{}` failed (deterministic; re-run \
+                             reproduces it); shrinking with a budget of {} extra runs...",
                             case + 1,
                             config.cases,
                             stringify!($name),
+                            SHRINK_BUDGET,
                         );
-                        std::panic::resume_unwind(panic);
+                        let __min = $crate::shrink_until(&__strat, __vals, SHRINK_BUDGET, |c| {
+                            $crate::run_case(&__strat, c, |__c| {
+                                let ($($arg,)+) = __c;
+                                $body
+                            })
+                            .is_err()
+                        });
+                        eprintln!(
+                            "minimal failing input of `{}` ({}): {:#?}",
+                            stringify!($name),
+                            stringify!($($arg),+),
+                            __min,
+                        );
+                        let __replay = $crate::run_case(&__strat, &__min, |__c| {
+                            let ($($arg,)+) = __c;
+                            $body
+                        });
+                        match __replay {
+                            Err(p) => ::std::panic::resume_unwind(p),
+                            // flaky body: fall back to the original panic
+                            Ok(_) => ::std::panic::resume_unwind(first_panic),
+                        }
                     }
                 }
             }
@@ -363,5 +547,53 @@ mod tests {
             prop_assert!(a < 10);
             prop_assert!(v.len() < 6, "len {}", v.len());
         }
+    }
+
+    #[test]
+    fn integer_shrink_finds_the_failure_boundary() {
+        // anything >= 500 "fails": the minimal counterexample is 500 itself
+        let min = crate::shrink_until(&(0u64..1000), 937, 1000, |v| *v >= 500);
+        assert_eq!(min, 500);
+        // failing at the lower bound shrinks all the way down
+        let min = crate::shrink_until(&(3u32..100), 97, 1000, |_| true);
+        assert_eq!(min, 3);
+        // a passing-everywhere predicate keeps the original value
+        let min = crate::shrink_until(&(0u64..10), 7, 1000, |_| false);
+        assert_eq!(min, 7);
+    }
+
+    #[test]
+    fn vec_shrink_minimises_length_and_elements() {
+        let strat = crate::collection::vec(0u8..200, 0..64);
+        let start: Vec<u8> = (0..40u8).map(|i| i + 100).collect();
+        // "fails" whenever at least 3 elements are >= 50
+        let fails = |v: &Vec<u8>| v.iter().filter(|&&x| x >= 50).count() >= 3;
+        let min = crate::shrink_until(&strat, start, 10_000, fails);
+        assert_eq!(min.len(), 3, "length must shrink to the minimum that still fails");
+        assert!(min.iter().all(|&x| x == 50), "elements must shrink to the boundary, got {min:?}");
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let strat = crate::collection::vec(0u8..10, 2..64);
+        for cand in Strategy::shrink(&strat, &vec![1u8; 10]) {
+            assert!(cand.len() >= 2, "candidate {cand:?} under the size floor");
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let strat = (0u32..100, 0u32..100);
+        let min = crate::shrink_until(&strat, (60, 70), 2000, |(a, b)| a + b >= 50);
+        assert_eq!(min, (0, 50), "first component shrinks out, second stops at the boundary");
+    }
+
+    #[test]
+    fn unshrinkable_strategies_yield_no_candidates() {
+        assert!(Strategy::shrink(&Just(9u8), &9).is_empty());
+        let mapped = (0u8..10).prop_map(|x| x * 2);
+        assert!(Strategy::shrink(&mapped, &4).is_empty());
+        let one = prop_oneof![Just(1u8), Just(2)];
+        assert!(Strategy::shrink(&one, &1).is_empty());
     }
 }
