@@ -1,0 +1,364 @@
+//! Algorithms as uniform, name-dispatchable trait objects.
+//!
+//! The free functions in this crate ([`crate::pagerank()`], [`crate::wcc()`],
+//! …) are the SPMD *implementations*; the [`Algorithm`] trait wraps each in
+//! a uniform interface a job service can dispatch by **name + parameters**
+//! without knowing the concrete message or output types. The built-in
+//! [`registry`] lists one static instance per workload; [`find`] resolves a
+//! name to its trait object.
+//!
+//! Typed results cross the trait-object boundary as [`AlgoOutput`]: the
+//! node-local result slice serialized to Pod bytes plus an [`OutputKind`]
+//! tag, recovered losslessly with [`AlgoOutput::values_as`].
+
+use crate::read_local;
+use dfo_core::NodeCtx;
+use dfo_types::{pod, DfoError, Pod, Result, VertexId};
+use std::collections::BTreeMap;
+
+/// Edge payload an algorithm requires of the preprocessed graph. Checked
+/// against [`dfo_part::plan::Plan::edge_data_bytes`] by
+/// [`check_edge_data`] *before* a job starts, turning the engine's
+/// mismatched-type panic into a typed submit-time error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeDataKind {
+    /// Unweighted edges (`()` payload, 0 bytes on disk).
+    Unit,
+    /// One `f32` weight per edge (4 bytes on disk) — SSSP's input.
+    WeightF32,
+}
+
+impl EdgeDataKind {
+    /// On-disk bytes per edge this kind occupies.
+    pub fn bytes(self) -> u32 {
+        match self {
+            EdgeDataKind::Unit => 0,
+            EdgeDataKind::WeightF32 => 4,
+        }
+    }
+}
+
+/// Element type of an [`AlgoOutput`] byte payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputKind {
+    F64,
+    F32,
+    U64,
+    U32,
+}
+
+impl OutputKind {
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            OutputKind::F64 | OutputKind::U64 => 8,
+            OutputKind::F32 | OutputKind::U32 => 4,
+        }
+    }
+}
+
+/// A node's local result slice, type-erased for the trait-object boundary:
+/// the vertex values of this rank's partition serialized as Pod bytes.
+#[derive(Clone, Debug)]
+pub struct AlgoOutput {
+    pub kind: OutputKind,
+    /// `kind`-typed values for this rank's vertices, in vertex order,
+    /// serialized with [`dfo_types::pod::slice_as_bytes`].
+    pub values: Vec<u8>,
+    /// Rounds the algorithm actually ran, when it has a notion of rounds
+    /// (label propagation's convergence count, BFS's frontier depth).
+    pub iterations: Option<u64>,
+}
+
+impl AlgoOutput {
+    /// Packs a typed result slice.
+    pub fn from_values<T: Pod>(kind: OutputKind, values: &[T], iterations: Option<u64>) -> Self {
+        assert_eq!(kind.elem_bytes(), std::mem::size_of::<T>(), "kind/element size mismatch");
+        Self { kind, values: pod::slice_as_bytes(values).to_vec(), iterations }
+    }
+
+    /// Recovers the typed values; errors if `T` does not match the tag.
+    pub fn values_as<T: Pod>(&self) -> Result<Vec<T>> {
+        if self.kind.elem_bytes() != std::mem::size_of::<T>() {
+            return Err(DfoError::Config(format!(
+                "output holds {:?} values; {} has the wrong size",
+                self.kind,
+                std::any::type_name::<T>()
+            )));
+        }
+        Ok(pod::vec_from_bytes(&self.values))
+    }
+
+    /// Number of vertex values in the payload.
+    pub fn len(&self) -> usize {
+        self.values.len() / self.kind.elem_bytes()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Named integer parameters for a by-name dispatch (`iters`, `root`,
+/// `max_iters`, …). Every algorithm documents its keys and falls back to a
+/// default for absent ones; unknown keys are ignored, so one parameter map
+/// can serve a batch of different algorithms. Deliberately string-keyed and
+/// integer-valued to stay transport-agnostic (trivially serializable).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobParams {
+    map: BTreeMap<String, u64>,
+}
+
+impl JobParams {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert: `JobParams::new().with("iters", 10)`.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: u64) -> Self {
+        self.map.insert(key.to_string(), value);
+        self
+    }
+
+    pub fn set(&mut self, key: &str, value: u64) {
+        self.map.insert(key.to_string(), value);
+    }
+
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.map.get(key).copied()
+    }
+
+    /// The value of `key`, or `default` when absent.
+    pub fn get_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key).unwrap_or(default)
+    }
+}
+
+/// A graph workload dispatchable by name: the uniform interface a job
+/// service multiplexes over one engine. Implementations are thin wrappers
+/// over this crate's free functions — the functions stay the primary API
+/// for direct [`dfo_core::Cluster::run`] callers.
+///
+/// `run` executes SPMD inside one rank's closure: it is handed that rank's
+/// [`NodeCtx`] and returns the rank's local slice of the result.
+pub trait Algorithm: Send + Sync {
+    /// Registry key (`"pagerank"`, `"wcc"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Edge payload the algorithm needs the graph preprocessed with.
+    fn edge_data(&self) -> EdgeDataKind {
+        EdgeDataKind::Unit
+    }
+
+    /// Rough bytes of mutable per-vertex state the algorithm keeps across
+    /// the cluster (vertex arrays it creates), used by admission control to
+    /// estimate a job's memory footprint: `hint × n_vertices` bounds the
+    /// working set the engine batches through `mem_budget`.
+    fn state_bytes_per_vertex(&self) -> u64;
+
+    /// Runs the workload on this rank and returns the rank's local result.
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput>;
+}
+
+/// Verifies the graph was preprocessed with the edge payload `algo` needs.
+/// Call at submit time: failing here is a typed [`DfoError::Config`] before
+/// any rank starts, instead of the engine's mismatched-edge-type panic
+/// mid-run.
+pub fn check_edge_data(algo: &dyn Algorithm, plan_edge_data_bytes: u32) -> Result<()> {
+    let want = algo.edge_data();
+    if want.bytes() != plan_edge_data_bytes {
+        return Err(DfoError::Config(format!(
+            "algorithm {:?} needs {:?} edges ({} bytes/edge) but the graph was preprocessed \
+             with {} bytes/edge",
+            algo.name(),
+            want,
+            want.bytes(),
+            plan_edge_data_bytes
+        )));
+    }
+    Ok(())
+}
+
+/// PageRank (`iters` parameter, default 5). Output: `f64` ranks.
+pub struct PageRank;
+
+impl Algorithm for PageRank {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        // rank + next-rank f64 arrays + the degree array feeding them
+        3 * 8
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput> {
+        let iters = params.get_or("iters", 5) as usize;
+        let ranks = crate::pagerank(ctx, iters)?;
+        let local = read_local(ctx, &ranks)?;
+        Ok(AlgoOutput::from_values(OutputKind::F64, &local, Some(iters as u64)))
+    }
+}
+
+/// Weakly connected components (no parameters; expects a symmetrized
+/// graph — see [`crate::wcc::symmetrize`]). Output: `u64` component labels.
+pub struct Wcc;
+
+impl Algorithm for Wcc {
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        // label u64 + active/next-active bools
+        8 + 2
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, _params: &JobParams) -> Result<AlgoOutput> {
+        let labels = crate::wcc(ctx)?;
+        let local = read_local(ctx, &labels)?;
+        Ok(AlgoOutput::from_values(OutputKind::U64, &local, None))
+    }
+}
+
+/// Single-source shortest paths (`root` parameter, default 0); needs
+/// `f32`-weighted edges. Output: `f32` distances (`f32::INFINITY` =
+/// unreachable).
+pub struct Sssp;
+
+impl Algorithm for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn edge_data(&self) -> EdgeDataKind {
+        EdgeDataKind::WeightF32
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        // distance f32 + active/next-active bools
+        4 + 2
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput> {
+        let root = params.get_or("root", 0) as VertexId;
+        let dist = crate::sssp(ctx, root)?;
+        let local = read_local(ctx, &dist)?;
+        Ok(AlgoOutput::from_values(OutputKind::F32, &local, None))
+    }
+}
+
+/// Breadth-first search (`root` parameter, default 0). Output: `u32` hop
+/// counts (`u32::MAX` = unreachable).
+pub struct Bfs;
+
+impl Algorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        // depth u32 + active/next-active bools
+        4 + 2
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput> {
+        let root = params.get_or("root", 0) as VertexId;
+        let depth = crate::bfs(ctx, root)?;
+        let local = read_local(ctx, &depth)?;
+        Ok(AlgoOutput::from_values(OutputKind::U32, &local, None))
+    }
+}
+
+/// Out-degree per vertex (no parameters). Output: `u64` degrees.
+pub struct Degree;
+
+impl Algorithm for Degree {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        8
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, _params: &JobParams) -> Result<AlgoOutput> {
+        let deg = crate::out_degree_array(ctx)?;
+        let local = read_local(ctx, &deg)?;
+        Ok(AlgoOutput::from_values(OutputKind::U64, &local, None))
+    }
+}
+
+/// Synchronous label propagation (`max_iters` parameter, default 10).
+/// Output: `u64` labels; `iterations` reports the rounds until convergence.
+pub struct LabelProp;
+
+impl Algorithm for LabelProp {
+    fn name(&self) -> &'static str {
+        "labelprop"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        // current + proposed label u64s + changed flag
+        2 * 8 + 1
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput> {
+        let max_iters = params.get_or("max_iters", 10) as usize;
+        let (labels, rounds) = crate::label_propagation(ctx, max_iters)?;
+        let local = read_local(ctx, &labels)?;
+        Ok(AlgoOutput::from_values(OutputKind::U64, &local, Some(rounds as u64)))
+    }
+}
+
+/// The built-in workloads, one static instance each.
+pub fn registry() -> &'static [&'static dyn Algorithm] {
+    static REGISTRY: [&dyn Algorithm; 6] = [&PageRank, &Wcc, &Sssp, &Bfs, &Degree, &LabelProp];
+    &REGISTRY
+}
+
+/// Resolves a registry name to its algorithm, if registered.
+pub fn find(name: &str) -> Option<&'static dyn Algorithm> {
+    registry().iter().copied().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_builtins() {
+        let names: Vec<_> = registry().iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["pagerank", "wcc", "sssp", "bfs", "degree", "labelprop"]);
+        assert!(find("pagerank").is_some());
+        assert!(find("pagerank2").is_none());
+    }
+
+    #[test]
+    fn edge_kind_check_catches_mismatch() {
+        let pr = find("pagerank").unwrap();
+        assert!(check_edge_data(pr, 0).is_ok());
+        assert!(check_edge_data(pr, 4).is_err());
+        let sssp = find("sssp").unwrap();
+        assert!(check_edge_data(sssp, 4).is_ok());
+        assert!(check_edge_data(sssp, 0).is_err());
+    }
+
+    #[test]
+    fn params_defaults_and_overrides() {
+        let p = JobParams::new().with("iters", 12);
+        assert_eq!(p.get_or("iters", 5), 12);
+        assert_eq!(p.get_or("root", 0), 0);
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn output_roundtrips_typed_values() {
+        let vals = [1.5f64, -2.25, 0.0];
+        let out = AlgoOutput::from_values(OutputKind::F64, &vals, Some(3));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.values_as::<f64>().unwrap(), vals);
+        assert!(out.values_as::<f32>().is_err());
+        assert_eq!(out.iterations, Some(3));
+    }
+}

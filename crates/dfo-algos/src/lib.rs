@@ -9,6 +9,7 @@
 //! All functions return the algorithm's per-node view of its result arrays
 //! so callers (tests, benches) can verify against oracles.
 
+pub mod algorithm;
 pub mod bfs;
 pub mod degree;
 pub mod embedding;
@@ -17,6 +18,9 @@ pub mod pagerank;
 pub mod sssp;
 pub mod wcc;
 
+pub use algorithm::{
+    check_edge_data, find, registry, AlgoOutput, Algorithm, EdgeDataKind, JobParams, OutputKind,
+};
 pub use bfs::bfs;
 pub use degree::out_degree_array;
 pub use embedding::embedding_propagation;

@@ -107,6 +107,33 @@ impl Cluster {
         T: Send,
         F: Fn(&mut NodeCtx) -> Result<T> + Sync,
     {
+        self.run_inner(None, f)
+    }
+
+    /// Like [`Cluster::run`], but every rank's *mutable* state — vertex
+    /// arrays, checkpoints, `ProcessEdges` message spills — lives under the
+    /// private subdirectory `<base>/n<i>/<sub>/` instead of directly in the
+    /// node root, while read-only graph data (plan, chunks, dispatch/filter/
+    /// pull lists) is still read from the node root. Scoped runs with
+    /// distinct `sub` names therefore never collide on files, which is what
+    /// lets a service multiplex **concurrent jobs** over one preprocessed
+    /// graph; they still share the per-rank chunk caches and the disk
+    /// bandwidth throttle (the scoped disk shares the node disk's throttle
+    /// and counters). Call [`Cluster::remove_scratch`] when the job's
+    /// results have been read out.
+    pub fn run_scoped<T, F>(&self, sub: &str, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> Result<T> + Sync,
+    {
+        self.run_inner(Some(sub), f)
+    }
+
+    fn run_inner<T, F>(&self, scratch_sub: Option<&str>, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> Result<T> + Sync,
+    {
         let endpoints = SimCluster::build(self.cfg.nodes, self.cfg.net_bw, self.cfg.record_traffic);
         *self.last_net.lock() = endpoints.iter().map(|e| e.stats_arc()).collect();
         let mut results: Vec<Option<Result<T>>> = Vec::new();
@@ -120,7 +147,11 @@ impl Cluster {
                     let cache = self.chunk_caches.get(rank).cloned();
                     let f = &f;
                     s.spawn(move || -> Result<T> {
-                        let mut ctx = NodeCtx::with_chunk_cache(rank, cfg, disk, ep, cache)?;
+                        let scratch = match scratch_sub {
+                            Some(sub) => disk.scoped(sub)?,
+                            None => disk.clone(),
+                        };
+                        let mut ctx = NodeCtx::with_disks(rank, cfg, disk, scratch, ep, cache)?;
                         let res =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match res {
@@ -309,8 +340,31 @@ impl Cluster {
 
     /// Per-rank chunk-cache counters; empty when the cache is disabled
     /// (`chunk_cache_bytes == 0` allocates nothing).
+    ///
+    /// These are **cumulative over the cluster's lifetime** (the caches are
+    /// shared across `run` calls on purpose, so iterative jobs keep warm
+    /// chunks). To attribute counters to one window, snapshot before and
+    /// diff with [`ChunkCacheStats::delta_since`]; per-job attribution under
+    /// *concurrent* jobs needs the per-call counters in
+    /// [`dfo_types::PhaseStats`] instead, which are counted at each job's
+    /// own lookup sites.
     pub fn chunk_cache_stats(&self) -> Vec<ChunkCacheStats> {
         self.chunk_caches.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Deletes the per-rank scratch subdirectories a [`Cluster::run_scoped`]
+    /// call left behind (`<base>/n<i>/<sub>/`). Missing directories are
+    /// fine — cleanup is idempotent.
+    pub fn remove_scratch(&self, sub: &str) -> Result<()> {
+        for d in &self.disks {
+            let dir = d.root().join(sub);
+            if dir.exists() {
+                std::fs::remove_dir_all(&dir).map_err(|e| {
+                    DfoError::io(format!("removing scratch dir {}", dir.display()), e)
+                })?;
+            }
+        }
+        Ok(())
     }
 
     /// Zeroes disk counters (between preprocessing and timed runs).

@@ -96,6 +96,7 @@ impl NodeCtx {
             "edge data type {} does not match the preprocessed graph",
             std::any::type_name::<E>()
         );
+        self.check_cancelled()?;
         let seq = self.call_seq;
         self.call_seq += 1;
         let rank = self.rank;
@@ -103,7 +104,7 @@ impl NodeCtx {
         let b_count = self.plan.n_batches(rank);
 
         // previous call's message spill is garbage now
-        let _ = std::fs::remove_dir_all(self.disk.root().join("msgs"));
+        let _ = std::fs::remove_dir_all(self.scratch.root().join("msgs"));
 
         let signal_entries = self.entries(signal_arrays);
         let slot_entries = self.entries(slot_arrays);
@@ -121,7 +122,12 @@ impl NodeCtx {
         let (r0, w0) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
         let (lr0, lw0) =
             (disk_stats.logical_read_bytes.get(), disk_stats.logical_write_bytes.get());
+        // hit/miss are counted at this context's lookup sites (see
+        // `load_chunk`); only eviction pressure — a property of the shared
+        // cache, not of one caller — is still read as a counter delta
         let cache0 = self.chunk_cache.as_ref().map(|c| c.stats());
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
 
         // ---------------- phase 1: generating --------------------------------
         let gen_counts: Vec<AtomicU64> = (0..b_count).map(|_| AtomicU64::new(0)).collect();
@@ -284,14 +290,14 @@ impl NodeCtx {
         // above stay physical
         stats.logical_disk_read = disk_stats.logical_read_bytes.get() - lr0;
         stats.logical_disk_write = disk_stats.logical_write_bytes.get() - lw0;
+        stats.chunk_cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        stats.chunk_cache_misses = self.cache_misses.load(Ordering::Relaxed);
         if let (Some(cache), Some(s0)) = (&self.chunk_cache, cache0) {
-            let s1 = cache.stats();
-            stats.chunk_cache_hits = s1.hits - s0.hits;
-            stats.chunk_cache_misses = s1.misses - s0.misses;
-            stats.chunk_cache_evicted_bytes = s1.evicted_bytes - s0.evicted_bytes;
+            stats.chunk_cache_evicted_bytes = cache.stats().delta_since(&s0).evicted_bytes;
         }
 
         self.commit_epochs(&epoch_set)?;
+        self.job_stats.merge(&stats);
         self.last_stats = stats;
         let local = std::mem::replace(&mut *result.lock(), A::zero());
         Ok(local.allreduce(&self.net))
@@ -355,7 +361,7 @@ impl NodeCtx {
                 let w = match &mut writer {
                     Some(w) => w,
                     None => {
-                        writer = Some(self.disk.create(&gen_path(b))?);
+                        writer = Some(self.scratch.create(&gen_path(b))?);
                         writer.as_mut().unwrap()
                     }
                 };
@@ -409,7 +415,7 @@ impl NodeCtx {
             if c.load(Ordering::Relaxed) == 0 {
                 continue;
             }
-            let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
+            let mut r = RecordReader::new(self.scratch.open(&gen_path(b))?);
             while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                 read_bytes += rec as u64;
                 if !do_filter || cursor.contains(src) {
@@ -461,7 +467,7 @@ impl NodeCtx {
                     if c.load(Ordering::Relaxed) == 0 {
                         continue;
                     }
-                    let mut r = RecordReader::new(self.disk.open(&gen_path(b))?);
+                    let mut r = RecordReader::new(self.scratch.open(&gen_path(b))?);
                     while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                         read_bytes += rec as u64;
                         for batch in access.batches_of(src)? {
@@ -494,7 +500,7 @@ impl NodeCtx {
                     if c.load(Ordering::Relaxed) == 0 {
                         continue;
                     }
-                    let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
+                    let mut r = RecordReader::new(self.scratch.open(&gen_path(gb))?);
                     while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                         read_bytes += rec as u64;
                         for route in &mut routes {
@@ -540,7 +546,7 @@ impl NodeCtx {
                 Ok(())
             }
             Strategy::NoDispatch => {
-                let mut w = self.disk.create(&none_path(p))?;
+                let mut w = self.scratch.create(&none_path(p))?;
                 let mut total = 0u64;
                 let mut write_bytes = 0u64;
                 while let Some(chunk) = stream.next_chunk()? {
@@ -577,7 +583,7 @@ impl NodeCtx {
                 // staged records keep the sender's ascending source order)
                 let stage = format!("msgs/stage_p{p}.bin");
                 {
-                    let mut w = self.disk.create(&stage)?;
+                    let mut w = self.scratch.create(&stage)?;
                     let mut write_bytes = 0u64;
                     while let Some(chunk) = stream.next_chunk()? {
                         w.write_all(&chunk).map_err(|e| DfoError::io("staging stream", e))?;
@@ -598,7 +604,7 @@ impl NodeCtx {
                 }
                 let mut routes: Vec<PullRoute> =
                     lists.iter().map(|(b, l)| PullRoute::new(*b, l)).collect();
-                let mut r = RecordReader::new(self.disk.open(&stage)?);
+                let mut r = RecordReader::new(self.scratch.open(&stage)?);
                 let mut read_bytes = 0u64;
                 let mut write_bytes = 0u64;
                 while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
@@ -756,8 +762,10 @@ impl NodeCtx {
         };
         let key = ChunkKey { partition: p, batch: Some(b), repr: Some(want) };
         if let Some(v) = cache.lookup(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v.downcast::<IndexedChunk<E>>().expect("chunk cache holds IndexedChunk<E>"));
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let chunk = Arc::new(read()?);
         let bytes = chunk.decoded_bytes();
         let value: CachedValue = chunk.clone();
@@ -777,10 +785,12 @@ impl NodeCtx {
         };
         let key = ChunkKey { partition: p, batch: None, repr: Some(want) };
         if let Some(v) = cache.lookup(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v
                 .downcast::<IndexedChunk<()>>()
                 .expect("dispatch cache holds IndexedChunk<()>"));
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let dg = Arc::new(read()?);
         let bytes = dg.decoded_bytes();
         let value: CachedValue = dg.clone();
@@ -942,7 +952,7 @@ impl NodeCtx {
                 Ok(())
             };
             if pushed > 0 {
-                let mut r = RecordReader::new(self.disk.open(&seg_path(b, p))?);
+                let mut r = RecordReader::new(self.scratch.open(&seg_path(b, p))?);
                 while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                     apply(src, msg, &mut ctx, &mut acc)?;
                 }
@@ -952,13 +962,13 @@ impl NodeCtx {
                     if c.load(Ordering::Relaxed) == 0 {
                         continue;
                     }
-                    let mut r = RecordReader::new(self.disk.open(&gen_path(gb))?);
+                    let mut r = RecordReader::new(self.scratch.open(&gen_path(gb))?);
                     while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                         apply(src, msg, &mut ctx, &mut acc)?;
                     }
                 }
             } else {
-                let mut r = RecordReader::new(self.disk.open(&none_path(p))?);
+                let mut r = RecordReader::new(self.scratch.open(&none_path(p))?);
                 while let Some((src, msg)) = RecordIter::<M>::next_record(&mut r)? {
                     apply(src, msg, &mut ctx, &mut acc)?;
                 }
@@ -1026,7 +1036,7 @@ impl<'a> PushSink<'a> {
             None => {
                 self.writers[batch] = Some(
                     self.node
-                        .disk
+                        .scratch
                         .create_with_buffer(&seg_path(batch, self.src_partition), DISPATCH_BUF)?,
                 );
                 self.writers[batch].as_mut().unwrap()
@@ -1072,8 +1082,9 @@ impl<'a> PullRoute<'a> {
         let w = match &mut self.writer {
             Some(w) => w,
             None => {
-                self.writer =
-                    Some(node.disk.create_with_buffer(&seg_path(self.batch, from), DISPATCH_BUF)?);
+                self.writer = Some(
+                    node.scratch.create_with_buffer(&seg_path(self.batch, from), DISPATCH_BUF)?,
+                );
                 self.writer.as_mut().unwrap()
             }
         };

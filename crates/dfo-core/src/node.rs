@@ -12,13 +12,21 @@ use dfo_part::plan::{ChunkInfo, Plan};
 use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
 use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub struct NodeCtx {
     pub(crate) rank: Rank,
     pub(crate) cfg: EngineConfig,
     pub(crate) disk: NodeDisk,
+    /// Where this context's *mutable* state lives: vertex arrays (and their
+    /// checkpoints) and `ProcessEdges` message spills. Defaults to `disk`;
+    /// [`crate::Cluster::run_scoped`] points it at a job-private
+    /// subdirectory so concurrent jobs over one graph never collide, while
+    /// read-only graph data (plan, chunks, dispatch/filter/pull lists) is
+    /// always read from `disk`. Shares `disk`'s throttle and byte counters,
+    /// so scoped jobs still contend for the same simulated device.
+    pub(crate) scratch: NodeDisk,
     pub(crate) net: Endpoint,
     pub(crate) plan: Plan,
     pub(crate) arrays: HashMap<String, Arc<ArrayEntry>>,
@@ -39,6 +47,21 @@ pub struct NodeCtx {
     /// the node thread, `true` (one-rank-per-process deployments) aborts
     /// the whole OS process — indistinguishable from a SIGKILL.
     pub(crate) crash_abort: bool,
+    /// Cooperative cancellation token, checked at `Process`-call boundaries.
+    /// Must be installed on **all** ranks of a run or none: the check is a
+    /// collective (an allreduce agrees whether anyone saw the flag), so a
+    /// partial installation would desynchronise the mesh.
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
+    /// Chunk-cache lookups this `ProcessEdges` call that hit / missed,
+    /// counted at the call sites (`load_chunk` / `load_dispatch_graph`)
+    /// rather than diffed from the shared cache's cumulative counters — so
+    /// the numbers stay attributable to *this* context even when other jobs
+    /// hammer the same cache concurrently.
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    /// Sum of every `ProcessEdges` call's [`PhaseStats`] over this
+    /// context's lifetime — the per-job totals a service reports.
+    pub(crate) job_stats: PhaseStats,
 }
 
 impl NodeCtx {
@@ -61,6 +84,24 @@ impl NodeCtx {
         net: Endpoint,
         chunk_cache: Option<Arc<ChunkCache>>,
     ) -> Result<Self> {
+        let scratch = disk.clone();
+        Self::with_disks(rank, cfg, disk, scratch, net, chunk_cache)
+    }
+
+    /// Like [`NodeCtx::with_chunk_cache`] with a separate *scratch* disk for
+    /// this context's mutable state (vertex arrays, checkpoints, message
+    /// spills). Graph data is read from `disk`; everything the run writes
+    /// goes to `scratch`. [`crate::Cluster::run_scoped`] uses this to give
+    /// each concurrent job a private scratch subdirectory over one shared
+    /// graph.
+    pub fn with_disks(
+        rank: Rank,
+        cfg: EngineConfig,
+        disk: NodeDisk,
+        scratch: NodeDisk,
+        net: Endpoint,
+        chunk_cache: Option<Arc<ChunkCache>>,
+    ) -> Result<Self> {
         let plan = Plan::load(&disk)?;
         let mut chunk_map: Vec<Vec<Option<ChunkInfo>>> =
             (0..plan.nodes()).map(|_| vec![None; plan.n_batches(rank)]).collect();
@@ -71,6 +112,7 @@ impl NodeCtx {
             rank,
             cfg,
             disk,
+            scratch,
             net,
             plan,
             arrays: HashMap::new(),
@@ -80,6 +122,10 @@ impl NodeCtx {
             last_stats: PhaseStats::default(),
             calls_committed: AtomicU64::new(0),
             crash_abort: false,
+            cancel: None,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            job_stats: PhaseStats::default(),
         })
     }
 
@@ -99,8 +145,45 @@ impl NodeCtx {
         &self.disk
     }
 
+    /// The disk this context's mutable state (arrays, checkpoints, message
+    /// spills) lives on. Identical to [`NodeCtx::disk`] unless the context
+    /// was built by [`crate::Cluster::run_scoped`] /
+    /// [`NodeCtx::with_disks`].
+    pub fn scratch(&self) -> &NodeDisk {
+        &self.scratch
+    }
+
     pub fn net(&self) -> &Endpoint {
         &self.net
+    }
+
+    /// Installs a cooperative cancellation token. Once any rank's token is
+    /// set, the next `Process` call (`process_vertices` / `process_edges`)
+    /// on **every** rank fails with [`DfoError::Cancelled`] before touching
+    /// array state — ranks agree via an allreduce at the call boundary, so
+    /// the surviving on-disk state is the consistent state of the last
+    /// completed call on all ranks.
+    ///
+    /// The token must be installed on all ranks of a run or on none (the
+    /// agreement check is itself a collective).
+    pub fn set_cancel_token(&mut self, token: Arc<AtomicBool>) {
+        self.cancel = Some(token);
+    }
+
+    /// The collective cancellation check at a `Process`-call boundary: a
+    /// no-op without a token; otherwise every rank contributes whether its
+    /// token fired and all ranks abort together if any did.
+    pub(crate) fn check_cancelled(&self) -> Result<()> {
+        let Some(token) = &self.cancel else { return Ok(()) };
+        let fired = token.load(Ordering::Relaxed);
+        let anywhere = self.net.allreduce_min_u64(if fired { 0 } else { 1 }) == 0;
+        if anywhere {
+            return Err(DfoError::Cancelled(format!(
+                "rank {}: cancel token observed at Process-call boundary",
+                self.rank
+            )));
+        }
+        Ok(())
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -111,6 +194,16 @@ impl NodeCtx {
     /// (the Table 2 measurement).
     pub fn last_phase_stats(&self) -> &PhaseStats {
         &self.last_stats
+    }
+
+    /// Sum of **every** `ProcessEdges` call's [`PhaseStats`] over this
+    /// context's lifetime. A context lives exactly one `Cluster::run`
+    /// closure, so for a service job this is the job's total — including
+    /// per-job chunk-cache hit/miss counts attributed at the lookup sites
+    /// (not diffed from the shared cache's cumulative counters, which
+    /// concurrent jobs would pollute).
+    pub fn job_phase_stats(&self) -> &PhaseStats {
+        &self.job_stats
     }
 
     /// Cumulative counters of this node's chunk cache; `None` when the
@@ -136,7 +229,7 @@ impl NodeCtx {
         }
         let entry = if self.cfg.batching_enabled {
             ArrayEntry::create_blocks(
-                &self.disk,
+                &self.scratch,
                 name,
                 elem,
                 &self.plan.batches[self.rank],
@@ -149,7 +242,7 @@ impl NodeCtx {
             // page cache shared by a handful of hot mmapped arrays)
             let pages = (self.cfg.mem_budget as usize / self.cfg.page_size / 4).max(1);
             ArrayEntry::create_paged(
-                &self.disk,
+                &self.scratch,
                 name,
                 elem,
                 self.plan.partitions[self.rank],
@@ -261,6 +354,7 @@ impl NodeCtx {
         active: Option<&VertexArray<bool>>,
         work: impl Fn(VertexId, &mut BatchCtx) -> A + Sync,
     ) -> Result<A> {
+        self.check_cancelled()?;
         let entries = self.entries(arrays);
         let active_entry = active.map(|a| self.entries(&[a.name()]).remove(0));
         // open one epoch over everything this call may write

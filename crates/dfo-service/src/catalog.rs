@@ -1,0 +1,78 @@
+//! The graph catalog: named, preprocessed, reference-counted graphs.
+
+use dfo_core::Cluster;
+use dfo_part::plan::Plan;
+use dfo_types::{DfoError, Result};
+
+/// One loaded graph: its name, the [`Cluster`] whose disks hold the
+/// preprocessed chunks (rooted at `<service base>/graphs/<name>/`), and the
+/// replicated [`Plan`].
+///
+/// Entries are handed out as `Arc<CatalogEntry>`: a running job keeps its
+/// graph alive even if [`crate::Service::unload_graph`] removes the name
+/// from the catalog mid-run — the entry (and its chunk caches) drop when
+/// the last job over it finishes.
+pub struct CatalogEntry {
+    pub(crate) name: String,
+    pub(crate) cluster: Cluster,
+    pub(crate) plan: Plan,
+}
+
+impl std::fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("n_vertices", &self.plan.n_vertices)
+            .finish()
+    }
+}
+
+impl CatalogEntry {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The preprocessing plan (vertex count, partitioning, edge payload
+    /// width) jobs over this graph are validated against.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The underlying cluster — exposed so callers can still run batch-mode
+    /// [`Cluster::run`] closures over a catalog graph (the migration path),
+    /// and so tests can compare service jobs against batch results on the
+    /// very same preprocessed disks.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+/// Catalog names become path components (`<base>/graphs/<name>/`), so
+/// constrain them to filesystem-safe characters.
+pub(crate) fn validate_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.starts_with('.');
+    if !ok {
+        return Err(DfoError::Config(format!(
+            "graph name {name:?} must be 1-128 chars of [A-Za-z0-9._-], not starting with '.'"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_path_safe() {
+        assert!(validate_name("twitter-2010").is_ok());
+        assert!(validate_name("g_1.sym").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("../escape").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name(".hidden").is_err());
+    }
+}

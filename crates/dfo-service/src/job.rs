@@ -1,0 +1,209 @@
+//! Job model: specs, handles, status, and the finished-job report.
+
+use crate::service::ServiceInner;
+use dfo_algos::{AlgoOutput, JobParams};
+use dfo_storage::ChunkCacheStats;
+use dfo_types::{DfoError, PhaseStats, Pod, Result};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// What to run: a catalog graph by name, a registered algorithm by name,
+/// and the algorithm's integer parameters. Deliberately plain data — no
+/// process-local state — so a transport layer can ship it between
+/// processes unchanged.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Catalog name of the graph ([`crate::Service::load_graph`]).
+    pub graph: String,
+    /// Registry name of the algorithm ([`dfo_algos::registry`]).
+    pub algorithm: String,
+    /// Parameters the algorithm reads by key (`iters`, `root`, …).
+    pub params: JobParams,
+    /// Overrides the admission-control footprint estimate (bytes per node).
+    /// `None` derives one from the algorithm's per-vertex state hint and
+    /// the graph's vertex count.
+    pub mem_estimate: Option<u64>,
+}
+
+impl JobSpec {
+    pub fn new(graph: impl Into<String>, algorithm: impl Into<String>) -> Self {
+        Self {
+            graph: graph.into(),
+            algorithm: algorithm.into(),
+            params: JobParams::new(),
+            mem_estimate: None,
+        }
+    }
+
+    #[must_use]
+    pub fn with_param(mut self, key: &str, value: u64) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    #[must_use]
+    pub fn with_mem_estimate(mut self, bytes: u64) -> Self {
+        self.mem_estimate = Some(bytes);
+        self
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted to the queue; not yet running (waiting for budget or for
+    /// earlier jobs — admission is FIFO, no overtaking).
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+/// A point-in-time snapshot from [`JobHandle::stats`].
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    pub id: u64,
+    pub phase: JobPhase,
+    pub graph: String,
+    pub algorithm: String,
+    /// The admission-control footprint this job charges against
+    /// `mem_budget` while running (bytes per node).
+    pub mem_estimate: u64,
+}
+
+/// Everything a finished job produced.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    pub id: u64,
+    pub graph: String,
+    pub algorithm: String,
+    /// Per-rank local outputs in rank order; concatenated they cover the
+    /// whole vertex set ([`JobReport::assemble`]).
+    pub outputs: Vec<AlgoOutput>,
+    /// Per-rank per-job [`PhaseStats`] totals. Chunk-cache hits/misses are
+    /// counted at this job's own lookup sites, so they are attributable to
+    /// this job even when others ran concurrently on the same caches.
+    pub rank_stats: Vec<PhaseStats>,
+    /// Sum of `rank_stats` — the job's cluster-wide totals.
+    pub totals: PhaseStats,
+    /// Per-rank **shared** chunk-cache counter deltas over this job's
+    /// wall-clock window. Unlike `totals`, these include every concurrent
+    /// job's traffic on the graph's caches — they describe the device, not
+    /// the job; eviction pressure in particular only exists at cache level.
+    pub cache_window: Vec<ChunkCacheStats>,
+    pub elapsed: Duration,
+}
+
+impl JobReport {
+    /// Concatenates the per-rank outputs into one typed vector over the
+    /// whole vertex set (ranks own contiguous ascending vertex ranges).
+    pub fn assemble<T: Pod>(&self) -> Result<Vec<T>> {
+        let mut all = Vec::new();
+        for out in &self.outputs {
+            all.extend(out.values_as::<T>()?);
+        }
+        Ok(all)
+    }
+}
+
+pub(crate) enum State {
+    Queued,
+    Running,
+    // boxed: a JobReport is large next to the unit variants
+    Finished { phase: JobPhase, result: Box<Option<Result<JobReport>>> },
+}
+
+/// Shared core of a job, owned by its [`JobHandle`], the scheduler queue,
+/// and the worker thread running it.
+pub(crate) struct JobInner {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) estimate: u64,
+    /// The cooperative token every rank's `NodeCtx` checks at
+    /// `Process`-call boundaries.
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) state: Mutex<State>,
+    pub(crate) done: Condvar,
+}
+
+impl JobInner {
+    pub(crate) fn finish(&self, result: Result<JobReport>) {
+        let phase = match &result {
+            Ok(_) => JobPhase::Done,
+            Err(DfoError::Cancelled(_)) => JobPhase::Cancelled,
+            Err(_) => JobPhase::Failed,
+        };
+        *self.state.lock() = State::Finished { phase, result: Box::new(Some(result)) };
+        self.done.notify_all();
+    }
+}
+
+/// Tracks one submitted job. Not cloneable: [`JobHandle::wait`] consumes
+/// the handle and hands over the job's single [`JobReport`].
+pub struct JobHandle {
+    pub(crate) job: Arc<JobInner>,
+    pub(crate) svc: Weak<ServiceInner>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.stats();
+        f.debug_struct("JobHandle")
+            .field("id", &st.id)
+            .field("phase", &st.phase)
+            .field("graph", &st.graph)
+            .field("algorithm", &st.algorithm)
+            .finish()
+    }
+}
+
+impl JobHandle {
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Blocks until the job finishes and returns its report — or the error
+    /// it failed with ([`DfoError::Cancelled`] if it was cancelled).
+    pub fn wait(self) -> Result<JobReport> {
+        let mut st = self.job.state.lock();
+        loop {
+            if let State::Finished { result, .. } = &mut *st {
+                return result.take().expect("wait consumes the only handle");
+            }
+            self.job.done.wait(&mut st);
+        }
+    }
+
+    /// Requests cooperative cancellation. A queued job is withdrawn without
+    /// running; a running job's ranks observe the token at their next
+    /// `Process`-call boundary, agree collectively, and unwind together —
+    /// freeing the job's admission budget. [`JobHandle::wait`] then returns
+    /// [`DfoError::Cancelled`]. Idempotent; a job that already finished is
+    /// unaffected.
+    pub fn cancel(&self) {
+        self.job.cancel.store(true, Ordering::Relaxed);
+        // reap a queued job right away rather than when it reaches the front
+        if let Some(svc) = self.svc.upgrade() {
+            ServiceInner::pump(&svc);
+        }
+    }
+
+    /// Point-in-time snapshot of the job's phase and admission footprint.
+    pub fn stats(&self) -> JobStatus {
+        let phase = match &*self.job.state.lock() {
+            State::Queued => JobPhase::Queued,
+            State::Running => JobPhase::Running,
+            State::Finished { phase, .. } => *phase,
+        };
+        JobStatus {
+            id: self.job.id,
+            phase,
+            graph: self.job.spec.graph.clone(),
+            algorithm: self.job.spec.algorithm.clone(),
+            mem_estimate: self.job.estimate,
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Resident DFOGraph engine service: one engine per rank group, many jobs.
+//!
+//! Batch mode ([`dfo_core::Cluster::run`]) ties one graph, one algorithm and
+//! one process lifetime together — every run pays preprocessing or at least
+//! plan reload, and two workloads over the same graph serialize. This crate
+//! turns the engine into a **resident service**:
+//!
+//! * a [`Service`] owns the engine configuration and a **catalog** of loaded
+//!   graphs — each graph preprocessed once into its own [`dfo_core::Cluster`]
+//!   (own disks and per-rank chunk caches) and then shared, reference-
+//!   counted, by every job over it;
+//! * jobs are submitted as transport-agnostic [`JobSpec`]s — graph name,
+//!   algorithm name (resolved in the [`dfo_algos::registry`]), integer
+//!   [`dfo_algos::JobParams`] — and tracked through [`JobHandle`]s with
+//!   [`JobHandle::wait`], [`JobHandle::cancel`] and [`JobHandle::stats`];
+//! * **admission control** queues a job while the running jobs' estimated
+//!   footprints would push past `mem_budget`, FIFO without overtaking;
+//! * concurrent jobs over one graph are isolated by per-job scratch
+//!   directories ([`dfo_core::Cluster::run_scoped`]) while sharing the
+//!   graph's chunk caches and disk/network throttles, and a cooperative
+//!   cancellation token is checked collectively at every `Process`-call
+//!   boundary;
+//! * each finished job yields a [`JobReport`]: per-rank outputs, per-job
+//!   [`dfo_types::PhaseStats`] totals (chunk-cache hits and misses counted
+//!   at the job's own lookup sites, so concurrent jobs cannot pollute each
+//!   other's numbers), and the shared caches' counter deltas over the job's
+//!   wall-clock window.
+//!
+//! Single-node multi-job first: jobs run over the in-process mesh. The
+//! [`JobSpec`] carries no process-local state, so a transport layer can be
+//! put in front of [`Service::submit`] without touching the job model.
+
+mod catalog;
+mod job;
+mod service;
+
+pub use catalog::CatalogEntry;
+pub use job::{JobHandle, JobPhase, JobReport, JobSpec, JobStatus};
+pub use service::Service;
+
+// The vocabulary types a service caller needs, so `dfo_service` (or the
+// facade's `service::*`) is a self-sufficient import.
+pub use dfo_algos::{AlgoOutput, EdgeDataKind, JobParams, OutputKind};
+pub use dfo_types::{DfoError, EngineConfig, PhaseStats, Result};

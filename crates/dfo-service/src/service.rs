@@ -1,0 +1,290 @@
+//! The resident engine: catalog management, admission control, execution.
+
+use crate::catalog::{validate_name, CatalogEntry};
+use crate::job::{JobHandle, JobInner, JobReport, JobSpec, State};
+use dfo_algos::{check_edge_data, Algorithm};
+use dfo_core::Cluster;
+use dfo_graph::EdgeList;
+use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A queued job together with everything resolved at submit time: the
+/// catalog entry `Arc` (pinning the graph for the job's lifetime) and the
+/// registry algorithm.
+struct Pending {
+    job: Arc<JobInner>,
+    entry: Arc<CatalogEntry>,
+    algo: &'static dyn Algorithm,
+}
+
+/// Admission state: bytes charged by running jobs, and the FIFO of jobs
+/// waiting for budget.
+#[derive(Default)]
+struct Sched {
+    running_bytes: u64,
+    running_jobs: usize,
+    queue: VecDeque<Pending>,
+}
+
+pub(crate) struct ServiceInner {
+    cfg: EngineConfig,
+    base: PathBuf,
+    catalog: Mutex<BTreeMap<String, Arc<CatalogEntry>>>,
+    sched: Mutex<Sched>,
+    next_id: AtomicU64,
+}
+
+/// A resident engine owning a graph [catalog](CatalogEntry) and a job
+/// queue. See the crate docs for the model; in short:
+///
+/// ```no_run
+/// # use dfo_service::{Service, JobSpec};
+/// # use dfo_types::EngineConfig;
+/// # fn demo(g: &dfo_graph::EdgeList<()>) -> dfo_types::Result<()> {
+/// let svc = Service::new(EngineConfig::for_test(2), "/tmp/dfo")?;
+/// svc.load_graph("web", g)?;                       // preprocess once
+/// let a = svc.submit(JobSpec::new("web", "pagerank").with_param("iters", 10))?;
+/// let b = svc.submit(JobSpec::new("web", "bfs").with_param("root", 0))?;
+/// let ranks = a.wait()?.assemble::<f64>()?;        // jobs ran concurrently
+/// let depths = b.wait()?.assemble::<u32>()?;
+/// # Ok(()) }
+/// ```
+///
+/// `Service` is cheap to share behind an `Arc`; all methods take `&self`.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Creates a resident engine rooted at `base`. Graph `g` loaded under
+    /// name `n` lives at `<base>/graphs/<n>/`; per-job scratch under each
+    /// graph's node directories. The config is shared by every graph and
+    /// job; `cfg.mem_budget` doubles as the admission-control budget.
+    pub fn new(cfg: EngineConfig, base: impl Into<PathBuf>) -> Result<Self> {
+        cfg.validate().map_err(DfoError::Config)?;
+        Ok(Self {
+            inner: Arc::new(ServiceInner {
+                cfg,
+                base: base.into(),
+                catalog: Mutex::new(BTreeMap::new()),
+                sched: Mutex::new(Sched::default()),
+                next_id: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Preprocesses `g` once under `name` and adds it to the catalog. Every
+    /// subsequent job over `name` reuses the preprocessed chunks and the
+    /// graph's per-rank chunk caches — loading is the expensive step, jobs
+    /// are not. Errors if the name is taken or not filesystem-safe.
+    pub fn load_graph<E: Pod + PartialEq>(
+        &self,
+        name: &str,
+        g: &EdgeList<E>,
+    ) -> Result<Arc<CatalogEntry>> {
+        validate_name(name)?;
+        // preprocess outside the catalog lock (it is slow); the name is
+        // checked again before insert, so a concurrent load of the same
+        // name errors rather than replacing an entry jobs may already hold
+        {
+            let catalog = self.inner.catalog.lock();
+            if catalog.contains_key(name) {
+                return Err(DfoError::Config(format!("graph {name:?} is already loaded")));
+            }
+        }
+        let cluster =
+            Cluster::create(self.inner.cfg.clone(), self.inner.base.join("graphs").join(name))?;
+        let plan = cluster.preprocess(g)?;
+        let entry = Arc::new(CatalogEntry { name: name.to_string(), cluster, plan });
+        let mut catalog = self.inner.catalog.lock();
+        if catalog.contains_key(name) {
+            return Err(DfoError::Config(format!("graph {name:?} is already loaded")));
+        }
+        catalog.insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Removes `name` from the catalog. Jobs already submitted over it keep
+    /// their reference-counted entry (and finish normally); new submissions
+    /// no longer resolve the name.
+    pub fn unload_graph(&self, name: &str) -> Result<()> {
+        self.inner
+            .catalog
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DfoError::Config(format!("graph {name:?} is not loaded")))
+    }
+
+    /// Loaded graph names, sorted.
+    pub fn graphs(&self) -> Vec<String> {
+        self.inner.catalog.lock().keys().cloned().collect()
+    }
+
+    /// The catalog entry for `name`, if loaded.
+    pub fn graph(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.inner.catalog.lock().get(name).cloned()
+    }
+
+    /// Submits a job. Resolution (graph in catalog, algorithm in registry,
+    /// edge-payload compatibility) happens **here**, so a bad spec is a
+    /// typed error at submit time, not a mid-run failure. The job starts
+    /// immediately when its footprint fits the admission budget alongside
+    /// the running jobs; otherwise it queues FIFO. The returned handle is
+    /// the only way to get the job's [`JobReport`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle> {
+        let entry = self.graph(&spec.graph).ok_or_else(|| {
+            DfoError::Config(format!("graph {:?} is not in the catalog", spec.graph))
+        })?;
+        let algo = dfo_algos::find(&spec.algorithm).ok_or_else(|| {
+            DfoError::Config(format!(
+                "unknown algorithm {:?} (registered: {})",
+                spec.algorithm,
+                dfo_algos::registry().iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+            ))
+        })?;
+        check_edge_data(algo, entry.plan.edge_data_bytes)?;
+        let estimate = spec
+            .mem_estimate
+            .unwrap_or_else(|| default_estimate(algo, entry.plan.n_vertices, self.inner.cfg.nodes));
+        let job = Arc::new(JobInner {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            spec,
+            estimate,
+            cancel: Arc::new(AtomicBool::new(false)),
+            state: Mutex::new(State::Queued),
+            done: Condvar::new(),
+        });
+        self.inner.sched.lock().queue.push_back(Pending { job: job.clone(), entry, algo });
+        ServiceInner::pump(&self.inner);
+        Ok(JobHandle { job, svc: Arc::downgrade(&self.inner) })
+    }
+
+    /// Jobs currently charged against the admission budget / waiting in the
+    /// queue — `(running, queued)`.
+    pub fn job_counts(&self) -> (usize, usize) {
+        let s = self.inner.sched.lock();
+        (s.running_jobs, s.queue.len())
+    }
+}
+
+/// Default admission footprint: the algorithm's per-vertex state hint times
+/// this node's share of the vertices — the mutable working set the engine
+/// will batch through `mem_budget`.
+fn default_estimate(algo: &dyn Algorithm, n_vertices: u64, nodes: usize) -> u64 {
+    let per_node = n_vertices.div_ceil(nodes.max(1) as u64);
+    (algo.state_bytes_per_vertex() * per_node).max(1)
+}
+
+impl ServiceInner {
+    /// Admits as many jobs as budget allows. Called whenever the queue or
+    /// the budget changes (submit, job completion, cancellation); safe to
+    /// call concurrently. FIFO with no overtaking: a queued job never
+    /// starts before an earlier-queued one, and a job whose estimate alone
+    /// exceeds the budget is admitted once it is the only job — refusing it
+    /// forever would starve it, and the engine degrades gracefully when a
+    /// job's working set overruns `mem_budget` (it batches harder).
+    pub(crate) fn pump(inner: &Arc<ServiceInner>) {
+        loop {
+            let pending = {
+                let mut s = inner.sched.lock();
+                // withdraw cancelled jobs wherever they sit in the queue
+                let mut withdrawn = Vec::new();
+                s.queue.retain(|p| {
+                    let c = p.job.cancel.load(Ordering::Relaxed);
+                    if c {
+                        withdrawn.push(p.job.clone());
+                    }
+                    !c
+                });
+                if !withdrawn.is_empty() {
+                    drop(s);
+                    for job in withdrawn {
+                        job.finish(Err(DfoError::Cancelled(
+                            "job cancelled while queued".to_string(),
+                        )));
+                    }
+                    continue;
+                }
+                let Some(front) = s.queue.front() else { return };
+                let alone = s.running_jobs == 0;
+                let fits =
+                    s.running_bytes.saturating_add(front.job.estimate) <= inner.cfg.mem_budget;
+                if !fits && !alone {
+                    return;
+                }
+                let p = s.queue.pop_front().expect("front exists");
+                s.running_bytes += p.job.estimate;
+                s.running_jobs += 1;
+                p
+            };
+            *pending.job.state.lock() = State::Running;
+            let inner = inner.clone();
+            std::thread::spawn(move || {
+                let result = ServiceInner::execute(&inner, &pending);
+                {
+                    let mut s = inner.sched.lock();
+                    s.running_bytes -= pending.job.estimate;
+                    s.running_jobs -= 1;
+                }
+                pending.job.finish(result);
+                ServiceInner::pump(&inner);
+            });
+        }
+    }
+
+    /// Runs one admitted job to completion on the graph's cluster, under a
+    /// job-private scratch scope, and assembles its report.
+    fn execute(_inner: &Arc<ServiceInner>, p: &Pending) -> Result<JobReport> {
+        let scope = format!("job{}", p.job.id);
+        let cache0 = p.entry.cluster.chunk_cache_stats();
+        let started = Instant::now();
+        let algo = p.algo;
+        let params = p.job.spec.params.clone();
+        let token = p.job.cancel.clone();
+        let res = p.entry.cluster.run_scoped(&scope, |ctx| {
+            ctx.set_cancel_token(token.clone());
+            let out = algo.run(ctx, &params)?;
+            Ok((out, ctx.job_phase_stats().clone()))
+        });
+        // scratch cleanup happens even when the job failed or was cancelled
+        let cleanup = p.entry.cluster.remove_scratch(&scope);
+        let per_rank = res?;
+        cleanup?;
+        let cache_window = p
+            .entry
+            .cluster
+            .chunk_cache_stats()
+            .iter()
+            .zip(&cache0)
+            .map(|(now, then)| now.delta_since(then))
+            .collect();
+        let mut totals = PhaseStats::default();
+        let mut outputs = Vec::with_capacity(per_rank.len());
+        let mut rank_stats = Vec::with_capacity(per_rank.len());
+        for (out, stats) in per_rank {
+            totals.merge(&stats);
+            outputs.push(out);
+            rank_stats.push(stats);
+        }
+        Ok(JobReport {
+            id: p.job.id,
+            graph: p.job.spec.graph.clone(),
+            algorithm: p.job.spec.algorithm.clone(),
+            outputs,
+            rank_stats,
+            totals,
+            cache_window,
+            elapsed: started.elapsed(),
+        })
+    }
+}

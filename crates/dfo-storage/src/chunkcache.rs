@@ -57,6 +57,23 @@ pub struct ChunkCacheStats {
     pub resident_bytes: u64,
 }
 
+impl ChunkCacheStats {
+    /// Counter movement since `earlier` (an older snapshot of the *same*
+    /// cache): the cumulative fields come back as differences, while
+    /// `resident_bytes` stays the current absolute value — residency is a
+    /// level, not a flow. This is how job-scoped reports carve one job's
+    /// window out of a cache whose counters are cumulative across runs.
+    pub fn delta_since(&self, earlier: &ChunkCacheStats) -> ChunkCacheStats {
+        ChunkCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            inserted_bytes: self.inserted_bytes.saturating_sub(earlier.inserted_bytes),
+            evicted_bytes: self.evicted_bytes.saturating_sub(earlier.evicted_bytes),
+            resident_bytes: self.resident_bytes,
+        }
+    }
+}
+
 struct Entry {
     value: CachedValue,
     bytes: u64,
@@ -596,6 +613,22 @@ mod tests {
         // the cached value is the pre-inserted one, not a reload
         let v = cache.lookup(&key(0, 0)).unwrap();
         assert_eq!(*v.downcast::<u64>().unwrap(), 9);
+    }
+
+    #[test]
+    fn stats_delta_carves_out_a_window() {
+        let cache = ChunkCache::new(1 << 20);
+        cache.insert(key(0, 0), val(1), 8);
+        cache.lookup(&key(0, 0));
+        cache.lookup(&key(9, 9)); // miss
+        let before = cache.stats();
+        cache.lookup(&key(0, 0));
+        cache.lookup(&key(0, 0));
+        cache.lookup(&key(9, 9)); // miss
+        let d = cache.stats().delta_since(&before);
+        assert_eq!((d.hits, d.misses), (2, 1));
+        assert_eq!(d.inserted_bytes, 0);
+        assert_eq!(d.resident_bytes, 8, "residency stays absolute");
     }
 
     #[test]

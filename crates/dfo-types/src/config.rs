@@ -165,6 +165,17 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// Starts a validated [`EngineConfigBuilder`] from the same defaults as
+    /// [`EngineConfig::for_test`]`(1)`. The builder is the recommended way
+    /// to construct a config for service deployments: unlike mutating the
+    /// struct directly, [`EngineConfigBuilder::build`] enforces the
+    /// cross-field invariants (a positive memory budget, prefetch only with
+    /// a chunk cache, well-formed peer addresses) before any cluster is
+    /// created.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: EngineConfig::for_test(1), prefetch_depth_set: false }
+    }
+
     /// A small-footprint configuration suitable for tests: `nodes` ranks,
     /// two worker threads each, unthrottled I/O, checkpointing off.
     pub fn for_test(nodes: usize) -> Self {
@@ -205,16 +216,41 @@ impl EngineConfig {
         std::env::var("DFO_RANK").ok()?.trim().parse().ok()
     }
 
-    /// Applies environment overrides for multi-process launches:
-    /// `DFO_PEERS` is a comma-separated `host:port` list (one per rank, in
-    /// rank order) that switches the config to the TCP transport and sets
-    /// the node count to match; `DFO_CHUNK_CACHE` sets the chunk-cache
-    /// budget in bytes (optional `K`/`M`/`G` suffix); `DFO_COMPRESS`
-    /// (`1`/`true`/`on` or `0`/`false`/`off`) toggles chunk compression;
-    /// `DFO_EPOCH` sets the mesh bootstrap epoch (a supervisor passes it to
-    /// relaunched ranks); `DFO_MAX_RESTARTS` bounds supervised recoveries;
-    /// `DFO_CRASH_AT=<call>[:<rank>]` injects a deterministic crash right
-    /// before that `Process`-call commit.
+    /// Applies every `DFO_*` environment override and returns the updated
+    /// config — **the single place the workspace reads engine environment
+    /// variables** (only [`EngineConfig::env_rank`] sits outside it, because
+    /// a rank identifies a process, not a configuration). Builder-style:
+    ///
+    /// ```
+    /// use dfo_types::EngineConfig;
+    /// let cfg = EngineConfig::for_test(2).from_env_overrides();
+    /// ```
+    ///
+    /// Recognized variables:
+    ///
+    /// * `DFO_PEERS` — comma-separated `host:port` list (one per rank, in
+    ///   rank order); switches the config to the TCP transport and sets the
+    ///   node count to match.
+    /// * `DFO_CHUNK_CACHE` — chunk-cache budget in bytes (optional
+    ///   `K`/`M`/`G` suffix).
+    /// * `DFO_COMPRESS` — `1`/`true`/`on` or `0`/`false`/`off`: toggles
+    ///   chunk compression.
+    /// * `DFO_EPOCH` — mesh bootstrap epoch (a supervisor passes it to
+    ///   relaunched ranks).
+    /// * `DFO_MAX_RESTARTS` — bounds supervised recoveries.
+    /// * `DFO_CRASH_AT=<call>[:<rank>]` — injects a deterministic crash
+    ///   right before that `Process`-call commit (empty value disables).
+    ///
+    /// A value that fails to parse warns on stderr and keeps the configured
+    /// value rather than silently changing behaviour.
+    #[must_use]
+    pub fn from_env_overrides(mut self) -> Self {
+        self.apply_env_overrides();
+        self
+    }
+
+    /// In-place form of [`EngineConfig::from_env_overrides`], kept for
+    /// callers that already hold a `&mut EngineConfig`.
     pub fn apply_env_overrides(&mut self) {
         if let Ok(s) = std::env::var("DFO_PEERS") {
             let peers: Vec<String> =
@@ -331,6 +367,196 @@ impl EngineConfig {
     }
 }
 
+/// Validating builder for [`EngineConfig`], started with
+/// [`EngineConfig::builder`].
+///
+/// Every setter returns `self` so configs chain fluently; [`Self::build`]
+/// runs [`EngineConfig::validate`] plus the stricter service-facing checks
+/// that a hand-mutated struct never got:
+///
+/// * `mem_budget` must be positive — admission control and the
+///   fully-out-of-core batch-sizing rule both divide by it;
+/// * an explicitly requested `prefetch_depth > 0` without any
+///   `chunk_cache_bytes` is rejected (read-ahead decodes into the cache;
+///   without one it would be silently dead);
+/// * every peer address must look like `host:port` with a numeric port.
+///
+/// ```
+/// use dfo_types::EngineConfig;
+/// let cfg = EngineConfig::builder()
+///     .nodes(4)
+///     .threads_per_node(8)
+///     .mem_budget(2 << 30)
+///     .chunk_cache_bytes(256 << 20)
+///     .prefetch_depth(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.nodes, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+    /// Whether the caller explicitly asked for read-ahead: only then is
+    /// "prefetch without a cache" a contradiction worth rejecting (the
+    /// defaults carry a harmless latent depth for when a cache is enabled).
+    prefetch_depth_set: bool,
+}
+
+impl EngineConfigBuilder {
+    /// Number of (simulated or real) ranks `P`.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Worker threads per node.
+    pub fn threads_per_node(mut self, threads: usize) -> Self {
+        self.cfg.threads_per_node = threads;
+        self
+    }
+
+    /// Memory budget per node in bytes (must be positive).
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.cfg.mem_budget = bytes;
+        self
+    }
+
+    /// Intra-node batch sizing policy.
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.cfg.batch_policy = policy;
+        self
+    }
+
+    /// Byte budget of the decoded-chunk cache (0 disables the subsystem).
+    pub fn chunk_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.chunk_cache_bytes = bytes;
+        self
+    }
+
+    /// Read-ahead depth of the phase-4 prefetcher; requires a chunk cache.
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.cfg.prefetch_depth = depth;
+        self.prefetch_depth_set = true;
+        self
+    }
+
+    /// Toggles the LZ4 chunk framing on newly preprocessed data.
+    pub fn compress_chunks(mut self, on: bool) -> Self {
+        self.cfg.compress_chunks = on;
+        self
+    }
+
+    /// Enables copy-on-write checkpointing, retaining `kept` checkpoints.
+    pub fn checkpointing(mut self, on: bool, kept: usize) -> Self {
+        self.cfg.checkpointing = on;
+        self.cfg.checkpoints_kept = kept;
+        self
+    }
+
+    /// Simulated sequential disk bandwidth per node (`None` = unthrottled).
+    pub fn disk_bw(mut self, bw: Option<u64>) -> Self {
+        self.cfg.disk_bw = bw;
+        self
+    }
+
+    /// Simulated network bandwidth per node (`None` = unthrottled).
+    pub fn net_bw(mut self, bw: Option<u64>) -> Self {
+        self.cfg.net_bw = bw;
+        self
+    }
+
+    /// Records disk/network traffic time series (Figure 5).
+    pub fn record_traffic(mut self, on: bool) -> Self {
+        self.cfg.record_traffic = on;
+        self
+    }
+
+    /// Peer `host:port` addresses (one per rank) for the TCP transport;
+    /// also sets the node count to match.
+    pub fn peers(mut self, peers: Vec<String>) -> Self {
+        self.cfg.nodes = peers.len();
+        self.cfg.peers = Some(peers);
+        self
+    }
+
+    /// Seconds each rank waits for the full TCP mesh at bootstrap.
+    pub fn connect_timeout_secs(mut self, secs: u64) -> Self {
+        self.cfg.connect_timeout_secs = secs;
+        self
+    }
+
+    /// Mesh failures a supervised run may recover from.
+    pub fn max_restarts(mut self, n: u32) -> Self {
+        self.cfg.max_restarts = n;
+        self
+    }
+
+    /// Forces a dispatch strategy instead of the adaptive choice.
+    pub fn dispatch_override(mut self, kind: Option<DispatchKind>) -> Self {
+        self.cfg.dispatch_override = kind;
+        self
+    }
+
+    /// Forces an edge representation instead of the adaptive choice.
+    pub fn repr_override(mut self, kind: Option<ReprKind>) -> Self {
+        self.cfg.repr_override = kind;
+        self
+    }
+
+    /// Disables inter-node message filtering (§4.3 ablation).
+    pub fn filtering_enabled(mut self, on: bool) -> Self {
+        self.cfg.filtering_enabled = on;
+        self
+    }
+
+    /// Disables intra-node batching (Table 6 ablation).
+    pub fn batching_enabled(mut self, on: bool) -> Self {
+        self.cfg.batching_enabled = on;
+        self
+    }
+
+    /// Applies the `DFO_*` environment overrides on top of the values set
+    /// so far (see [`EngineConfig::from_env_overrides`]). Overrides count
+    /// as explicit settings for validation purposes.
+    pub fn env_overrides(mut self) -> Self {
+        self.cfg = self.cfg.from_env_overrides();
+        self
+    }
+
+    /// Validates and returns the finished config. See the type docs for the
+    /// checks beyond [`EngineConfig::validate`].
+    pub fn build(self) -> Result<EngineConfig, String> {
+        if self.cfg.mem_budget == 0 {
+            return Err("mem_budget must be positive (batch sizing and job admission \
+                 control divide the budget)"
+                .into());
+        }
+        if self.prefetch_depth_set && self.cfg.prefetch_depth > 0 && self.cfg.chunk_cache_bytes == 0
+        {
+            return Err(format!(
+                "prefetch_depth {} requested with chunk_cache_bytes 0: read-ahead decodes \
+                 into the chunk cache, so enable one (e.g. .chunk_cache_bytes(64 << 20)) \
+                 or drop the prefetch_depth call",
+                self.cfg.prefetch_depth
+            ));
+        }
+        if let Some(peers) = &self.cfg.peers {
+            for addr in peers {
+                let port_ok = addr
+                    .rsplit_once(':')
+                    .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+                if !port_ok {
+                    return Err(format!(
+                        "peer address {addr:?} is not host:port with a numeric port"
+                    ));
+                }
+            }
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Parses `"1"`/`"true"`/`"on"`/`"yes"` and `"0"`/`"false"`/`"off"`/`"no"`
 /// (case-insensitive).
 fn parse_bool(s: &str) -> Option<bool> {
@@ -430,6 +656,63 @@ mod tests {
         c.nodes = 0;
         assert!(c.validate().is_err());
         assert!(EngineConfig::for_test(2).validate().is_ok());
+    }
+
+    #[test]
+    fn builder_accepts_a_sound_config() {
+        let cfg = EngineConfig::builder()
+            .nodes(3)
+            .threads_per_node(4)
+            .mem_budget(1 << 30)
+            .chunk_cache_bytes(64 << 20)
+            .prefetch_depth(3)
+            .compress_chunks(false)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.nodes, cfg.threads_per_node), (3, 4));
+        assert_eq!(cfg.prefetch_depth, 3);
+        assert!(!cfg.compress_chunks);
+    }
+
+    #[test]
+    fn builder_rejects_zero_mem_budget() {
+        let err = EngineConfig::builder().mem_budget(0).build().unwrap_err();
+        assert!(err.contains("mem_budget"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_prefetch_without_cache() {
+        let err = EngineConfig::builder().prefetch_depth(4).build().unwrap_err();
+        assert!(err.contains("chunk cache") || err.contains("chunk_cache"), "{err}");
+        // the default (unset) depth is fine without a cache…
+        EngineConfig::builder().build().unwrap();
+        // …and an explicit depth of 0 is an explicit "no read-ahead"
+        EngineConfig::builder().prefetch_depth(0).build().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_malformed_peers() {
+        for bad in ["127.0.0.1", "127.0.0.1:port", ":7000", "host:"] {
+            let err = EngineConfig::builder()
+                .peers(vec![bad.to_string(), "127.0.0.1:7001".into()])
+                .build()
+                .unwrap_err();
+            assert!(err.contains("host:port"), "{bad}: {err}");
+        }
+        let cfg = EngineConfig::builder()
+            .peers(vec!["127.0.0.1:7000".into(), "node1:7000".into()])
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nodes, 2, "peer list sets the node count");
+    }
+
+    #[test]
+    fn from_env_overrides_is_builder_style() {
+        // no DFO_* vars set in the test environment: the config round-trips
+        let cfg = EngineConfig::for_test(2);
+        let cfg2 = cfg.clone().from_env_overrides();
+        assert_eq!(cfg.nodes, cfg2.nodes);
+        assert_eq!(cfg.chunk_cache_bytes, cfg2.chunk_cache_bytes);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub enum DfoError {
     /// A node program panicked (a bug in user code, not a mesh failure):
     /// deterministic, so never retried by supervised recovery.
     Panic(String),
+    /// The job was cancelled cooperatively: every rank observed the cancel
+    /// token at the same `Process`-call boundary and unwound together, so
+    /// on-disk array state is the consistent state of the last committed
+    /// call. Never retried.
+    Cancelled(String),
     /// A supervised run (or its supervisor) recovered from mesh failures
     /// until the restart budget ran out; `last` is the failure that broke
     /// the camel's back.
@@ -52,6 +57,7 @@ impl fmt::Display for DfoError {
             DfoError::Handshake(m) => write!(f, "cluster bootstrap failed: {m}"),
             DfoError::NoCheckpoint(m) => write!(f, "no checkpoint available: {m}"),
             DfoError::Panic(m) => write!(f, "node program panicked: {m}"),
+            DfoError::Cancelled(m) => write!(f, "job cancelled: {m}"),
             DfoError::RestartsExhausted { attempts, last } => {
                 write!(f, "restart budget exhausted after {attempts} recoveries: {last}")
             }

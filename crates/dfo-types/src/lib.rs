@@ -14,7 +14,9 @@ pub mod pod;
 pub mod stats;
 
 pub use codec::{read_exact_or_eof, read_u32, read_u64, write_u32, write_u64};
-pub use config::{BatchPolicy, CrashPoint, DispatchKind, EngineConfig, ReprKind};
+pub use config::{
+    BatchPolicy, CrashPoint, DispatchKind, EngineConfig, EngineConfigBuilder, ReprKind,
+};
 pub use error::{DfoError, Result};
 pub use ids::{BatchId, PartitionId, Rank, VertexId, VertexRange};
 pub use pod::{

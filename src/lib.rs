@@ -6,6 +6,13 @@
 //!
 //! Re-exports the public API of every workspace crate. See the README for a
 //! quickstart and `DESIGN.md` for the architecture.
+//!
+//! The **service API** is the primary entry point for applications: a
+//! resident [`Service`] holds a catalog of preprocessed graphs and
+//! multiplexes concurrent, cancellable, admission-controlled jobs over
+//! them — see the [`service`] module docs and the README's "Service mode"
+//! section. Batch mode (`core::Cluster::run` with the `algos` free
+//! functions) remains fully supported for single-job programs and tests.
 
 pub use dfo_algos as algos;
 pub use dfo_baselines as baselines;
@@ -13,5 +20,12 @@ pub use dfo_core as core;
 pub use dfo_graph as graph;
 pub use dfo_net as net;
 pub use dfo_part as part;
+pub use dfo_service as service;
 pub use dfo_storage as storage;
 pub use dfo_types as types;
+
+// Service-mode vocabulary at the crate root, so `use dfograph::{Service,
+// JobSpec}` is all an application needs.
+pub use dfo_service::{
+    CatalogEntry, JobHandle, JobParams, JobPhase, JobReport, JobSpec, JobStatus, Service,
+};
