@@ -67,6 +67,28 @@ fn bench_chunk_cache(c: &mut Criterion) {
 
     let cold = run(0);
     let warm = run(1 << 30);
+
+    // wall-time percentiles over repeated warm runs, through the same
+    // dfo-obs histogram machinery the engine exports (warn-only in the
+    // gate — CI wall-clock is noise, but the spread is worth seeing)
+    const WALL_SAMPLES: usize = 7;
+    let wall_hist = dfo_obs::Registry::new().histogram(
+        "bench_wall_seconds",
+        "micro_chunkcache fits-all wall time",
+        &[],
+        dfo_obs::DURATION_BUCKETS,
+    );
+    wall_hist.observe(warm.wall_secs);
+    for _ in 1..WALL_SAMPLES {
+        wall_hist.observe(run(1 << 30).wall_secs);
+    }
+    let snap = wall_hist.snapshot();
+    let (p50, p99) = (snap.quantile(0.5).unwrap_or(0.0), snap.quantile(0.99).unwrap_or(0.0));
+    println!(
+        "fits-all wall percentiles over {WALL_SAMPLES} runs: p50={:.1}ms p99={:.1}ms",
+        p50 * 1e3,
+        p99 * 1e3
+    );
     for (name, r) in [("budget 0", &cold), ("fits-all", &warm)] {
         let iters: Vec<String> = r.per_iter_read.iter().map(|&b| fmt_bytes(b)).collect();
         let logical: Vec<String> = r.per_iter_logical.iter().map(|&b| fmt_bytes(b)).collect();
@@ -107,7 +129,7 @@ fn bench_chunk_cache(c: &mut Criterion) {
          \"logical_read_bytes_per_iter\":{:?},\"total_logical_read_bytes\":{}}},\
          \"fits_all\":{{\"wall_secs\":{:.3},\"read_bytes_per_iter\":{:?},\"total_read_bytes\":{},\
          \"logical_read_bytes_per_iter\":{:?},\"total_logical_read_bytes\":{},\
-         \"cache_hits\":{}}}}}",
+         \"cache_hits\":{},\"wall_ms_p50\":{:.1},\"wall_ms_p99\":{:.1}}}}}",
         cold.wall_secs,
         cold.per_iter_read,
         total(&cold),
@@ -118,7 +140,9 @@ fn bench_chunk_cache(c: &mut Criterion) {
         total(&warm),
         warm.per_iter_logical,
         total_logical(&warm),
-        warm.cache_hits
+        warm.cache_hits,
+        p50 * 1e3,
+        p99 * 1e3
     );
 
     let mut group = c.benchmark_group("chunk_cache");

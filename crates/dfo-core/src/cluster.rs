@@ -3,7 +3,8 @@
 
 use crate::node::NodeCtx;
 use dfo_graph::edge::EdgeList;
-use dfo_net::{NetStats, SimCluster, TcpCluster, TcpOpts};
+use dfo_net::{NetStats, NetTotals, SimCluster, TcpCluster, TcpOpts};
+use dfo_obs::{FlightRecorder, Registry, SpanRecord, Telemetry};
 use dfo_part::plan::Plan;
 use dfo_part::preprocess::preprocess;
 use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
@@ -47,30 +48,185 @@ pub struct Cluster {
     last_net: Mutex<Vec<Arc<NetStats>>>,
     /// Checkpoint-restart counters of the most recent supervised run.
     recovery: Mutex<RecoveryStats>,
+    /// Metrics registry every run on this cluster feeds; shareable across
+    /// clusters via [`Cluster::create_with_registry`].
+    registry: Arc<Registry>,
+    /// Extra base labels (e.g. `graph`) on every series this cluster emits.
+    labels: Vec<(String, String)>,
+    /// Per-rank network totals, folded in at the end of **every** run and
+    /// distributed attempt. Endpoints live one run (a supervised restart
+    /// builds a fresh one), so these accumulators — not
+    /// [`Cluster::net_stats`] — are what survives endpoint churn.
+    net_accum: Arc<Mutex<Vec<NetTotals>>>,
 }
 
 impl Cluster {
     /// Creates (or reopens) a cluster. Disk bandwidth throttles and traffic
-    /// recording follow the config.
+    /// recording follow the config. The cluster gets its own private
+    /// metrics registry; use [`Cluster::create_with_registry`] to share one.
     pub fn create(cfg: EngineConfig, base: impl Into<PathBuf>) -> Result<Self> {
+        Self::create_with_registry(cfg, base, Registry::new(), &[])
+    }
+
+    /// Like [`Cluster::create`] but feeding an externally owned metrics
+    /// [`Registry`], with `labels` (e.g. `[("graph", "wiki")]`) attached to
+    /// every series — how a service scrapes several resident graphs from
+    /// one endpoint. Registers pull sources for the per-rank disk,
+    /// chunk-cache and accumulated network counters; run-time telemetry
+    /// (phase histograms, collective latencies) lands in the same registry.
+    pub fn create_with_registry(
+        cfg: EngineConfig,
+        base: impl Into<PathBuf>,
+        registry: Arc<Registry>,
+        labels: &[(&str, &str)],
+    ) -> Result<Self> {
         cfg.validate().map_err(DfoError::Config)?;
         let base = base.into();
         let disks = (0..cfg.nodes)
             .map(|i| NodeDisk::new(base.join(format!("n{i}")), cfg.disk_bw, cfg.record_traffic))
             .collect::<Result<Vec<_>>>()?;
-        let chunk_caches = if cfg.chunk_cache_bytes > 0 {
+        let chunk_caches: Vec<Arc<ChunkCache>> = if cfg.chunk_cache_bytes > 0 {
             (0..cfg.nodes).map(|_| Arc::new(ChunkCache::new(cfg.chunk_cache_bytes))).collect()
         } else {
             Vec::new()
         };
-        Ok(Self {
+        let net_accum = Arc::new(Mutex::new(vec![NetTotals::default(); cfg.nodes]));
+        let this = Self {
             cfg,
             base,
             disks,
             chunk_caches,
             last_net: Mutex::new(Vec::new()),
             recovery: Mutex::new(RecoveryStats::default()),
-        })
+            registry,
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            net_accum,
+        };
+        this.register_sources();
+        Ok(this)
+    }
+
+    /// Registers the pull-model sources that expose the cluster's existing
+    /// atomic stats surfaces through the registry: sampled only at scrape
+    /// time, so the engine's hot paths pay nothing.
+    fn register_sources(&self) {
+        let disks = self.disks.clone();
+        let caches = self.chunk_caches.clone();
+        let accum = self.net_accum.clone();
+        let base = self.labels.clone();
+        self.registry.register_source(Box::new(move |buf| {
+            let with_rank = |rank: &str| -> Vec<(String, String)> {
+                let mut l = base.clone();
+                l.push(("rank".into(), rank.into()));
+                l
+            };
+            for (rank, d) in disks.iter().enumerate() {
+                let rank = rank.to_string();
+                let owned = with_rank(&rank);
+                let l: Vec<(&str, &str)> =
+                    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let s = d.stats();
+                buf.counter(
+                    "dfo_disk_read_bytes_total",
+                    "Physical disk bytes read",
+                    &l,
+                    s.read_bytes.get(),
+                );
+                buf.counter(
+                    "dfo_disk_write_bytes_total",
+                    "Physical disk bytes written",
+                    &l,
+                    s.write_bytes.get(),
+                );
+                buf.counter(
+                    "dfo_disk_read_nanos_total",
+                    "Wall nanoseconds inside disk reads (op + throttle)",
+                    &l,
+                    s.read_nanos.get(),
+                );
+                buf.counter(
+                    "dfo_disk_write_nanos_total",
+                    "Wall nanoseconds inside disk writes (op + throttle)",
+                    &l,
+                    s.write_nanos.get(),
+                );
+                buf.counter(
+                    "dfo_chunk_encode_nanos_total",
+                    "Wall nanoseconds LZ4-encoding chunk frames",
+                    &l,
+                    s.encode_nanos.get(),
+                );
+                buf.counter(
+                    "dfo_chunk_decode_nanos_total",
+                    "Wall nanoseconds decoding/checksumming chunk frames",
+                    &l,
+                    s.decode_nanos.get(),
+                );
+            }
+            for (rank, c) in caches.iter().enumerate() {
+                let rank = rank.to_string();
+                let owned = with_rank(&rank);
+                let l: Vec<(&str, &str)> =
+                    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let s = c.stats();
+                buf.counter("dfo_chunk_cache_hits_total", "Decoded-chunk cache hits", &l, s.hits);
+                buf.counter(
+                    "dfo_chunk_cache_misses_total",
+                    "Decoded-chunk cache misses",
+                    &l,
+                    s.misses,
+                );
+                buf.counter(
+                    "dfo_chunk_cache_evicted_bytes_total",
+                    "Decoded bytes evicted to stay in budget",
+                    &l,
+                    s.evicted_bytes,
+                );
+                buf.gauge(
+                    "dfo_chunk_cache_resident_bytes",
+                    "Decoded bytes currently resident",
+                    &l,
+                    s.resident_bytes as f64,
+                );
+            }
+            for (rank, t) in accum.lock().iter().enumerate() {
+                let rank = rank.to_string();
+                let owned = with_rank(&rank);
+                let l: Vec<(&str, &str)> =
+                    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                buf.counter(
+                    "dfo_net_sent_bytes_total",
+                    "Wire bytes sent, accumulated across runs and restarts",
+                    &l,
+                    t.sent_bytes,
+                );
+                buf.counter(
+                    "dfo_net_recv_bytes_total",
+                    "Wire bytes received, accumulated across runs and restarts",
+                    &l,
+                    t.recv_bytes,
+                );
+                buf.counter(
+                    "dfo_net_sent_frames_total",
+                    "Frames sent, accumulated across runs and restarts",
+                    &l,
+                    t.sent_frames,
+                );
+            }
+        }));
+    }
+
+    /// Builds the telemetry context one rank's [`NodeCtx`] runs under.
+    fn rank_telemetry(&self, rank: Rank, recorder: Option<&Arc<FlightRecorder>>) -> Telemetry {
+        let mut tele = Telemetry::new(self.registry.clone());
+        for (k, v) in &self.labels {
+            tele = tele.with_label(k, v);
+        }
+        tele = tele.with_label("rank", &rank.to_string());
+        if let Some(rec) = recorder {
+            tele = tele.with_tracer(rec.clone());
+        }
+        tele
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -136,6 +292,11 @@ impl Cluster {
     {
         let endpoints = SimCluster::build(self.cfg.nodes, self.cfg.net_bw, self.cfg.record_traffic);
         *self.last_net.lock() = endpoints.iter().map(|e| e.stats_arc()).collect();
+        // one flight recorder per rank when tracing; merged into one
+        // timeline file after the run
+        let recorders: Option<Vec<Arc<FlightRecorder>>> = self.cfg.trace_path.as_ref().map(|_| {
+            (0..self.cfg.nodes).map(|_| FlightRecorder::new(self.cfg.trace_capacity)).collect()
+        });
         let mut results: Vec<Option<Result<T>>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -145,6 +306,7 @@ impl Cluster {
                     let disk = self.disks[rank].clone();
                     let cfg = self.cfg.clone();
                     let cache = self.chunk_caches.get(rank).cloned();
+                    let tele = self.rank_telemetry(rank, recorders.as_ref().map(|r| &r[rank]));
                     let f = &f;
                     s.spawn(move || -> Result<T> {
                         let scratch = match scratch_sub {
@@ -152,6 +314,7 @@ impl Cluster {
                             None => disk.clone(),
                         };
                         let mut ctx = NodeCtx::with_disks(rank, cfg, disk, scratch, ep, cache)?;
+                        ctx.set_telemetry(tele);
                         let res =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match res {
@@ -177,6 +340,21 @@ impl Cluster {
                 })));
             }
         });
+        // satellite telemetry work happens after the run and never fails it
+        {
+            let stats = self.last_net.lock();
+            let mut acc = self.net_accum.lock();
+            for (rank, s) in stats.iter().enumerate() {
+                acc[rank].add_stats(s);
+            }
+        }
+        if let (Some(path), Some(recs)) = (self.cfg.trace_path.as_deref(), recorders.as_ref()) {
+            let ranks: Vec<(usize, Vec<SpanRecord>)> =
+                recs.iter().enumerate().map(|(r, fr)| (r, fr.snapshot())).collect();
+            if let Err(e) = dfo_obs::write_trace_file(std::path::Path::new(path), &ranks) {
+                eprintln!("[dfo] warning: writing trace file {path}: {e}");
+            }
+        }
         results.into_iter().map(|r| r.unwrap()).collect()
     }
 
@@ -283,7 +461,10 @@ impl Cluster {
             self.cfg.record_traffic,
             TcpOpts { connect_timeout: Duration::from_secs(self.cfg.connect_timeout_secs), epoch },
         )?;
-        *self.last_net.lock() = vec![ep.stats_arc()];
+        let stats = ep.stats_arc();
+        *self.last_net.lock() = vec![stats.clone()];
+        let recorder =
+            self.cfg.trace_path.as_ref().map(|_| FlightRecorder::new(self.cfg.trace_capacity));
         let mut ctx = NodeCtx::with_chunk_cache(
             rank,
             self.cfg.clone(),
@@ -291,12 +472,21 @@ impl Cluster {
             ep,
             self.chunk_caches.get(rank).cloned(),
         )?;
+        ctx.set_telemetry(self.rank_telemetry(rank, recorder.as_ref()));
         // multi-process deployment: an injected crash must kill the whole
         // OS process (like a SIGKILL), not just unwind one thread
         ctx.crash_abort = true;
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
-        match res {
-            Ok(Ok(v)) => Ok(v),
+        let out = match res {
+            Ok(Ok(v)) => {
+                // collective: every rank ships its spans to rank 0, which
+                // writes the merged timeline. cfg.trace_path is part of the
+                // replicated config, so either all ranks enter or none do.
+                if let Some(rec) = &recorder {
+                    self.flush_distributed_trace(&mut ctx, rec);
+                }
+                Ok(v)
+            }
             Ok(Err(e)) => {
                 ctx.net().poison_collective();
                 Err(e)
@@ -305,6 +495,41 @@ impl Cluster {
                 ctx.net().poison_collective();
                 Err(panic_to_error(panic, rank))
             }
+        };
+        // fold after the trace gather so its frames are counted too
+        self.net_accum.lock()[rank].add_stats(&stats);
+        out
+    }
+
+    /// Gathers every rank's trace spans to rank 0 over the mesh and writes
+    /// the merged timeline. Telemetry never fails the job: every error path
+    /// warns on stderr and returns.
+    fn flush_distributed_trace(&self, ctx: &mut NodeCtx, recorder: &Arc<FlightRecorder>) {
+        let Some(path) = self.cfg.trace_path.as_deref() else { return };
+        let mut out = vec![Vec::new(); self.cfg.nodes];
+        out[0] = dfo_obs::encode_spans(&recorder.snapshot());
+        match ctx.exchange_bytes(out) {
+            Ok(incoming) => {
+                if ctx.rank() != 0 {
+                    return;
+                }
+                let mut ranks: Vec<(usize, Vec<SpanRecord>)> = Vec::new();
+                for (r, bytes) in incoming.into_iter().enumerate() {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    match dfo_obs::decode_spans(&bytes) {
+                        Ok(spans) => ranks.push((r, spans)),
+                        Err(e) => {
+                            eprintln!("[dfo] warning: rank {r} trace spans undecodable: {e}")
+                        }
+                    }
+                }
+                if let Err(e) = dfo_obs::write_trace_file(std::path::Path::new(path), &ranks) {
+                    eprintln!("[dfo] warning: writing trace file {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("[dfo] warning: gathering trace spans: {e}"),
         }
     }
 
@@ -333,9 +558,25 @@ impl Cluster {
         self.last_net.lock().iter().map(|s| s.sent_bytes.get()).sum()
     }
 
-    /// Per-node network stats of the most recent `run`.
+    /// Per-node network stats of the **most recent** `run` (or distributed
+    /// attempt — one entry, this rank's). Endpoints live one run, so these
+    /// zero at every run/restart boundary; use [`Cluster::net_totals`] for
+    /// telemetry that survives endpoint churn.
     pub fn net_stats(&self) -> Vec<Arc<NetStats>> {
         self.last_net.lock().clone()
+    }
+
+    /// Per-rank network totals accumulated at the end of every run and
+    /// every distributed attempt (supervised restarts included). In
+    /// distributed mode only this process's own rank entry moves.
+    pub fn net_totals(&self) -> Vec<NetTotals> {
+        self.net_accum.lock().clone()
+    }
+
+    /// The metrics registry every run on this cluster feeds (shared with
+    /// the owner when built via [`Cluster::create_with_registry`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Per-rank chunk-cache counters; empty when the cache is disabled

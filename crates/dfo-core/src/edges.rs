@@ -97,6 +97,10 @@ impl NodeCtx {
             std::any::type_name::<E>()
         );
         self.check_cancelled()?;
+        let _call_span = self.obs_span("process_edges", "call");
+        if let Some(o) = &self.obs {
+            o.edges_calls.inc();
+        }
         let seq = self.call_seq;
         self.call_seq += 1;
         let rank = self.rank;
@@ -130,6 +134,8 @@ impl NodeCtx {
         self.cache_misses.store(0, Ordering::Relaxed);
 
         // ---------------- phase 1: generating --------------------------------
+        let t_gen = std::time::Instant::now();
+        let gen_span = self.obs_span("phase1_generate", "phase");
         let gen_counts: Vec<AtomicU64> = (0..b_count).map(|_| AtomicU64::new(0)).collect();
         {
             let next = AtomicUsize::new(0);
@@ -162,10 +168,16 @@ impl NodeCtx {
                 return Err(e);
             }
         }
+        drop(gen_span);
+        let gen_elapsed = t_gen.elapsed();
         let m_total: u64 = gen_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         stats.messages_generated = m_total;
         stats.generate_disk_read = disk_stats.read_bytes.get() - r0;
         stats.generate_disk_write = disk_stats.write_bytes.get() - w0;
+        stats.generate_nanos = gen_elapsed.as_nanos() as u64;
+        if let Some(o) = &self.obs {
+            o.phase_secs[0].observe(gen_elapsed.as_secs_f64());
+        }
 
         // ---------------- phases 2+3: passing & dispatching ------------------
         let call = CallStats::default();
@@ -175,6 +187,11 @@ impl NodeCtx {
         let none_counts: Vec<AtomicU64> = (0..p_nodes).map(|_| AtomicU64::new(0)).collect();
         let net_sent0 = self.net.stats().sent_bytes.get();
         let net_recv0 = self.net.stats().recv_bytes.get();
+        let t_dispatch = std::time::Instant::now();
+        let dispatch_span = self.obs_span("phase3_dispatch", "phase");
+        // phase-2 wall time, measured on the sender thread (the phases
+        // overlap, so the main thread's window can't see it)
+        let pass_nanos = AtomicU64::new(0);
 
         {
             let err: Mutex<Option<DfoError>> = Mutex::new(None);
@@ -184,11 +201,18 @@ impl NodeCtx {
             std::thread::scope(|s| {
                 // sender: round-robin over peers (§4.4)
                 s.spawn(|| {
+                    let t_pass = std::time::Instant::now();
+                    let _pass_span = self.obs_span("phase2_pass", "phase");
                     for j in self.cfg.send_order(rank) {
                         if let Err(e) = self.send_to::<M>(j, seq, m_total, &gen_counts, &call) {
                             record_err(e);
-                            return;
+                            break;
                         }
+                    }
+                    let el = t_pass.elapsed();
+                    pass_nanos.store(el.as_nanos() as u64, Ordering::Relaxed);
+                    if let Some(o) = &self.obs {
+                        o.phase_secs[1].observe(el.as_secs_f64());
                     }
                 });
                 // self-dispatch: the node's own messages never touch the wire
@@ -226,14 +250,23 @@ impl NodeCtx {
                 return Err(e);
             }
         }
+        drop(dispatch_span);
+        let dispatch_elapsed = t_dispatch.elapsed();
         stats.pass_net_sent = self.net.stats().sent_bytes.get() - net_sent0;
         stats.dispatch_net_recv = self.net.stats().recv_bytes.get() - net_recv0;
         stats.pass_disk_read = call.pass_disk_read.load(Ordering::Relaxed);
         stats.dispatch_disk_read = call.dispatch_disk_read.load(Ordering::Relaxed);
         stats.dispatch_disk_write = call.dispatch_disk_write.load(Ordering::Relaxed);
         stats.messages_sent = call.messages_sent.load(Ordering::Relaxed);
+        stats.pass_nanos = pass_nanos.load(Ordering::Relaxed);
+        stats.dispatch_nanos = dispatch_elapsed.as_nanos() as u64;
+        if let Some(o) = &self.obs {
+            o.phase_secs[2].observe(dispatch_elapsed.as_secs_f64());
+        }
 
         // ---------------- phase 4: processing --------------------------------
+        let t_proc = std::time::Instant::now();
+        let proc_span = self.obs_span("phase4_process", "phase");
         let (r1, w1) = (disk_stats.read_bytes.get(), disk_stats.write_bytes.get());
         // read-ahead: background threads decode the next batches' chunks
         // into the cache while `slot` runs over the current one
@@ -284,6 +317,12 @@ impl NodeCtx {
         // join the prefetch threads before sampling counters so their reads
         // land deterministically in the processing window
         drop(prefetcher);
+        drop(proc_span);
+        let proc_elapsed = t_proc.elapsed();
+        stats.process_nanos = proc_elapsed.as_nanos() as u64;
+        if let Some(o) = &self.obs {
+            o.phase_secs[3].observe(proc_elapsed.as_secs_f64());
+        }
         stats.process_disk_read = disk_stats.read_bytes.get() - r1;
         stats.process_disk_write = disk_stats.write_bytes.get() - w1;
         // whole-call logical (pre-compression) totals; the per-phase fields
@@ -758,7 +797,7 @@ impl NodeCtx {
             IndexedChunk::read_from(&mut r, Some(want))
         };
         let Some(cache) = &self.chunk_cache else {
-            return Ok(Arc::new(read()?));
+            return Ok(Arc::new(self.timed_chunk_read(read)?));
         };
         let key = ChunkKey { partition: p, batch: Some(b), repr: Some(want) };
         if let Some(v) = cache.lookup(&key) {
@@ -766,7 +805,7 @@ impl NodeCtx {
             return Ok(v.downcast::<IndexedChunk<E>>().expect("chunk cache holds IndexedChunk<E>"));
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let chunk = Arc::new(read()?);
+        let chunk = Arc::new(self.timed_chunk_read(read)?);
         let bytes = chunk.decoded_bytes();
         let value: CachedValue = chunk.clone();
         cache.insert(key, value, bytes);
@@ -781,7 +820,7 @@ impl NodeCtx {
             IndexedChunk::read_from(&mut r, Some(want))
         };
         let Some(cache) = &self.chunk_cache else {
-            return Ok(Arc::new(read()?));
+            return Ok(Arc::new(self.timed_chunk_read(read)?));
         };
         let key = ChunkKey { partition: p, batch: None, repr: Some(want) };
         if let Some(v) = cache.lookup(&key) {
@@ -791,7 +830,7 @@ impl NodeCtx {
                 .expect("dispatch cache holds IndexedChunk<()>"));
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let dg = Arc::new(read()?);
+        let dg = Arc::new(self.timed_chunk_read(read)?);
         let bytes = dg.decoded_bytes();
         let value: CachedValue = dg.clone();
         cache.insert(key, value, bytes);

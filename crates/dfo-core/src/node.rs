@@ -14,6 +14,24 @@ use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId}
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Telemetry state of one context: the handle itself plus the histograms
+/// the hot paths observe, resolved once in [`NodeCtx::set_telemetry`] so
+/// per-call instrumentation never takes the registry lock.
+pub(crate) struct NodeObs {
+    pub(crate) tele: dfo_obs::Telemetry,
+    /// `dfo_phase_seconds{phase=…}`, indexed generate/pass/dispatch/process.
+    pub(crate) phase_secs: [Arc<dfo_obs::ObsHistogram>; 4],
+    /// `dfo_chunk_load_seconds`: full chunk / dispatch-graph loads on a
+    /// cache miss (read + decode + index build).
+    pub(crate) chunk_load_secs: Arc<dfo_obs::ObsHistogram>,
+    /// `dfo_ckpt_commit_seconds`: epoch commits when checkpointing is on.
+    pub(crate) ckpt_commit_secs: Arc<dfo_obs::ObsHistogram>,
+    /// `dfo_process_calls_total{kind=edges|vertices}`.
+    pub(crate) edges_calls: Arc<dfo_obs::ObsCounter>,
+    pub(crate) vertices_calls: Arc<dfo_obs::ObsCounter>,
+}
 
 pub struct NodeCtx {
     pub(crate) rank: Rank,
@@ -62,6 +80,10 @@ pub struct NodeCtx {
     /// Sum of every `ProcessEdges` call's [`PhaseStats`] over this
     /// context's lifetime — the per-job totals a service reports.
     pub(crate) job_stats: PhaseStats,
+    /// Metrics + tracing context; `None` (contexts built outside a
+    /// telemetry-wired [`crate::Cluster`]) costs one branch per
+    /// instrumentation point and nothing else.
+    pub(crate) obs: Option<NodeObs>,
 }
 
 impl NodeCtx {
@@ -126,7 +148,71 @@ impl NodeCtx {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             job_stats: PhaseStats::default(),
+            obs: None,
         })
+    }
+
+    /// Attaches a telemetry context: pre-resolves the histograms the engine
+    /// observes (phase durations, chunk loads, checkpoint commits) under the
+    /// context's base labels, wires the network endpoint's collective
+    /// instrumentation, and — when the context carries a tracer — starts
+    /// recording spans for every `Process` call, pipeline phase, collective
+    /// and chunk load on this rank.
+    pub fn set_telemetry(&mut self, tele: dfo_obs::Telemetry) {
+        self.net.set_telemetry(tele.clone());
+        let phase = |p: &str| {
+            tele.duration_histogram(
+                "dfo_phase_seconds",
+                "Wall time of one ProcessEdges pipeline phase on one rank",
+                &[("phase", p)],
+            )
+        };
+        self.obs = Some(NodeObs {
+            phase_secs: [phase("generate"), phase("pass"), phase("dispatch"), phase("process")],
+            chunk_load_secs: tele.duration_histogram(
+                "dfo_chunk_load_seconds",
+                "Full edge-chunk / dispatch-graph loads (read + decode + index)",
+                &[],
+            ),
+            ckpt_commit_secs: tele.duration_histogram(
+                "dfo_ckpt_commit_seconds",
+                "Checkpoint epoch commits at Process-call boundaries",
+                &[],
+            ),
+            edges_calls: tele.counter(
+                "dfo_process_calls_total",
+                "Process calls started on this rank",
+                &[("kind", "edges")],
+            ),
+            vertices_calls: tele.counter(
+                "dfo_process_calls_total",
+                "Process calls started on this rank",
+                &[("kind", "vertices")],
+            ),
+            tele,
+        });
+    }
+
+    /// The telemetry context this node runs under (disabled default).
+    pub fn telemetry(&self) -> dfo_obs::Telemetry {
+        self.obs.as_ref().map(|o| o.tele.clone()).unwrap_or_default()
+    }
+
+    /// Opens a span if a tracer is attached; one branch otherwise.
+    #[inline]
+    pub(crate) fn obs_span(&self, name: &'static str, cat: &'static str) -> Option<dfo_obs::Span> {
+        self.obs.as_ref().and_then(|o| o.tele.span(name, cat))
+    }
+
+    /// Runs a chunk/dispatch-graph load under the chunk-load histogram and
+    /// a `storage` span; calls `f` directly when telemetry is off.
+    pub(crate) fn timed_chunk_read<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let Some(o) = &self.obs else { return f() };
+        let _sp = o.tele.span("chunk_load", "storage");
+        let t0 = Instant::now();
+        let out = f();
+        o.chunk_load_secs.observe_duration(t0.elapsed());
+        out
     }
 
     pub fn rank(&self) -> Rank {
@@ -285,8 +371,14 @@ impl NodeCtx {
     /// state after call `k - 1` on every array.
     pub(crate) fn commit_epochs(&self, entries: &[Arc<ArrayEntry>]) -> Result<()> {
         self.crash_if_scheduled();
+        let observing = self.cfg.checkpointing && self.obs.is_some();
+        let _sp = if observing { self.obs_span("ckpt_commit", "ckpt") } else { None };
+        let t0 = observing.then(Instant::now);
         for e in entries {
             e.commit()?;
+        }
+        if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            o.ckpt_commit_secs.observe_duration(t0.elapsed());
         }
         self.calls_committed.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -355,6 +447,10 @@ impl NodeCtx {
         work: impl Fn(VertexId, &mut BatchCtx) -> A + Sync,
     ) -> Result<A> {
         self.check_cancelled()?;
+        let _call_span = self.obs_span("process_vertices", "call");
+        if let Some(o) = &self.obs {
+            o.vertices_calls.inc();
+        }
         let entries = self.entries(arrays);
         let active_entry = active.map(|a| self.entries(&[a.name()]).remove(0));
         // open one epoch over everything this call may write
@@ -454,6 +550,27 @@ impl NodeCtx {
         }
         incoming[rank] = own;
         Ok(incoming)
+    }
+
+    /// **Collective** metrics gather: every rank snapshots its registry and
+    /// ships the encoding to rank 0 over the mesh; rank 0 merges them into
+    /// one cluster-wide [`dfo_obs::Snapshot`] (per-rank series stay distinct
+    /// through their `rank` label). Returns `Some(merged)` on rank 0,
+    /// `None` elsewhere. Like every collective, all ranks must call it at
+    /// the same point or none may.
+    pub fn gather_metrics(&mut self) -> Result<Option<dfo_obs::Snapshot>> {
+        let snap = self.telemetry().registry.snapshot();
+        let mut out = vec![Vec::new(); self.cfg.nodes];
+        out[0] = snap.encode();
+        let incoming = self.exchange_bytes(out)?;
+        if self.rank != 0 {
+            return Ok(None);
+        }
+        let mut merged = dfo_obs::Snapshot::default();
+        for bytes in incoming.iter().filter(|b| !b.is_empty()) {
+            merged.merge_from(&dfo_obs::Snapshot::decode(bytes)?);
+        }
+        Ok(Some(merged))
     }
 
     fn run_vertex_batch<A: Accum>(

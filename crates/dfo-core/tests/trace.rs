@@ -1,0 +1,177 @@
+//! Flight-recorder tracing through the engine: a traced 2-node run writes
+//! one merged timeline with all four pipeline phases on every rank, span
+//! nesting is well-formed per (pid, tid), and network telemetry
+//! accumulates across runs instead of resetting (the supervised-restart
+//! regression).
+
+use dfo_core::Cluster;
+use dfo_graph::edge::EdgeList;
+use dfo_graph::gen::{rmat, GenConfig};
+use dfo_types::{BatchPolicy, EngineConfig};
+use tempfile::TempDir;
+
+fn cfg(nodes: usize) -> EngineConfig {
+    let mut c = EngineConfig::for_test(nodes);
+    c.batch_policy = BatchPolicy::FixedVertices(64);
+    c
+}
+
+fn graph() -> EdgeList<()> {
+    rmat(GenConfig::new(9, 6, 5))
+}
+
+/// One accumulate-in-degrees iteration per call (PageRank-shaped push).
+fn run_once(cluster: &Cluster, iters: usize) {
+    cluster
+        .run(|ctx| {
+            let acc = ctx.vertex_array::<u64>("acc")?;
+            for _ in 0..iters {
+                let a = acc.clone();
+                ctx.process_edges(
+                    &[],
+                    &["acc"],
+                    None,
+                    |_v, _c| Some(1u64),
+                    move |m: u64, _s, d, _e: &(), cx| {
+                        let cur = cx.get(&a, d);
+                        cx.set(&a, d, cur + m);
+                        0u64
+                    },
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// A traced sim-cluster run produces a Chrome trace holding all four
+/// pipeline phases for **both** ranks, plus the call-level span, and every
+/// (pid, tid) lane is well-formed: sorted by start, and any two spans on a
+/// lane either nest or are disjoint.
+#[test]
+fn two_rank_trace_covers_all_phases_and_nests() {
+    let td = TempDir::new().unwrap();
+    let trace_path = td.path().join("run.trace.json");
+    let mut c = cfg(2);
+    c.trace_path = Some(trace_path.to_string_lossy().into_owned());
+
+    let cluster = Cluster::create(c, td.path().join("data")).unwrap();
+    cluster.preprocess(&graph()).unwrap();
+    run_once(&cluster, 2);
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let events = dfo_obs::parse_trace(&text).expect("trace file parses");
+    let mut pids: Vec<u64> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids, [0, 1], "merged timeline must carry both ranks: {pids:?}");
+
+    for pid in pids {
+        let spans: Vec<_> = events.iter().filter(|e| e.pid == pid).collect();
+        assert!(!spans.is_empty(), "rank {pid} recorded no spans");
+        for phase in
+            ["phase1_generate", "phase2_pass", "phase3_dispatch", "phase4_process", "process_edges"]
+        {
+            assert!(
+                spans.iter().any(|s| s.name == phase),
+                "rank {pid} trace is missing span {phase:?}"
+            );
+        }
+
+        // Per (pid, tid) lane: any two spans either nest or are disjoint.
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let mut lane: Vec<_> = spans.iter().filter(|s| s.tid == tid).collect();
+            lane.sort_by_key(|s| (s.ts_ns, std::cmp::Reverse(s.dur_ns)));
+            for (i, a) in lane.iter().enumerate() {
+                for b in &lane[i + 1..] {
+                    let nested = b.end_ns() <= a.end_ns();
+                    let disjoint = b.ts_ns >= a.end_ns();
+                    assert!(
+                        nested || disjoint,
+                        "rank {pid} tid {tid}: {:?} and {:?} partially overlap",
+                        a.name,
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `net_totals()` accumulates across runs: after a second run every rank's
+/// totals are strictly above the first run's, and the last-run window
+/// (`net_stats()`) stays a per-run view — the exact regression where a
+/// supervised restart zeroed network telemetry.
+#[test]
+fn net_totals_accumulate_across_runs() {
+    let td = TempDir::new().unwrap();
+    let cluster = Cluster::create(cfg(2), td.path()).unwrap();
+    cluster.preprocess(&graph()).unwrap();
+
+    run_once(&cluster, 1);
+    let after_one = cluster.net_totals();
+    let window_one: Vec<u64> = cluster.net_stats().iter().map(|s| s.sent_bytes.get()).collect();
+    assert!(
+        after_one.iter().any(|t| t.sent_bytes > 0),
+        "a 2-rank push run must ship bytes: {after_one:?}"
+    );
+
+    run_once(&cluster, 1);
+    let after_two = cluster.net_totals();
+    let window_two: Vec<u64> = cluster.net_stats().iter().map(|s| s.sent_bytes.get()).collect();
+
+    for (rank, (t1, t2)) in after_one.iter().zip(&after_two).enumerate() {
+        assert!(
+            t2.sent_bytes > t1.sent_bytes,
+            "rank {rank}: totals must grow across runs ({} -> {})",
+            t1.sent_bytes,
+            t2.sent_bytes
+        );
+        assert!(t2.recv_bytes > t1.recv_bytes);
+        assert!(t2.sent_frames > t1.sent_frames);
+    }
+    // identical workloads: the accumulated totals are the sum of the two
+    // per-run windows, byte for byte
+    for (rank, t2) in after_two.iter().enumerate() {
+        assert_eq!(
+            t2.sent_bytes,
+            window_one[rank] + window_two[rank],
+            "rank {rank}: totals must equal the sum of per-run windows"
+        );
+    }
+}
+
+/// The registry's pull sources surface engine counters after a run: disk
+/// bytes, chunk-cache traffic and accumulated network bytes all appear in
+/// a snapshot with the cluster's rank labels.
+#[test]
+fn registry_snapshot_carries_engine_counters() {
+    let td = TempDir::new().unwrap();
+    let registry = dfo_obs::Registry::new();
+    let mut c = cfg(2);
+    c.chunk_cache_bytes = 4 << 20;
+    let cluster =
+        Cluster::create_with_registry(c, td.path(), registry.clone(), &[("graph", "t")]).unwrap();
+    cluster.preprocess(&graph()).unwrap();
+    run_once(&cluster, 3);
+
+    let snap = registry.snapshot();
+    for family in [
+        "dfo_disk_read_bytes_total",
+        "dfo_disk_write_bytes_total",
+        "dfo_chunk_cache_hits_total",
+        "dfo_net_sent_bytes_total",
+    ] {
+        let series = snap.series(family);
+        assert_eq!(series.len(), 2, "{family}: one series per rank, got {}", series.len());
+        let total: u64 = series.iter().filter_map(|s| s.value.as_counter()).sum();
+        assert!(total > 0, "{family} must be non-zero after a cached 3-iteration run");
+        assert!(
+            series.iter().all(|s| s.labels.iter().any(|(k, v)| k == "graph" && v == "t")),
+            "{family} series must carry the graph label"
+        );
+    }
+}

@@ -27,6 +27,15 @@ use std::sync::Arc;
 /// the per-frame header overhead ≪ 1 %.
 pub const STREAM_CHUNK: usize = 256 << 10;
 
+/// Per-peer direction counters inside [`NetStats`]: what this node
+/// exchanged with one specific peer (wire bytes, frames).
+#[derive(Default)]
+pub struct PeerCounters {
+    pub sent_bytes: Counter,
+    pub sent_frames: Counter,
+    pub recv_bytes: Counter,
+}
+
 /// Byte/message counters plus optional traffic time series for one node.
 pub struct NetStats {
     pub sent_bytes: Counter,
@@ -34,16 +43,20 @@ pub struct NetStats {
     pub sent_frames: Counter,
     pub sent_traffic: TrafficRecorder,
     pub recv_traffic: TrafficRecorder,
+    /// Per-peer breakdown, indexed by peer rank (the self entry stays 0 —
+    /// self-sends never touch the endpoint).
+    pub per_peer: Vec<PeerCounters>,
 }
 
 impl NetStats {
-    pub(crate) fn new(record_traffic: bool) -> Self {
+    pub(crate) fn new(p: usize, record_traffic: bool) -> Self {
         Self {
             sent_bytes: Counter::new(),
             recv_bytes: Counter::new(),
             sent_frames: Counter::new(),
             sent_traffic: TrafficRecorder::new(record_traffic),
             recv_traffic: TrafficRecorder::new(record_traffic),
+            per_peer: (0..p).map(|_| PeerCounters::default()).collect(),
         }
     }
 
@@ -53,6 +66,43 @@ impl NetStats {
         self.sent_frames.reset();
         self.sent_traffic.reset();
         self.recv_traffic.reset();
+        for pc in &self.per_peer {
+            pc.sent_bytes.reset();
+            pc.sent_frames.reset();
+            pc.recv_bytes.reset();
+        }
+    }
+
+    /// Current totals in the accumulable [`NetTotals`] form.
+    pub fn totals(&self) -> NetTotals {
+        NetTotals {
+            sent_bytes: self.sent_bytes.get(),
+            recv_bytes: self.recv_bytes.get(),
+            sent_frames: self.sent_frames.get(),
+        }
+    }
+}
+
+/// Plain-value network totals, the accumulable form of [`NetStats`]. An
+/// endpoint lives exactly one run (or one supervised attempt), so an owner
+/// that wants telemetry to survive endpoint churn folds each endpoint's
+/// stats into one of these as the endpoint retires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetTotals {
+    /// Wire bytes sent (frame headers included).
+    pub sent_bytes: u64,
+    /// Wire bytes received.
+    pub recv_bytes: u64,
+    /// Frames sent.
+    pub sent_frames: u64,
+}
+
+impl NetTotals {
+    /// Adds an endpoint's current counters into the totals.
+    pub fn add_stats(&mut self, s: &NetStats) {
+        self.sent_bytes += s.sent_bytes.get();
+        self.recv_bytes += s.recv_bytes.get();
+        self.sent_frames += s.sent_frames.get();
     }
 }
 
@@ -72,6 +122,14 @@ impl SimCluster {
     }
 }
 
+/// Collective-latency instrumentation attached to an [`Endpoint`] by
+/// [`Endpoint::set_telemetry`]: a duration histogram every barrier and
+/// allreduce observes, plus spans when tracing is on.
+struct EndpointObs {
+    telemetry: dfo_obs::Telemetry,
+    collective_seconds: Arc<dfo_obs::ObsHistogram>,
+}
+
 /// One node's connection to the cluster, over either backend.
 pub struct Endpoint {
     rank: Rank,
@@ -80,6 +138,7 @@ pub struct Endpoint {
     ingress: Throttle,
     stats: Arc<NetStats>,
     transport: Box<dyn Transport>,
+    obs: Option<EndpointObs>,
 }
 
 impl Endpoint {
@@ -96,8 +155,36 @@ impl Endpoint {
             p,
             egress: Throttle::from_option(net_bw),
             ingress: Throttle::from_option(net_bw),
-            stats: Arc::new(NetStats::new(record_traffic)),
+            stats: Arc::new(NetStats::new(p, record_traffic)),
             transport,
+            obs: None,
+        }
+    }
+
+    /// Attaches telemetry: collective latencies feed a
+    /// `dfo_net_collective_seconds` histogram under the context's labels,
+    /// and barriers/allreduces open spans when the context traces. Called
+    /// once at setup, before the endpoint crosses into worker threads.
+    pub fn set_telemetry(&mut self, telemetry: dfo_obs::Telemetry) {
+        let collective_seconds = telemetry.duration_histogram(
+            "dfo_net_collective_seconds",
+            "Latency of barriers and allreduces on this rank",
+            &[],
+        );
+        self.obs = Some(EndpointObs { telemetry, collective_seconds });
+    }
+
+    #[inline]
+    fn collective<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        match &self.obs {
+            None => f(),
+            Some(obs) => {
+                let _span = obs.telemetry.span(name, "net");
+                let t0 = std::time::Instant::now();
+                let out = f();
+                obs.collective_seconds.observe_duration(t0.elapsed());
+                out
+            }
         }
     }
 
@@ -129,6 +216,8 @@ impl Endpoint {
         self.stats.sent_bytes.add(wire);
         self.stats.sent_frames.add(1);
         self.stats.sent_traffic.record(wire);
+        self.stats.per_peer[dst].sent_bytes.add(wire);
+        self.stats.per_peer[dst].sent_frames.add(1);
         self.transport.send_frame(dst, frame)
     }
 
@@ -171,9 +260,11 @@ impl Endpoint {
     /// (telling a mesh failure apart from a user-code bug) instead of a
     /// formatted string.
     pub fn barrier(&self) {
-        if let Err(e) = self.transport.barrier() {
-            std::panic::panic_any(e);
-        }
+        self.collective("barrier", || {
+            if let Err(e) = self.transport.barrier() {
+                std::panic::panic_any(e);
+            }
+        })
     }
 
     /// Poisons the cluster collective: peers blocked in barriers abort
@@ -183,10 +274,10 @@ impl Endpoint {
     }
 
     fn allreduce_u64_with(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> u64 {
-        match self.transport.allreduce_u64(v, fold) {
+        self.collective("allreduce_u64", || match self.transport.allreduce_u64(v, fold) {
             Ok(out) => out,
             Err(e) => std::panic::panic_any(e),
-        }
+        })
     }
 
     pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
@@ -194,10 +285,10 @@ impl Endpoint {
     }
 
     pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
-        match self.transport.allreduce_f64(v, &|a, b| a + b) {
+        self.collective("allreduce_f64", || match self.transport.allreduce_f64(v, &|a, b| a + b) {
             Ok(out) => out,
             Err(e) => std::panic::panic_any(e),
-        }
+        })
     }
 
     pub fn allreduce_max_u64(&self, v: u64) -> u64 {
@@ -239,6 +330,7 @@ impl StreamRecv<'_> {
             self.ep.ingress.acquire(wire);
             self.ep.stats.recv_bytes.add(wire);
             self.ep.stats.recv_traffic.record(wire);
+            self.ep.stats.per_peer[self.src].recv_bytes.add(wire);
             if frame.last {
                 self.done = true;
                 if frame.payload.is_empty() {

@@ -27,7 +27,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use collective::Collective;
-pub use endpoint::{Endpoint, NetStats, SimCluster, StreamRecv};
+pub use endpoint::{Endpoint, NetStats, NetTotals, PeerCounters, SimCluster, StreamRecv};
 pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
 pub use sim::SimTransport;
 pub use tcp::{TcpCluster, TcpOpts, TcpTransport};

@@ -1,0 +1,157 @@
+//! Unified telemetry for the DFOGraph workspace.
+//!
+//! Three pieces, designed so the engine's hot paths stay hot:
+//!
+//! * [`registry`] — a lock-cheap metrics [`Registry`] (counters, gauges,
+//!   fixed-bucket histograms, labeled by rank/job/phase). The engine's
+//!   existing atomic stats surfaces feed it through pull
+//!   [sources](Registry::register_source) sampled only when someone
+//!   scrapes, so enabling metrics costs nothing per edge.
+//! * [`trace`] — span tracing into a bounded per-rank [`FlightRecorder`],
+//!   flushed as one merged Chrome `trace_event` / JSONL timeline
+//!   (`DFO_TRACE=<path>`, Perfetto-loadable).
+//! * [`Telemetry`] — the handle the engine threads through `NodeCtx` and
+//!   the network endpoint: a shared registry, an optional tracer, and the
+//!   label context (`rank`, `graph`, …) instrument points attach to their
+//!   series.
+//!
+//! `dfo-service` builds its scrape endpoint on [`Snapshot::to_prometheus`]
+//! and [`Snapshot::to_json`]; [`json`] holds the minimal parser tests and
+//! examples use to validate the rendered output.
+
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    FamilySnap, HistogramSnap, LabelSet, MetricKind, ObsCounter, ObsGauge, ObsHistogram, Registry,
+    SampleBuf, SampleValue, SeriesSnap, Snapshot, Source, DURATION_BUCKETS,
+};
+pub use trace::{
+    chrome_trace_json, current_tid, decode_spans, encode_spans, jsonl_trace, parse_trace,
+    write_trace_file, FlightRecorder, Span, SpanRecord, TraceEvent,
+};
+
+use std::sync::Arc;
+
+/// The telemetry context one engine component runs under: a shared metrics
+/// [`Registry`], an optional span tracer, and the base labels (e.g.
+/// `rank`, `graph`) its series carry. Cloning is cheap (two `Arc`s and a
+/// small label vec); a [`Telemetry::disabled`] handle behaves identically
+/// but records into a registry nobody scrapes and no tracer.
+#[derive(Clone)]
+pub struct Telemetry {
+    /// The metrics registry instrument points feed.
+    pub registry: Arc<Registry>,
+    /// Span recorder; `None` disables tracing entirely.
+    pub tracer: Option<Arc<FlightRecorder>>,
+    /// Base labels attached to every series this context creates.
+    pub labels: Vec<(String, String)>,
+}
+
+impl Telemetry {
+    /// A context around an existing registry, tracing off, no base labels.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self { registry, tracer: None, labels: Vec::new() }
+    }
+
+    /// A no-op context: fresh private registry, no tracer. The uniform
+    /// default, so instrumented code never branches on "telemetry?".
+    pub fn disabled() -> Self {
+        Self::new(Registry::new())
+    }
+
+    /// Returns the context with a span tracer attached.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<FlightRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Returns the context with `(key, value)` appended to its base labels.
+    #[must_use]
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Base labels plus `extra`, in the borrowed form the registry takes.
+    pub fn labels_with<'a>(&'a self, extra: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        let mut v: Vec<(&str, &str)> =
+            self.labels.iter().map(|(k, x)| (k.as_str(), x.as_str())).collect();
+        v.extend_from_slice(extra);
+        v
+    }
+
+    /// Creates/fetches a counter under this context's base labels.
+    pub fn counter(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<ObsCounter> {
+        self.registry.counter(name, help, &self.labels_with(extra))
+    }
+
+    /// Creates/fetches a gauge under this context's base labels.
+    pub fn gauge(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<ObsGauge> {
+        self.registry.gauge(name, help, &self.labels_with(extra))
+    }
+
+    /// Creates/fetches a duration histogram ([`DURATION_BUCKETS`]) under
+    /// this context's base labels.
+    pub fn duration_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        extra: &[(&str, &str)],
+    ) -> Arc<ObsHistogram> {
+        self.registry.histogram(name, help, &self.labels_with(extra), DURATION_BUCKETS)
+    }
+
+    /// Opens a span if tracing is on; `None` costs one branch.
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str) -> Option<Span> {
+        self.tracer.as_ref().map(|t| t.span(name, cat))
+    }
+
+    /// Whether a tracer is attached.
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_still_counts() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_tracing());
+        assert!(t.span("x", "y").is_none());
+        t.counter("c_total", "", &[]).inc();
+        assert_eq!(t.registry.snapshot().get("c_total", &[]).unwrap().as_counter(), Some(1));
+    }
+
+    #[test]
+    fn base_labels_compose_with_extras() {
+        let t = Telemetry::new(Registry::new()).with_label("rank", "2");
+        t.counter("c_total", "", &[("phase", "pass")]).add(5);
+        let snap = t.registry.snapshot();
+        assert_eq!(
+            snap.get("c_total", &[("rank", "2"), ("phase", "pass")]).unwrap().as_counter(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn tracer_attaches() {
+        let fr = FlightRecorder::new(8);
+        let t = Telemetry::disabled().with_tracer(fr.clone());
+        assert!(t.is_tracing());
+        drop(t.span("s", "c"));
+        assert_eq!(fr.len(), 1);
+    }
+}

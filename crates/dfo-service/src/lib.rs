@@ -26,16 +26,25 @@
 //!   other's numbers), and the shared caches' counter deltas over the job's
 //!   wall-clock window.
 //!
+//! * observability: every graph's cluster feeds one shared
+//!   [`dfo_obs::Registry`] (series labeled `graph`/`rank`), jobs add
+//!   per-job cache counters, and `cfg.metrics_addr` (or
+//!   `DFO_METRICS_ADDR`) exposes it all through a [`MetricsServer`] scrape
+//!   endpoint — `GET /metrics` for Prometheus text, `GET /metrics.json`
+//!   for a JSON snapshot.
+//!
 //! Single-node multi-job first: jobs run over the in-process mesh. The
 //! [`JobSpec`] carries no process-local state, so a transport layer can be
 //! put in front of [`Service::submit`] without touching the job model.
 
 mod catalog;
 mod job;
+mod metrics;
 mod service;
 
 pub use catalog::CatalogEntry;
 pub use job::{JobHandle, JobPhase, JobReport, JobSpec, JobStatus};
+pub use metrics::MetricsServer;
 pub use service::Service;
 
 // The vocabulary types a service caller needs, so `dfo_service` (or the

@@ -1,0 +1,184 @@
+//! The scrape endpoint: a minimal hand-rolled HTTP/1.1 responder serving
+//! the service registry as Prometheus text exposition and as JSON.
+//!
+//! Deliberately tiny — blocking std networking, one connection served at a
+//! time, `Connection: close` — because a metrics endpoint sees one scraper
+//! every few seconds, not traffic. No HTTP dependency enters the workspace.
+
+use dfo_obs::Registry;
+use dfo_types::{DfoError, Result};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A background thread serving `GET /metrics` (Prometheus text,
+/// `text/plain; version=0.0.4`) and `GET /metrics.json` (a JSON snapshot)
+/// from a shared [`Registry`]. Bind with port 0 for an ephemeral port; the
+/// bound address is [`MetricsServer::addr`]. Dropping the server stops the
+/// thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (`host:port`; port 0 picks an ephemeral port) and
+    /// starts serving the registry.
+    pub fn spawn(addr: &str, registry: Arc<Registry>) -> Result<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DfoError::io(format!("binding metrics endpoint {addr}"), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| DfoError::io("reading metrics endpoint address", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("dfo-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    // a misbehaving scraper must not wedge the thread
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = serve_one(&mut stream, &registry);
+                }
+            })
+            .map_err(|e| DfoError::io("spawning metrics thread", e))?;
+        Ok(Self { addr, stop, handle: Some(handle) })
+    }
+
+    /// The address the endpoint actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Anything malformed gets
+/// a 400; unknown paths a 404.
+fn serve_one(stream: &mut TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let head = read_head(stream)?;
+    let path = match parse_get_path(&head) {
+        Some(p) => p,
+        None => return respond(stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+    };
+    match path {
+        "/metrics" => {
+            let body = registry.snapshot().to_prometheus();
+            respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/metrics.json" => {
+            let body = registry.snapshot().to_json();
+            respond(stream, 200, "application/json", &body)
+        }
+        _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads until the blank line ending the request head (or 8 KiB, whichever
+/// comes first — headers beyond that are nobody's scrape).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Extracts the path of a `GET <path> HTTP/1.x` request line.
+fn parse_get_path(head: &str) -> Option<&str> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let path = parts.next()?;
+    parts.next()?.starts_with("HTTP/1.").then_some(path)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: \
+         {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let registry = Registry::new();
+        registry.counter("demo_total", "a demo counter", &[("rank", "0")]).add(3);
+        let srv = MetricsServer::spawn("127.0.0.1:0", registry).unwrap();
+        let (head, body) = get(srv.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(body.contains("demo_total{rank=\"0\"} 3"), "body: {body}");
+        let (head, body) = get(srv.addr(), "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = dfo_obs::json::parse(&body).expect("json snapshot parses");
+        assert!(parsed.get("demo_total").is_some(), "json: {body}");
+        let (head, _) = get(srv.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let srv = MetricsServer::spawn("127.0.0.1:0", Registry::new()).unwrap();
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"));
+    }
+}

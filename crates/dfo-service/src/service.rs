@@ -2,12 +2,15 @@
 
 use crate::catalog::{validate_name, CatalogEntry};
 use crate::job::{JobHandle, JobInner, JobReport, JobSpec, State};
+use crate::metrics::MetricsServer;
 use dfo_algos::{check_edge_data, Algorithm};
 use dfo_core::Cluster;
 use dfo_graph::EdgeList;
+use dfo_obs::Registry;
 use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,6 +40,11 @@ pub(crate) struct ServiceInner {
     catalog: Mutex<BTreeMap<String, Arc<CatalogEntry>>>,
     sched: Mutex<Sched>,
     next_id: AtomicU64,
+    /// One registry shared by every loaded graph's cluster (each labeled
+    /// `graph=<name>`) plus the service's own per-job series.
+    registry: Arc<Registry>,
+    /// Scrape endpoint; present when `cfg.metrics_addr` is set.
+    metrics: Option<MetricsServer>,
 }
 
 /// A resident engine owning a graph [catalog](CatalogEntry) and a job
@@ -67,6 +75,11 @@ impl Service {
     /// job; `cfg.mem_budget` doubles as the admission-control budget.
     pub fn new(cfg: EngineConfig, base: impl Into<PathBuf>) -> Result<Self> {
         cfg.validate().map_err(DfoError::Config)?;
+        let registry = Registry::new();
+        let metrics = match &cfg.metrics_addr {
+            Some(addr) => Some(MetricsServer::spawn(addr, registry.clone())?),
+            None => None,
+        };
         Ok(Self {
             inner: Arc::new(ServiceInner {
                 cfg,
@@ -74,12 +87,26 @@ impl Service {
                 catalog: Mutex::new(BTreeMap::new()),
                 sched: Mutex::new(Sched::default()),
                 next_id: AtomicU64::new(0),
+                registry,
+                metrics,
             }),
         })
     }
 
     pub fn config(&self) -> &EngineConfig {
         &self.inner.cfg
+    }
+
+    /// The registry every graph cluster and per-job counter feeds; what the
+    /// scrape endpoint serves.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// The bound scrape-endpoint address (`cfg.metrics_addr` with port 0
+    /// resolved), or `None` when the endpoint is off.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.inner.metrics.as_ref().map(|m| m.addr())
     }
 
     /// Preprocesses `g` once under `name` and adds it to the catalog. Every
@@ -101,8 +128,12 @@ impl Service {
                 return Err(DfoError::Config(format!("graph {name:?} is already loaded")));
             }
         }
-        let cluster =
-            Cluster::create(self.inner.cfg.clone(), self.inner.base.join("graphs").join(name))?;
+        let cluster = Cluster::create_with_registry(
+            self.inner.cfg.clone(),
+            self.inner.base.join("graphs").join(name),
+            self.inner.registry.clone(),
+            &[("graph", name)],
+        )?;
         let plan = cluster.preprocess(g)?;
         let entry = Arc::new(CatalogEntry { name: name.to_string(), cluster, plan });
         let mut catalog = self.inner.catalog.lock();
@@ -244,7 +275,7 @@ impl ServiceInner {
 
     /// Runs one admitted job to completion on the graph's cluster, under a
     /// job-private scratch scope, and assembles its report.
-    fn execute(_inner: &Arc<ServiceInner>, p: &Pending) -> Result<JobReport> {
+    fn execute(inner: &Arc<ServiceInner>, p: &Pending) -> Result<JobReport> {
         let scope = format!("job{}", p.job.id);
         let cache0 = p.entry.cluster.chunk_cache_stats();
         let started = Instant::now();
@@ -258,7 +289,22 @@ impl ServiceInner {
         });
         // scratch cleanup happens even when the job failed or was cancelled
         let cleanup = p.entry.cluster.remove_scratch(&scope);
-        let per_rank = res?;
+        let graph = p.job.spec.graph.as_str();
+        let algorithm = p.job.spec.algorithm.as_str();
+        let per_rank = match res {
+            Ok(v) => v,
+            Err(e) => {
+                inner
+                    .registry
+                    .counter(
+                        "dfo_jobs_failed_total",
+                        "Jobs that errored or were cancelled",
+                        &[("graph", graph), ("algorithm", algorithm)],
+                    )
+                    .inc();
+                return Err(e);
+            }
+        };
         cleanup?;
         let cache_window = p
             .entry
@@ -276,6 +322,36 @@ impl ServiceInner {
             outputs.push(out);
             rank_stats.push(stats);
         }
+        // per-job series: cache traffic attributed at the job's own lookup
+        // sites (PR 6), now also scrapeable. One series per job id — fine
+        // for a resident service's job cardinality.
+        let job_id = p.job.id.to_string();
+        let job_labels: [(&str, &str); 3] =
+            [("graph", graph), ("algorithm", algorithm), ("job", job_id.as_str())];
+        inner
+            .registry
+            .counter(
+                "dfo_job_cache_hits_total",
+                "Chunk-cache hits counted at this job's lookup sites",
+                &job_labels,
+            )
+            .add(totals.chunk_cache_hits);
+        inner
+            .registry
+            .counter(
+                "dfo_job_cache_misses_total",
+                "Chunk-cache misses counted at this job's lookup sites",
+                &job_labels,
+            )
+            .add(totals.chunk_cache_misses);
+        inner
+            .registry
+            .counter(
+                "dfo_jobs_completed_total",
+                "Jobs that ran to completion",
+                &[("graph", graph), ("algorithm", algorithm)],
+            )
+            .inc();
         Ok(JobReport {
             id: p.job.id,
             graph: p.job.spec.graph.clone(),

@@ -172,6 +172,48 @@ fn catalog_lifecycle() {
     assert!(svc.unload_graph("g").is_err());
 }
 
+/// Guards the per-job cache attribution (counted at each job's own lookup
+/// sites): over a window of **sequential** jobs, the per-job hit/miss
+/// series in the service registry sum exactly to the shared cache's
+/// counter delta across that window — nothing double-counted, nothing
+/// dropped.
+#[test]
+fn job_cache_series_sum_to_shared_window_delta() {
+    let g = rmat(GenConfig::new(9, 6, 77));
+    let td = TempDir::new().unwrap();
+    let svc = Service::new(cfg(2), td.path()).unwrap();
+    svc.load_graph("g", &g).unwrap();
+    let entry = svc.graph("g").unwrap();
+
+    let before = entry.cluster().chunk_cache_stats();
+    // sequential (each waited before the next submits), so the shared
+    // window delta is exactly the union of the jobs' own lookups
+    let r1 = svc.submit(JobSpec::new("g", "pagerank").with_param("iters", 4)).unwrap();
+    let r1 = r1.wait().unwrap();
+    let r2 = svc.submit(JobSpec::new("g", "bfs").with_param("root", 0)).unwrap();
+    let r2 = r2.wait().unwrap();
+    let after = entry.cluster().chunk_cache_stats();
+
+    let delta_hits: u64 =
+        after.iter().zip(&before).map(|(now, then)| now.delta_since(then).hits).sum();
+    let delta_misses: u64 =
+        after.iter().zip(&before).map(|(now, then)| now.delta_since(then).misses).sum();
+    assert!(delta_hits > 0, "iterative pagerank must re-hit warm chunks");
+
+    // report totals agree with the shared window…
+    assert_eq!(r1.totals.chunk_cache_hits + r2.totals.chunk_cache_hits, delta_hits);
+    assert_eq!(r1.totals.chunk_cache_misses + r2.totals.chunk_cache_misses, delta_misses);
+
+    // …and so do the scrapeable per-job series
+    let snap = svc.registry().snapshot();
+    let series_sum = |family: &str| -> u64 {
+        snap.series(family).iter().filter_map(|s| s.value.as_counter()).sum()
+    };
+    assert_eq!(series_sum("dfo_job_cache_hits_total"), delta_hits);
+    assert_eq!(series_sum("dfo_job_cache_misses_total"), delta_misses);
+    assert_eq!(series_sum("dfo_jobs_completed_total"), 2);
+}
+
 /// A catalog holds several graphs at once; jobs over different graphs are
 /// fully independent (separate disks and caches under one service root).
 #[test]

@@ -125,7 +125,11 @@ impl<W: Write> FrameWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let t0 = std::time::Instant::now();
         let encoded = lz4_flex::compress(&self.buf);
+        if let Some(disk) = &self.logical_to {
+            disk.add_encode_nanos(t0.elapsed().as_nanos() as u64);
+        }
         let (flags, payload): (u32, &[u8]) =
             if encoded.len() < self.buf.len() { (FLAG_LZ4, &encoded) } else { (0, &self.buf) };
         let mut header = [0u8; BLOCK_HEADER_BYTES];
@@ -288,12 +292,17 @@ impl<R: Read> FrameReader<R> {
                 e
             }
         })?;
+        let t0 = std::time::Instant::now();
         if crc32(&payload) != crc {
             return Err(corrupt("block checksum mismatch"));
         }
         let decoded = if flags & FLAG_LZ4 != 0 {
-            lz4_flex::decompress(&payload, raw_len)
-                .map_err(|e| corrupt(format!("block decode failed: {e}")))?
+            let d = lz4_flex::decompress(&payload, raw_len)
+                .map_err(|e| corrupt(format!("block decode failed: {e}")))?;
+            if let Some(disk) = &self.logical_to {
+                disk.add_decode_nanos(t0.elapsed().as_nanos() as u64);
+            }
+            d
         } else {
             if enc_len != raw_len {
                 return Err(corrupt("raw block length mismatch"));

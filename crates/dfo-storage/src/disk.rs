@@ -32,6 +32,15 @@ pub struct DiskStats {
     pub write_ops: Counter,
     pub read_traffic: TrafficRecorder,
     pub write_traffic: TrafficRecorder,
+    /// Wall time spent inside read operations (file op + throttle), ns.
+    pub read_nanos: Counter,
+    /// Wall time spent inside write operations (file op + throttle), ns.
+    pub write_nanos: Counter,
+    /// Wall time spent LZ4-encoding chunk frames on the write path, ns.
+    pub encode_nanos: Counter,
+    /// Wall time spent decoding/checksumming chunk frames on the read
+    /// path, ns.
+    pub decode_nanos: Counter,
 }
 
 impl DiskStats {
@@ -45,6 +54,10 @@ impl DiskStats {
             write_ops: Counter::new(),
             read_traffic: TrafficRecorder::new(record_traffic),
             write_traffic: TrafficRecorder::new(record_traffic),
+            read_nanos: Counter::new(),
+            write_nanos: Counter::new(),
+            encode_nanos: Counter::new(),
+            decode_nanos: Counter::new(),
         }
     }
 
@@ -62,6 +75,10 @@ impl DiskStats {
         self.write_ops.reset();
         self.read_traffic.reset();
         self.write_traffic.reset();
+        self.read_nanos.reset();
+        self.write_nanos.reset();
+        self.encode_nanos.reset();
+        self.decode_nanos.reset();
     }
 }
 
@@ -297,6 +314,16 @@ impl NodeDisk {
     pub(crate) fn add_logical_write(&self, bytes: u64) {
         self.stats.logical_write_bytes.add(bytes);
     }
+
+    /// Charges frame-codec encode time (the compress side of a chunk write).
+    pub(crate) fn add_encode_nanos(&self, nanos: u64) {
+        self.stats.encode_nanos.add(nanos);
+    }
+
+    /// Charges frame-codec decode time (checksum + LZ4 on a chunk read).
+    pub(crate) fn add_decode_nanos(&self, nanos: u64) {
+        self.stats.decode_nanos.add(nanos);
+    }
 }
 
 const BUF_CAP: usize = 256 << 10;
@@ -313,9 +340,11 @@ struct Accounted {
 
 impl Read for Accounted {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let t0 = std::time::Instant::now();
         let n = self.file.read(buf)?;
         if n > 0 {
             self.disk.account_read_inner(n as u64, self.count_logical);
+            self.disk.stats.read_nanos.add(t0.elapsed().as_nanos() as u64);
         }
         Ok(n)
     }
@@ -323,9 +352,11 @@ impl Read for Accounted {
 
 impl Write for Accounted {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let t0 = std::time::Instant::now();
         let n = self.file.write(buf)?;
         if n > 0 {
             self.disk.account_write_inner(n as u64, self.count_logical);
+            self.disk.stats.write_nanos.add(t0.elapsed().as_nanos() as u64);
         }
         Ok(n)
     }
@@ -390,18 +421,22 @@ pub struct RandomFile {
 
 impl RandomFile {
     pub fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        let t0 = std::time::Instant::now();
         self.file
             .read_exact_at(buf, offset)
             .map_err(|e| DfoError::io(format!("read_at offset {offset}"), e))?;
         self.disk.account_read(buf.len() as u64);
+        self.disk.stats.read_nanos.add(t0.elapsed().as_nanos() as u64);
         Ok(())
     }
 
     pub fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        let t0 = std::time::Instant::now();
         self.file
             .write_all_at(buf, offset)
             .map_err(|e| DfoError::io(format!("write_at offset {offset}"), e))?;
         self.disk.account_write(buf.len() as u64);
+        self.disk.stats.write_nanos.add(t0.elapsed().as_nanos() as u64);
         Ok(())
     }
 

@@ -162,6 +162,23 @@ pub struct EngineConfig {
     /// `Process`-call commit. `None` (the default) injects nothing.
     /// `DFO_CRASH_AT=<call>[:<rank>]` overrides.
     pub crash_at: Option<CrashPoint>,
+    /// Span-trace output path. When set, every rank records pipeline-phase
+    /// / collective / storage spans into a bounded flight recorder and the
+    /// run ends by writing one merged timeline here — Chrome `trace_event`
+    /// JSON (Perfetto-loadable) unless the path ends in `.jsonl`. `None`
+    /// (the default) disables tracing entirely. `DFO_TRACE` overrides
+    /// (empty value disables).
+    pub trace_path: Option<String>,
+    /// Per-rank flight-recorder capacity in spans; when a run records more,
+    /// the oldest spans are overwritten (the trace keeps the recent
+    /// timeline at bounded memory).
+    pub trace_capacity: usize,
+    /// `host:port` bind address for the metrics scrape endpoint
+    /// (`dfo-service`): Prometheus text at `GET /metrics`, a JSON snapshot
+    /// at `GET /metrics.json`. Port `0` binds an ephemeral port (the
+    /// service reports the actual one). `None` (the default) serves
+    /// nothing. `DFO_METRICS_ADDR` overrides (empty value disables).
+    pub metrics_addr: Option<String>,
 }
 
 impl EngineConfig {
@@ -206,6 +223,9 @@ impl EngineConfig {
             epoch: 0,
             max_restarts: 0,
             crash_at: None,
+            trace_path: None,
+            trace_capacity: 1 << 16,
+            metrics_addr: None,
         }
     }
 
@@ -240,6 +260,10 @@ impl EngineConfig {
     /// * `DFO_MAX_RESTARTS` — bounds supervised recoveries.
     /// * `DFO_CRASH_AT=<call>[:<rank>]` — injects a deterministic crash
     ///   right before that `Process`-call commit (empty value disables).
+    /// * `DFO_TRACE=<path>` — span-trace output path (Chrome `trace_event`
+    ///   JSON, or JSONL when the path ends in `.jsonl`); empty disables.
+    /// * `DFO_METRICS_ADDR=<host:port>` — bind address of the service
+    ///   metrics scrape endpoint; empty disables.
     ///
     /// A value that fails to parse warns on stderr and keeps the configured
     /// value rather than silently changing behaviour.
@@ -312,6 +336,14 @@ impl EngineConfig {
                 }
             }
         }
+        if let Ok(s) = std::env::var("DFO_TRACE") {
+            let s = s.trim();
+            self.trace_path = if s.is_empty() { None } else { Some(s.to_string()) };
+        }
+        if let Ok(s) = std::env::var("DFO_METRICS_ADDR") {
+            let s = s.trim();
+            self.metrics_addr = if s.is_empty() { None } else { Some(s.to_string()) };
+        }
     }
 
     /// Effective α: configured value or the paper default `2P − 1`.
@@ -338,6 +370,9 @@ impl EngineConfig {
         }
         if self.checkpointing && self.checkpoints_kept == 0 {
             return Err("checkpoints_kept must be ≥ 1 when checkpointing".into());
+        }
+        if self.trace_path.is_some() && self.trace_capacity == 0 {
+            return Err("trace_capacity must be ≥ 1 when trace_path is set".into());
         }
         if let Some(peers) = &self.peers {
             if peers.len() != self.nodes {
@@ -491,6 +526,24 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Span-trace output path (`None` disables tracing).
+    pub fn trace_path(mut self, path: Option<String>) -> Self {
+        self.cfg.trace_path = path;
+        self
+    }
+
+    /// Per-rank flight-recorder capacity in spans.
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.cfg.trace_capacity = spans;
+        self
+    }
+
+    /// Metrics scrape endpoint bind address (`None` serves nothing).
+    pub fn metrics_addr(mut self, addr: Option<String>) -> Self {
+        self.cfg.metrics_addr = addr;
+        self
+    }
+
     /// Forces a dispatch strategy instead of the adaptive choice.
     pub fn dispatch_override(mut self, kind: Option<DispatchKind>) -> Self {
         self.cfg.dispatch_override = kind;
@@ -550,6 +603,16 @@ impl EngineConfigBuilder {
                         "peer address {addr:?} is not host:port with a numeric port"
                     ));
                 }
+            }
+        }
+        if let Some(addr) = &self.cfg.metrics_addr {
+            let port_ok = addr
+                .rsplit_once(':')
+                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+            if !port_ok {
+                return Err(format!(
+                    "metrics address {addr:?} is not host:port with a numeric port"
+                ));
             }
         }
         self.cfg.validate()?;
@@ -723,6 +786,37 @@ mod tests {
         assert_eq!(CrashPoint::parse(":1"), None);
         assert_eq!(CrashPoint::parse("x"), None);
         assert_eq!(CrashPoint::parse(""), None);
+    }
+
+    #[test]
+    fn telemetry_knobs_default_off() {
+        let c = EngineConfig::for_test(2);
+        assert_eq!(c.trace_path, None);
+        assert_eq!(c.metrics_addr, None);
+        assert_eq!(c.trace_capacity, 1 << 16);
+        // tracing without a buffer is a contradiction
+        let mut c = EngineConfig::for_test(1);
+        c.trace_path = Some("t.json".into());
+        c.trace_capacity = 0;
+        assert!(c.validate().is_err());
+        c.trace_capacity = 16;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_checks_metrics_addr_shape() {
+        let err =
+            EngineConfig::builder().metrics_addr(Some("nonsense".into())).build().unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+        let cfg = EngineConfig::builder()
+            .metrics_addr(Some("127.0.0.1:0".into()))
+            .trace_path(Some("target/t.jsonl".into()))
+            .trace_capacity(1024)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.trace_path.as_deref(), Some("target/t.jsonl"));
+        assert_eq!(cfg.trace_capacity, 1024);
     }
 
     #[test]

@@ -144,6 +144,17 @@ pub struct PhaseStats {
     /// *Logical* disk bytes written across the whole call (pre-compression
     /// payload). The per-phase `*_disk_*` fields above stay physical.
     pub logical_disk_write: u64,
+    /// Wall time of phase 1 (generating) in nanoseconds.
+    pub generate_nanos: u64,
+    /// Wall time of phase 2 (passing, measured on the sender thread) in
+    /// nanoseconds. Phases 2 and 3 overlap by design (§4.4/§4.5), so the
+    /// per-phase times can legitimately sum past the call's wall time.
+    pub pass_nanos: u64,
+    /// Wall time of the phase-2+3 overlap window (send + dispatch) as seen
+    /// from the call's main thread, in nanoseconds.
+    pub dispatch_nanos: u64,
+    /// Wall time of phase 4 (processing) in nanoseconds.
+    pub process_nanos: u64,
 }
 
 impl PhaseStats {
@@ -164,6 +175,16 @@ impl PhaseStats {
         self.chunk_cache_evicted_bytes += other.chunk_cache_evicted_bytes;
         self.logical_disk_read += other.logical_disk_read;
         self.logical_disk_write += other.logical_disk_write;
+        self.generate_nanos += other.generate_nanos;
+        self.pass_nanos += other.pass_nanos;
+        self.dispatch_nanos += other.dispatch_nanos;
+        self.process_nanos += other.process_nanos;
+    }
+
+    /// Summed per-phase wall time in nanoseconds (phases 2 and 3 overlap,
+    /// so this can exceed the call's wall time).
+    pub fn total_nanos(&self) -> u64 {
+        self.generate_nanos + self.pass_nanos + self.dispatch_nanos + self.process_nanos
     }
 
     /// Total *physical* disk bytes this call moved (per-phase sums).
@@ -241,5 +262,23 @@ mod tests {
         assert_eq!(a.messages_generated, 4);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.total_net(), 15);
+    }
+
+    #[test]
+    fn phase_stats_merge_sums_timings() {
+        let mut a = PhaseStats { generate_nanos: 10, process_nanos: 5, ..Default::default() };
+        let b = PhaseStats {
+            generate_nanos: 1,
+            pass_nanos: 2,
+            dispatch_nanos: 3,
+            process_nanos: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            (a.generate_nanos, a.pass_nanos, a.dispatch_nanos, a.process_nanos),
+            (11, 2, 3, 9)
+        );
+        assert_eq!(a.total_nanos(), 25);
     }
 }

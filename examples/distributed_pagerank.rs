@@ -79,6 +79,9 @@ fn launcher() -> Result<()> {
     let peer_list = peers.join(",");
     println!("forking {RANKS} worker processes on {peer_list}");
 
+    // every worker records a flight-recorder timeline; rank 0 gathers the
+    // peers' spans over the mesh and writes one merged Chrome trace
+    let trace_path = dir.join("dist.trace.json");
     let exe = std::env::current_exe().map_err(|e| DfoError::io("locating own binary", e))?;
     let mut children: Vec<_> = (0..RANKS)
         .map(|rank| {
@@ -86,6 +89,7 @@ fn launcher() -> Result<()> {
                 .env("DFO_RANK", rank.to_string())
                 .env("DFO_PEERS", &peer_list)
                 .env("DFO_BASE", &dir)
+                .env("DFO_TRACE", &trace_path)
                 .spawn()
                 .expect("spawning worker")
         })
@@ -125,6 +129,29 @@ fn launcher() -> Result<()> {
         }
     }
     println!("TCP and in-process PageRank agree on all {checked} vertices (max |Δ| = {max_dev:e})");
+
+    // the merged timeline must carry all four pipeline phases for every
+    // rank — load target/dist.trace.json into Perfetto to browse it
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| DfoError::io("reading merged trace", e))?;
+    let events = dfograph::obs::parse_trace(&text)?;
+    for rank in 0..RANKS as u64 {
+        for phase in ["phase1_generate", "phase2_pass", "phase3_dispatch", "phase4_process"] {
+            assert!(
+                events.iter().any(|e| e.pid == rank && e.name == phase),
+                "merged trace is missing {phase} for rank {rank}"
+            );
+        }
+    }
+    println!(
+        "merged trace: {} spans across {RANKS} ranks at {}",
+        events.len(),
+        trace_path.display()
+    );
+    if let Ok(keep) = std::env::var("DFO_TRACE_OUT") {
+        std::fs::copy(&trace_path, &keep).map_err(|e| DfoError::io("copying trace", e))?;
+        println!("trace copied to {keep}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -19,6 +19,7 @@ pub use dfo_baselines as baselines;
 pub use dfo_core as core;
 pub use dfo_graph as graph;
 pub use dfo_net as net;
+pub use dfo_obs as obs;
 pub use dfo_part as part;
 pub use dfo_service as service;
 pub use dfo_storage as storage;

@@ -41,6 +41,10 @@ run_bench() { # <marker> <bench-target>
 run_bench BENCH_3 micro_chunkcache
 run_bench BENCH_4 micro_compress
 
+# wall-time percentile readout (warn-only, never gates: CI clock is noise)
+echo "== wall-time percentiles (warn-only) =="
+grep -h "wall percentiles" "$out"/*.log || echo "  (none emitted)"
+
 status=0
 for marker in BENCH_3 BENCH_4; do
   if [ "$update" -eq 1 ]; then
