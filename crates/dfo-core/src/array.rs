@@ -53,6 +53,11 @@ pub(crate) struct ArrayEntry {
 }
 
 impl ArrayEntry {
+    /// Creates or reopens the per-batch block store of one array. When a
+    /// checkpoint exists, `recover_target` caps the epoch recovery trusts —
+    /// the per-call commit record's epoch for this array — so the torn tail
+    /// of a crashed multi-array commit is discarded (`None` trusts the
+    /// array's own `CURRENT`).
     pub fn create_blocks(
         disk: &NodeDisk,
         name: &str,
@@ -60,10 +65,11 @@ impl ArrayEntry {
         batches: &[VertexRange],
         checkpointing: bool,
         keep: usize,
+        recover_target: Option<u64>,
     ) -> Result<Self> {
         let dir = format!("arrays/{name}");
         let store = if checkpointing && VersionedArrayStore::checkpoint_exists(disk, &dir) {
-            VersionedArrayStore::recover(disk.clone(), dir, batches.len(), keep)?
+            VersionedArrayStore::recover_to(disk.clone(), dir, batches.len(), keep, recover_target)?
         } else if !checkpointing && VersionedArrayStore::in_place_exists(disk, &dir) {
             VersionedArrayStore::open_in_place(disk.clone(), dir, batches.len())
         } else {
@@ -119,6 +125,35 @@ impl ArrayEntry {
         match &self.backend {
             ArrayBackend::Blocks(s) => s.lock().commit(),
             ArrayBackend::Paged(c) => c.lock().flush(),
+        }
+    }
+
+    /// Whether this array retains checkpoints (i.e. belongs in the
+    /// per-call commit record).
+    pub fn checkpointed(&self) -> bool {
+        match &self.backend {
+            ArrayBackend::Blocks(s) => s.lock().is_cow(),
+            ArrayBackend::Paged(_) => false,
+        }
+    }
+
+    /// The array's latest committed epoch (0 for non-checkpointed arrays).
+    pub fn epoch(&self) -> u64 {
+        match &self.backend {
+            ArrayBackend::Blocks(s) => s.lock().epoch(),
+            ArrayBackend::Paged(_) => 0,
+        }
+    }
+
+    /// Rolls the array back one committed checkpoint (ahead-rank recovery);
+    /// returns the epoch it landed on.
+    pub fn rollback_one(&self) -> Result<u64> {
+        match &self.backend {
+            ArrayBackend::Blocks(s) => s.lock().rollback_one(),
+            ArrayBackend::Paged(_) => Err(dfo_types::DfoError::Corrupt(format!(
+                "{}: rollback_one on a paged (non-checkpointed) array",
+                self.name
+            ))),
         }
     }
 }
@@ -259,7 +294,7 @@ mod tests {
     fn blocks_entry(td: &TempDir) -> ArrayEntry {
         let disk = NodeDisk::new(td.path(), None, false).unwrap();
         let batches = vec![VertexRange::new(0, 4), VertexRange::new(4, 7)];
-        ArrayEntry::create_blocks(&disk, "dist", 4, &batches, false, 1).unwrap()
+        ArrayEntry::create_blocks(&disk, "dist", 4, &batches, false, 1, None).unwrap()
     }
 
     #[test]

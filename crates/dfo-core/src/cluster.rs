@@ -11,8 +11,9 @@ use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
 use dfo_types::{DfoError, EngineConfig, Pod, Rank, RecoveryStats, Result};
 use parking_lot::Mutex;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     panic
@@ -35,6 +36,13 @@ fn panic_to_error(panic: Box<dyn std::any::Any + Send>, rank: Rank) -> DfoError 
     }
 }
 
+/// Reads a supervisor-published epoch file: trimmed decimal text, written
+/// atomically (temp + rename) by [`crate::Supervisor`]. Absent, unreadable,
+/// or unparsable files all read as "nothing published yet".
+fn read_epoch_file(path: &str) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
 /// A simulated DFOGraph cluster rooted at a base directory; node `i`'s disk
 /// lives under `<base>/n<i>/`.
 pub struct Cluster {
@@ -46,8 +54,12 @@ pub struct Cluster {
     /// `chunk_cache_bytes == 0` (nothing is allocated).
     chunk_caches: Vec<Arc<ChunkCache>>,
     last_net: Mutex<Vec<Arc<NetStats>>>,
-    /// Checkpoint-restart counters of the most recent supervised run.
-    recovery: Mutex<RecoveryStats>,
+    /// Checkpoint-restart counters of the most recent supervised run
+    /// (`Arc` so the metrics pull source can sample them at scrape time).
+    recovery: Arc<Mutex<RecoveryStats>>,
+    /// Ahead-rank rollbacks across every run on this cluster, shared into
+    /// each [`NodeCtx`] so the count survives per-attempt context rebuilds.
+    rollbacks: Arc<AtomicU64>,
     /// Metrics registry every run on this cluster feeds; shareable across
     /// clusters via [`Cluster::create_with_registry`].
     registry: Arc<Registry>,
@@ -97,7 +109,8 @@ impl Cluster {
             disks,
             chunk_caches,
             last_net: Mutex::new(Vec::new()),
-            recovery: Mutex::new(RecoveryStats::default()),
+            recovery: Arc::new(Mutex::new(RecoveryStats::default())),
+            rollbacks: Arc::new(AtomicU64::new(0)),
             registry,
             labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
             net_accum,
@@ -113,6 +126,8 @@ impl Cluster {
         let disks = self.disks.clone();
         let caches = self.chunk_caches.clone();
         let accum = self.net_accum.clone();
+        let recovery = self.recovery.clone();
+        let rollbacks = self.rollbacks.clone();
         let base = self.labels.clone();
         self.registry.register_source(Box::new(move |buf| {
             let with_rank = |rank: &str| -> Vec<(String, String)> {
@@ -187,6 +202,29 @@ impl Cluster {
                     "Decoded bytes currently resident",
                     &l,
                     s.resident_bytes as f64,
+                );
+            }
+            {
+                let l: Vec<(&str, &str)> =
+                    base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let r = *recovery.lock();
+                buf.counter(
+                    "dfo_restarts_total",
+                    "Mesh re-bootstraps of the most recent supervised run",
+                    &l,
+                    r.restarts,
+                );
+                buf.counter(
+                    "dfo_rollbacks_total",
+                    "Ahead-rank one-checkpoint rollbacks across this cluster's runs",
+                    &l,
+                    rollbacks.load(Ordering::Relaxed),
+                );
+                buf.gauge(
+                    "dfo_mesh_epoch",
+                    "Epoch of the most recent successful mesh bootstrap",
+                    &l,
+                    r.mesh_epoch as f64,
                 );
             }
             for (rank, t) in accum.lock().iter().enumerate() {
@@ -314,6 +352,7 @@ impl Cluster {
                             None => disk.clone(),
                         };
                         let mut ctx = NodeCtx::with_disks(rank, cfg, disk, scratch, ep, cache)?;
+                        ctx.rollbacks = self.rollbacks.clone();
                         ctx.set_telemetry(tele);
                         let res =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
@@ -374,7 +413,7 @@ impl Cluster {
         f: impl FnOnce(&mut NodeCtx) -> Result<T>,
     ) -> Result<T> {
         let mut f = Some(f);
-        self.attempt_distributed(rank, self.cfg.epoch, &mut |ctx| {
+        self.attempt_distributed(rank, self.cfg.epoch, None, &mut |ctx| {
             (f.take().expect("run_distributed attempts exactly once"))(ctx)
         })
     }
@@ -409,11 +448,20 @@ impl Cluster {
         rank: Rank,
         mut f: impl FnMut(&mut NodeCtx) -> Result<T>,
     ) -> Result<T> {
-        let mut epoch = self.cfg.epoch;
+        // the supervisor-published epoch file, when present, is the single
+        // authority: a rank relaunched with a stale DFO_EPOCH (its death
+        // overlapped another failure) starts straight at the published one
+        let mut epoch = self.cfg.epoch.max(self.published_epoch().unwrap_or(0));
         let mut restarts: u32 = 0;
+        let rollback_base = self.rollbacks.load(Ordering::Relaxed);
+        let mut recovered_from: Option<Instant> = None;
         loop {
-            let res = self.attempt_distributed(rank, epoch, &mut f);
-            *self.recovery.lock() = RecoveryStats { restarts: restarts as u64, mesh_epoch: epoch };
+            let res = self.attempt_distributed(rank, epoch, recovered_from.take(), &mut f);
+            *self.recovery.lock() = RecoveryStats {
+                restarts: restarts as u64,
+                mesh_epoch: epoch,
+                rollbacks: self.rollbacks.load(Ordering::Relaxed) - rollback_base,
+            };
             match res {
                 Ok(v) => return Ok(v),
                 Err(e @ (DfoError::NetClosed(_) | DfoError::Handshake(_))) => {
@@ -424,7 +472,8 @@ impl Cluster {
                         });
                     }
                     restarts += 1;
-                    epoch += 1;
+                    recovered_from = Some(Instant::now());
+                    epoch = self.next_epoch(epoch);
                     eprintln!(
                         "[dfo] rank {rank}: mesh failure ({e}); re-bootstrapping at epoch \
                          {epoch} (recovery {restarts}/{})",
@@ -436,6 +485,40 @@ impl Cluster {
         }
     }
 
+    /// The epoch currently published in `cfg.epoch_file`, if any.
+    fn published_epoch(&self) -> Option<u64> {
+        read_epoch_file(self.cfg.epoch_file.as_deref()?)
+    }
+
+    /// The epoch for the next recovery attempt. Without an epoch file each
+    /// rank bumps locally (the historical scheme, correct only when
+    /// failures never overlap a recovery window). With one, the rank waits
+    /// — bounded — for the supervisor to publish an epoch above the failed
+    /// attempt's, so every survivor and relaunch converges on the same
+    /// number no matter how many ranks died; on timeout it falls back to
+    /// the local bump rather than hanging (a failed handshake just costs
+    /// another recovery attempt).
+    fn next_epoch(&self, current: u64) -> u64 {
+        let Some(path) = self.cfg.epoch_file.as_deref() else { return current + 1 };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(e) = read_epoch_file(path) {
+                if e > current {
+                    return e;
+                }
+            }
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "[dfo] warning: epoch file {path} did not advance past {current} within \
+                     10s; bumping locally to {}",
+                    current + 1
+                );
+                return current + 1;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// One mesh bootstrap + execution attempt at a given epoch. On exit the
     /// transport is fully quiesced (writer threads joined, sockets closed)
     /// whatever happened, so the caller may immediately re-bootstrap.
@@ -443,6 +526,7 @@ impl Cluster {
         &self,
         rank: Rank,
         epoch: u64,
+        recovered_from: Option<Instant>,
         f: &mut dyn FnMut(&mut NodeCtx) -> Result<T>,
     ) -> Result<T> {
         let peers = self.cfg.peers.clone().ok_or_else(|| {
@@ -465,14 +549,30 @@ impl Cluster {
         *self.last_net.lock() = vec![stats.clone()];
         let recorder =
             self.cfg.trace_path.as_ref().map(|_| FlightRecorder::new(self.cfg.trace_capacity));
+        // the ctx sees the *current* mesh epoch (it may have advanced past
+        // cfg.epoch across recoveries) so `@epoch` crash qualifiers and
+        // diagnostics refer to the attempt actually running
+        let mut attempt_cfg = self.cfg.clone();
+        attempt_cfg.epoch = epoch;
         let mut ctx = NodeCtx::with_chunk_cache(
             rank,
-            self.cfg.clone(),
+            attempt_cfg,
             self.disks[rank].clone(),
             ep,
             self.chunk_caches.get(rank).cloned(),
         )?;
+        ctx.rollbacks = self.rollbacks.clone();
         ctx.set_telemetry(self.rank_telemetry(rank, recorder.as_ref()));
+        if let Some(t0) = recovered_from {
+            // mesh is up again: failure detection -> rebuilt mesh
+            ctx.telemetry()
+                .duration_histogram(
+                    "dfo_recovery_seconds",
+                    "Time from failure detection to a rebuilt mesh (one supervised recovery)",
+                    &[],
+                )
+                .observe_duration(t0.elapsed());
+        }
         // multi-process deployment: an injected crash must kill the whole
         // OS process (like a SIGKILL), not just unwind one thread
         ctx.crash_abort = true;

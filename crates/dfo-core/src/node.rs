@@ -9,12 +9,15 @@ use crate::accum::Accum;
 use crate::array::{ArrayEntry, BatchCtx, VertexArray};
 use dfo_net::Endpoint;
 use dfo_part::plan::{ChunkInfo, Plan};
-use dfo_storage::{ChunkCache, ChunkCacheStats, NodeDisk};
-use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
+use dfo_storage::{ChunkCache, ChunkCacheStats, CommitLog, NodeDisk, VersionedArrayStore};
+use dfo_types::{CrashPos, DfoError, EngineConfig, PhaseStats, Pod, Rank, Result, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Scratch-relative path of the per-call commit record (one per node).
+const COMMITS_REL: &str = "arrays/COMMITS.bin";
 
 /// Telemetry state of one context: the handle itself plus the histograms
 /// the hot paths observe, resolved once in [`NodeCtx::set_telemetry`] so
@@ -59,8 +62,20 @@ pub struct NodeCtx {
     pub(crate) last_stats: PhaseStats,
     /// `Process` calls whose epoch commit completed in this context's
     /// lifetime — the clock the deterministic crash hook
-    /// (`cfg.crash_at` / `DFO_CRASH_AT`) counts against.
+    /// (`cfg.crash_schedule` / `DFO_CRASH_AT`) counts against. Resets per
+    /// incarnation; the *persistent* call clock is the commit record's
+    /// sequence number.
     pub(crate) calls_committed: AtomicU64,
+    /// Per-call commit record spanning every checkpointed array of this
+    /// context (`arrays/COMMITS.bin` on the scratch disk). `Some` exactly
+    /// when checkpointing block-backed arrays; rewritten atomically after
+    /// each `Process` call's per-array commits, so a crash between those
+    /// commits is detected at recovery and the torn call discarded whole.
+    pub(crate) commit_log: Option<parking_lot::Mutex<CommitLog>>,
+    /// Ahead-rank rollbacks this context performed (shared with the owning
+    /// [`crate::Cluster`] across supervised attempts, so the count survives
+    /// context rebuilds).
+    pub(crate) rollbacks: Arc<AtomicU64>,
     /// How an injected crash dies: `false` (in-process simulation) panics
     /// the node thread, `true` (one-rank-per-process deployments) aborts
     /// the whole OS process — indistinguishable from a SIGKILL.
@@ -130,6 +145,10 @@ impl NodeCtx {
         for c in &plan.node_meta[rank].chunks {
             chunk_map[c.src_partition][c.batch] = Some(*c);
         }
+        // the commit record lives beside the arrays it covers; paged mode
+        // (the no-batching ablation) has no checkpoints to record
+        let commit_log = (cfg.checkpointing && cfg.batching_enabled)
+            .then(|| parking_lot::Mutex::new(CommitLog::load_or_new(scratch.clone(), COMMITS_REL)));
         Ok(Self {
             rank,
             cfg,
@@ -143,6 +162,8 @@ impl NodeCtx {
             call_seq: 0,
             last_stats: PhaseStats::default(),
             calls_committed: AtomicU64::new(0),
+            commit_log,
+            rollbacks: Arc::new(AtomicU64::new(0)),
             crash_abort: false,
             cancel: None,
             cache_hits: AtomicU64::new(0),
@@ -314,6 +335,9 @@ impl NodeCtx {
             return Ok(VertexArray::new(name));
         }
         let entry = if self.cfg.batching_enabled {
+            // cap recovery at the commit record's epoch for this array: any
+            // newer checkpoint belongs to a call whose record never landed
+            let target = self.commit_log.as_ref().map(|l| l.lock().target_epoch(name));
             ArrayEntry::create_blocks(
                 &self.scratch,
                 name,
@@ -321,6 +345,7 @@ impl NodeCtx {
                 &self.plan.batches[self.rank],
                 self.cfg.checkpointing,
                 self.cfg.checkpoints_kept,
+                target,
             )?
         } else {
             // Table 6 ablation: memory-mapped-style access through a bounded
@@ -362,20 +387,34 @@ impl NodeCtx {
         }
     }
 
-    /// Commits one `Process` call's array epochs. This is the commit
-    /// boundary the deterministic fault-injection hook fires at: with
-    /// `cfg.crash_at = Some(CrashPoint { call: k, .. })`, the `k`-th call
-    /// of this context dies right *before* its commit, so that call is
-    /// lost exactly — and, because the crash precedes every per-array
-    /// commit of the call, the surviving on-disk state is the consistent
-    /// state after call `k - 1` on every array.
+    /// Commits one `Process` call's array epochs, then the per-call commit
+    /// record asserting they all landed. This is the commit boundary the
+    /// deterministic fault-injection hook fires at: a `Pre` crash point
+    /// kills the call's `k`-th call before any array commits (the call is
+    /// lost whole), a `Mid` point kills it between the first array's commit
+    /// and the rest — the torn state only the commit record can detect.
     pub(crate) fn commit_epochs(&self, entries: &[Arc<ArrayEntry>]) -> Result<()> {
-        self.crash_if_scheduled();
+        self.crash_if_scheduled(CrashPos::Pre);
         let observing = self.cfg.checkpointing && self.obs.is_some();
         let _sp = if observing { self.obs_span("ckpt_commit", "ckpt") } else { None };
         let t0 = observing.then(Instant::now);
-        for e in entries {
-            e.commit()?;
+        let mut iter = entries.iter();
+        if let Some(first) = iter.next() {
+            first.commit()?;
+            // even with one array, Mid stays meaningful: the record below
+            // has not been written yet, so the call must not survive
+            self.crash_if_scheduled(CrashPos::Mid);
+            for e in iter {
+                e.commit()?;
+            }
+        }
+        if let Some(log) = &self.commit_log {
+            let touched: Vec<(&str, u64)> = entries
+                .iter()
+                .filter(|e| e.checkpointed())
+                .map(|e| (e.name.as_str(), e.epoch()))
+                .collect();
+            log.lock().record_commit(&touched)?;
         }
         if let (Some(o), Some(t0)) = (&self.obs, t0) {
             o.ckpt_commit_secs.observe_duration(t0.elapsed());
@@ -384,25 +423,33 @@ impl NodeCtx {
         Ok(())
     }
 
-    fn crash_if_scheduled(&self) {
-        let Some(cp) = self.cfg.crash_at else { return };
-        if cp.rank.is_some_and(|r| r != self.rank) {
+    fn crash_if_scheduled(&self, pos: CrashPos) {
+        if self.cfg.crash_schedule.is_empty() {
             return;
         }
-        if self.calls_committed.load(Ordering::Relaxed) != cp.call {
-            return;
-        }
-        if self.crash_abort {
-            eprintln!(
-                "[dfo] rank {}: DFO_CRASH_AT fired — aborting before Process call {} commits",
-                self.rank, cp.call
+        let call = self.calls_committed.load(Ordering::Relaxed);
+        for cp in &self.cfg.crash_schedule {
+            if cp.pos != pos
+                || cp.call != call
+                || cp.rank.is_some_and(|r| r != self.rank)
+                || cp.epoch.is_some_and(|e| e != self.cfg.epoch)
+            {
+                continue;
+            }
+            if self.crash_abort {
+                eprintln!(
+                    "[dfo] rank {}: DFO_CRASH_AT fired — aborting at Process call {} \
+                     ({pos:?}-commit, epoch {})",
+                    self.rank, cp.call, self.cfg.epoch
+                );
+                std::process::abort();
+            }
+            panic!(
+                "injected crash (DFO_CRASH_AT): rank {} dies at Process call {} \
+                 ({pos:?}-commit, epoch {})",
+                self.rank, cp.call, self.cfg.epoch
             );
-            std::process::abort();
         }
-        panic!(
-            "injected crash (DFO_CRASH_AT): rank {} dies before Process call {} commits",
-            self.rank, cp.call
-        );
     }
 
     /// Resume plumbing for recovery-style programs (§3.2): opens (or
@@ -416,7 +463,14 @@ impl NodeCtx {
     /// alongside that call's data arrays, so marker and data commit at the
     /// same boundary), and resume their loop at the returned round after a
     /// restart — re-executing at most one lost call per array.
+    ///
+    /// Before anything else, ranks exchange their commit-record call
+    /// sequences and any *ahead* rank — one that committed a `Process` call
+    /// a crashed peer did not — rolls that call back one checkpoint, so all
+    /// ranks resume from the same global call sequence (the ahead-rank
+    /// window). Requires `checkpoints_kept ≥ 2` when a rollback is needed.
     pub fn committed_round(&mut self, name: &str) -> Result<u64> {
+        self.align_commit_seq()?;
         let marker = self.vertex_array::<u64>(name)?;
         let min = AtomicU64::new(u64::MAX);
         {
@@ -430,6 +484,64 @@ impl NodeCtx {
         let m = min.load(Ordering::Relaxed);
         let local = if m == u64::MAX { 0 } else { m };
         Ok(self.net.allreduce_min_u64(local))
+    }
+
+    /// The ahead-rank rollback **collective**: all ranks contribute their
+    /// commit-record call sequence; a rank above the cluster minimum rolls
+    /// its last recorded call back (record first, then one checkpoint per
+    /// touched array), landing every rank on the same sequence. Because
+    /// commits precede the collective that ends each `Process` call, no
+    /// rank can start call `k + 1` before all finish call `k` — so the gap
+    /// is at most one; anything larger is corruption.
+    fn align_commit_seq(&mut self) -> Result<()> {
+        let Some(log) = &self.commit_log else { return Ok(()) };
+        let local = log.lock().call_seq();
+        let global = self.net.allreduce_min_u64(local);
+        if local == global {
+            return Ok(());
+        }
+        if local != global + 1 {
+            return Err(DfoError::Corrupt(format!(
+                "rank {}: committed call sequence {local} is {} calls ahead of the cluster \
+                 minimum {global} — collectives bound the gap to one",
+                self.rank,
+                local - global
+            )));
+        }
+        let _sp = self.obs_span("ahead_rank_rollback", "ckpt");
+        eprintln!(
+            "[dfo] rank {}: ahead of the cluster by one committed call \
+             ({local} > {global}); rolling back one checkpoint",
+            self.rank
+        );
+        let restored = self.commit_log.as_ref().unwrap().lock().rollback_last()?;
+        for (arr, want_epoch) in &restored {
+            let landed = match self.arrays.get(arr) {
+                Some(entry) => entry.rollback_one()?,
+                None => {
+                    // not opened yet this incarnation: recovery with the
+                    // (already stepped-back) record epoch as the cap lands
+                    // on the same state and deletes the torn manifest
+                    let store = VersionedArrayStore::recover_to(
+                        self.scratch.clone(),
+                        format!("arrays/{arr}"),
+                        self.plan.n_batches(self.rank),
+                        self.cfg.checkpoints_kept,
+                        Some(*want_epoch),
+                    )?;
+                    store.epoch()
+                }
+            };
+            if landed != *want_epoch {
+                return Err(DfoError::Corrupt(format!(
+                    "rank {}: rollback of array {arr:?} landed on epoch {landed}, commit \
+                     record expected {want_epoch}",
+                    self.rank
+                )));
+            }
+        }
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The paper's `ProcessVertices`: runs `work` on every vertex (or every

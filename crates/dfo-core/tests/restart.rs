@@ -187,7 +187,10 @@ fn supervise(base: &Path, crash: bool) -> dfo_core::SuperviseReport {
         cmd.args(["child_entry", "--exact", "--test-threads=1", "--nocapture"])
             .env(ROLE_ENV, "supervised")
             .env("DFO_BASE", base);
-        spec.configure(&mut cmd, &peers, 2);
+        // no epoch file: this test also covers the legacy local-bump epoch
+        // path (single failure per recovery window); the chaos tests cover
+        // the supervisor-published authority
+        spec.configure(&mut cmd, &peers, 2, None);
         if crash && spec.rank == 1 && spec.attempt == 0 {
             cmd.env("DFO_CRASH_AT", format!("{CRASH_CALL}:1"));
         }

@@ -5,7 +5,7 @@ use dfo_algos::{AlgoOutput, JobParams};
 use dfo_storage::ChunkCacheStats;
 use dfo_types::{DfoError, PhaseStats, Pod, Result};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -25,6 +25,13 @@ pub struct JobSpec {
     /// `None` derives one from the algorithm's per-vertex state hint and
     /// the graph's vertex count.
     pub mem_estimate: Option<u64>,
+    /// Bounded retry policy: how many times a *retryable* failure
+    /// ([`DfoError::is_retryable`] — a mesh death or bootstrap handshake
+    /// failure, the errors checkpoint-restart exists for) is re-executed
+    /// before surfacing to [`JobHandle::wait`]. Non-retryable errors
+    /// (corruption, config, panics, cancellation) surface immediately.
+    /// Defaults to 0: every failure surfaces on first occurrence.
+    pub max_retries: u32,
 }
 
 impl JobSpec {
@@ -34,6 +41,7 @@ impl JobSpec {
             algorithm: algorithm.into(),
             params: JobParams::new(),
             mem_estimate: None,
+            max_retries: 0,
         }
     }
 
@@ -46,6 +54,12 @@ impl JobSpec {
     #[must_use]
     pub fn with_mem_estimate(mut self, bytes: u64) -> Self {
         self.mem_estimate = Some(bytes);
+        self
+    }
+
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
         self
     }
 }
@@ -72,6 +86,9 @@ pub struct JobStatus {
     /// The admission-control footprint this job charges against
     /// `mem_budget` while running (bytes per node).
     pub mem_estimate: u64,
+    /// Retryable failures absorbed so far under the spec's `max_retries`
+    /// budget (live — a running job being re-executed counts up here).
+    pub retries: u32,
 }
 
 /// Everything a finished job produced.
@@ -94,6 +111,9 @@ pub struct JobReport {
     /// job's traffic on the graph's caches — they describe the device, not
     /// the job; eviction pressure in particular only exists at cache level.
     pub cache_window: Vec<ChunkCacheStats>,
+    /// Retryable failures absorbed before this report was produced
+    /// ([`JobSpec::max_retries`]); 0 for a first-try success.
+    pub retries: u32,
     pub elapsed: Duration,
 }
 
@@ -125,6 +145,8 @@ pub(crate) struct JobInner {
     /// The cooperative token every rank's `NodeCtx` checks at
     /// `Process`-call boundaries.
     pub(crate) cancel: Arc<AtomicBool>,
+    /// Retryable failures absorbed so far (worker-incremented, live).
+    pub(crate) retries: AtomicU32,
     pub(crate) state: Mutex<State>,
     pub(crate) done: Condvar,
 }
@@ -204,6 +226,7 @@ impl JobHandle {
             graph: self.job.spec.graph.clone(),
             algorithm: self.job.spec.algorithm.clone(),
             mem_estimate: self.job.estimate,
+            retries: self.job.retries.load(Ordering::Relaxed),
         }
     }
 }

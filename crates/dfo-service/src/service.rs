@@ -12,7 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -192,6 +192,7 @@ impl Service {
             spec,
             estimate,
             cancel: Arc::new(AtomicBool::new(false)),
+            retries: AtomicU32::new(0),
             state: Mutex::new(State::Queued),
             done: Condvar::new(),
         });
@@ -261,7 +262,7 @@ impl ServiceInner {
             *pending.job.state.lock() = State::Running;
             let inner = inner.clone();
             std::thread::spawn(move || {
-                let result = ServiceInner::execute(&inner, &pending);
+                let result = ServiceInner::execute_with_retries(&inner, &pending);
                 {
                     let mut s = inner.sched.lock();
                     s.running_bytes -= pending.job.estimate;
@@ -270,6 +271,67 @@ impl ServiceInner {
                 pending.job.finish(result);
                 ServiceInner::pump(&inner);
             });
+        }
+    }
+
+    /// Runs one admitted job under its spec's bounded retry policy: a
+    /// *retryable* failure ([`DfoError::is_retryable`]) is re-executed up
+    /// to `max_retries` times before surfacing typed through
+    /// [`crate::JobHandle::wait`]; anything else — including a worker
+    /// panic, caught here so `wait` gets an error instead of hanging on a
+    /// dead detached thread — surfaces immediately. The job keeps its
+    /// admission charge across retries (it is still one running job).
+    fn execute_with_retries(inner: &Arc<ServiceInner>, p: &Pending) -> Result<JobReport> {
+        let max_retries = p.job.spec.max_retries;
+        loop {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ServiceInner::execute(inner, p)
+            }))
+            .unwrap_or_else(|panic| {
+                Err(match panic.downcast::<DfoError>() {
+                    Ok(e) => *e,
+                    Err(panic) => DfoError::Panic(format!(
+                        "job {} worker: {}",
+                        p.job.id,
+                        panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into())
+                    )),
+                })
+            });
+            let retries = p.job.retries.load(Ordering::Relaxed);
+            match attempt {
+                Ok(mut report) => {
+                    report.retries = retries;
+                    return Ok(report);
+                }
+                Err(e)
+                    if e.is_retryable()
+                        && retries < max_retries
+                        && !p.job.cancel.load(Ordering::Relaxed) =>
+                {
+                    p.job.retries.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[dfo-service] job {}: retryable failure ({e}); retry {}/{max_retries}",
+                        p.job.id,
+                        retries + 1
+                    );
+                    inner
+                        .registry
+                        .counter(
+                            "dfo_job_retries_total",
+                            "Job re-executions after retryable failures",
+                            &[
+                                ("graph", p.job.spec.graph.as_str()),
+                                ("algorithm", p.job.spec.algorithm.as_str()),
+                            ],
+                        )
+                        .inc();
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -360,6 +422,7 @@ impl ServiceInner {
             rank_stats,
             totals,
             cache_window,
+            retries: 0, // stamped by execute_with_retries
             elapsed: started.elapsed(),
         })
     }

@@ -234,3 +234,59 @@ fn multiple_graphs_in_one_catalog() {
     assert_eq!(db.iter().sum::<u64>(), g2.n_edges());
     assert_ne!(da, db, "different seeds give different degree profiles");
 }
+
+/// Bounded retry policy: a retryable failure (here a deterministic
+/// injected rank death, surfacing as the mesh-failure error checkpointing
+/// exists for) is re-executed up to `max_retries` times, the retry count
+/// is visible live on the handle, and the final error is typed retryable
+/// for the caller. A first-try success reports zero retries.
+#[test]
+fn retryable_failures_are_retried_then_surface_typed() {
+    use dfo_types::CrashPoint;
+    let g = rmat(GenConfig::new(8, 6, 13));
+    let td = TempDir::new().unwrap();
+    let mut c = cfg(2);
+    // every execution of any job dies at Process call 1 on rank 1 — the
+    // retry budget must be spent, then the typed error surfaces
+    c.crash_schedule = vec![CrashPoint { rank: Some(1), ..CrashPoint::at(1) }];
+    let svc = Service::new(c, td.path()).unwrap();
+    svc.load_graph("g", &g).unwrap();
+
+    let h = svc.submit(JobSpec::new("g", "degree").with_max_retries(2)).unwrap();
+    let err = h.wait().unwrap_err();
+    assert!(err.is_retryable(), "want a typed retryable mesh error, got {err:?}");
+
+    // the retry counter is part of the job's report/status surface; read
+    // it via a fresh handle-less probe: submit again and check live stats
+    let h2 = svc.submit(JobSpec::new("g", "degree").with_max_retries(1)).unwrap();
+    let mut last = h2.stats();
+    while last.phase != JobPhase::Failed {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        last = h2.stats();
+    }
+    assert_eq!(last.retries, 1, "one absorbed retry before the bounded budget ran out");
+    assert!(h2.wait().unwrap_err().is_retryable());
+}
+
+/// Jobs that succeed first try report zero retries, and non-retryable
+/// outcomes (cancellation) never consume retry budget.
+#[test]
+fn successful_and_cancelled_jobs_do_not_retry() {
+    let g = rmat(GenConfig::new(8, 6, 13));
+    let td = TempDir::new().unwrap();
+    let svc = Service::new(cfg(2), td.path()).unwrap();
+    svc.load_graph("g", &g).unwrap();
+
+    let ok = svc.submit(JobSpec::new("g", "degree").with_max_retries(3)).unwrap();
+    let report = ok.wait().unwrap();
+    assert_eq!(report.retries, 0);
+
+    let cancelled = svc.submit(JobSpec::new("g", "pagerank").with_param("iters", 50)).unwrap();
+    cancelled.cancel();
+    let st = cancelled.stats();
+    assert_eq!(st.retries, 0);
+    match cancelled.wait() {
+        Err(DfoError::Cancelled(_)) => {}
+        other => panic!("want Cancelled, got {other:?}"),
+    }
+}

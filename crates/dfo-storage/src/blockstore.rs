@@ -147,6 +147,24 @@ impl VersionedArrayStore {
         n_batches: usize,
         keep: usize,
     ) -> Result<Self> {
+        Self::recover_to(disk, dir, n_batches, keep, None)
+    }
+
+    /// [`VersionedArrayStore::recover`] with an upper bound on the epoch
+    /// considered committed. A per-call commit record (see
+    /// [`crate::CommitLog`]) may know that this array's last *globally*
+    /// committed epoch is older than its own `CURRENT` — a crash between
+    /// the per-array commits of one multi-array `Process` call leaves some
+    /// arrays one epoch ahead of the record. Passing that epoch as `target`
+    /// discards the torn epochs so every array of the call rolls back as a
+    /// unit. `None` trusts `CURRENT` (the pre-commit-record behaviour).
+    pub fn recover_to(
+        disk: NodeDisk,
+        dir: impl Into<String>,
+        n_batches: usize,
+        keep: usize,
+        target: Option<u64>,
+    ) -> Result<Self> {
         let dir = dir.into();
         let current_rel = format!("{dir}/CURRENT");
         if !disk.exists(&current_rel) {
@@ -158,16 +176,16 @@ impl VersionedArrayStore {
             disk.read_to_vec(&current_rel).ok().and_then(|b| read_u64(&mut Cursor::new(&b)).ok());
         let keep = keep.max(1);
 
-        // load the retained committed epochs (<= committed, newest `keep`),
-        // discarding anything that fails validation
+        // load the retained committed epochs (<= committed and <= target,
+        // newest `keep`), discarding anything that fails validation
         let mut epochs: Vec<u64> = Self::list_meta_epochs(&disk, &dir)?;
         epochs.sort_unstable();
         let mut history: VecDeque<(u64, Vec<BlockId>)> = VecDeque::new();
         let mut refcounts: HashMap<BlockId, u32> = HashMap::new();
         let mut max_block: BlockId = 0;
         for &e in epochs.iter() {
-            if committed.is_some_and(|c| e > c) {
-                // uncommitted metadata from a crash: remove
+            if committed.is_some_and(|c| e > c) || target.is_some_and(|t| e > t) {
+                // uncommitted (or torn-call) metadata from a crash: remove
                 disk.remove(&format!("{dir}/meta/ckpt_{e}.bin"))?;
                 continue;
             }
@@ -243,6 +261,11 @@ impl VersionedArrayStore {
         }
     }
 
+    /// Whether this store retains checkpoints (copy-on-write mode).
+    pub fn is_cow(&self) -> bool {
+        matches!(self.mode, Mode::Cow { .. })
+    }
+
     /// Reads the bytes of batch `b` (read-your-writes within an open epoch).
     pub fn read_batch(&self, b: usize) -> Result<Vec<u8>> {
         assert!(b < self.n_batches, "batch {b} out of range");
@@ -303,6 +326,62 @@ impl VersionedArrayStore {
             }
         };
         self.commit_mapping(mapping)
+    }
+
+    /// Rolls the store back one committed checkpoint, permanently
+    /// discarding the newest one: its manifest is deleted, its
+    /// no-longer-referenced blocks are garbage-collected, and `CURRENT`
+    /// re-points to the previous checkpoint. Returns the epoch the store
+    /// landed on. Used by ahead-rank recovery: a rank that committed a
+    /// `Process` call its crashed peers did not must discard that call to
+    /// rejoin them (`checkpoints_kept ≥ 2` retains the needed checkpoint).
+    ///
+    /// Fails with `NoCheckpoint` when only one checkpoint is retained and
+    /// with `Corrupt` when an epoch is open (`begin_epoch` without commit).
+    pub fn rollback_one(&mut self) -> Result<u64> {
+        let dir = self.dir.clone();
+        let Mode::Cow { epoch, current, pending, history, refcounts, .. } = &mut self.mode else {
+            return Err(DfoError::Corrupt(format!(
+                "{}: rollback_one on a non-checkpointed store",
+                self.dir
+            )));
+        };
+        if pending.is_some() {
+            return Err(DfoError::Corrupt(format!("{dir}: rollback_one with an open epoch")));
+        }
+        if history.len() < 2 {
+            return Err(DfoError::NoCheckpoint(format!(
+                "{dir}: cannot roll back epoch {} — only {} checkpoint(s) retained \
+                 (checkpoints_kept must be ≥ 2 for ahead-rank rollback)",
+                *epoch,
+                history.len()
+            )));
+        }
+        let (dropped_epoch, dropped_mapping) = history.pop_back().unwrap();
+        let (new_epoch, new_mapping) = history.back().unwrap();
+        *epoch = *new_epoch;
+        *current = new_mapping.clone();
+
+        // re-point CURRENT before deleting anything: a crash mid-rollback
+        // then re-runs recovery against the older committed epoch
+        let mut cur = Vec::new();
+        write_u64(&mut cur, *new_epoch).unwrap();
+        let new_epoch = *new_epoch;
+        let mut to_delete: Vec<BlockId> = Vec::new();
+        for id in dropped_mapping {
+            let rc = refcounts.get_mut(&id).expect("refcount missing");
+            *rc -= 1;
+            if *rc == 0 {
+                refcounts.remove(&id);
+                to_delete.push(id);
+            }
+        }
+        self.disk.write_atomic(&format!("{dir}/CURRENT"), &cur)?;
+        self.disk.remove(&format!("{dir}/meta/ckpt_{dropped_epoch}.bin"))?;
+        for id in to_delete {
+            self.remove_block_file(id)?;
+        }
+        Ok(new_epoch)
     }
 
     /// Aborts the open epoch, deleting its blocks.
@@ -668,6 +747,74 @@ mod tests {
             ),
             "a corrupt manifest must never be loaded"
         );
+    }
+
+    #[test]
+    fn recover_to_discards_epochs_above_target() {
+        let (td, disk) = two_checkpoints();
+        let s = VersionedArrayStore::recover_to(disk, "arr", 3, 2, Some(1)).unwrap();
+        assert_eq!(s.epoch(), 1, "epoch 2 is above the commit-record target");
+        for b in 0..3 {
+            assert_eq!(s.read_batch(b).unwrap(), vec![1u8; 4]);
+        }
+        assert!(!manifest_path(&td, 2).exists(), "torn epoch must be deleted");
+        let cur = std::fs::read(td.path().join("arr/CURRENT")).unwrap();
+        assert_eq!(u64::from_le_bytes(cur.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn recover_to_at_or_above_current_is_a_no_op() {
+        let (_td, disk) = two_checkpoints();
+        let s = VersionedArrayStore::recover_to(disk.clone(), "arr", 3, 2, Some(2)).unwrap();
+        assert_eq!(s.epoch(), 2);
+        let s = VersionedArrayStore::recover_to(disk, "arr", 3, 2, Some(99)).unwrap();
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn rollback_one_lands_on_previous_checkpoint_and_persists() {
+        let (td, disk) = two_checkpoints();
+        let mut s = VersionedArrayStore::recover(disk.clone(), "arr", 3, 2).unwrap();
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.rollback_one().unwrap(), 1);
+        for b in 0..3 {
+            assert_eq!(s.read_batch(b).unwrap(), vec![1u8; 4]);
+        }
+        // a second rollback is refused: only one checkpoint left
+        assert!(matches!(s.rollback_one(), Err(DfoError::NoCheckpoint(_))));
+        drop(s);
+        let s = VersionedArrayStore::recover(disk, "arr", 3, 2).unwrap();
+        assert_eq!(s.epoch(), 1, "rollback must persist across reopen");
+        assert!(!manifest_path(&td, 2).exists());
+    }
+
+    #[test]
+    fn rollback_then_commit_reuses_the_epoch_number() {
+        let (_td, disk) = two_checkpoints();
+        let mut s = VersionedArrayStore::recover(disk.clone(), "arr", 3, 2).unwrap();
+        s.rollback_one().unwrap();
+        s.begin_epoch();
+        s.write_batch(0, &[9u8; 4]).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.epoch(), 2, "re-execution recommits the rolled-back epoch");
+        assert_eq!(s.read_batch(0).unwrap(), vec![9u8; 4]);
+        assert_eq!(s.read_batch(1).unwrap(), vec![1u8; 4]);
+        drop(s);
+        let s = VersionedArrayStore::recover(disk, "arr", 3, 2).unwrap();
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.read_batch(0).unwrap(), vec![9u8; 4]);
+    }
+
+    #[test]
+    fn rollback_one_requires_a_closed_epoch_and_cow_mode() {
+        let (_t, mut s) = mk(false, 1);
+        assert!(matches!(s.rollback_one(), Err(DfoError::Corrupt(_))));
+        let (_t, mut s) = mk(true, 2);
+        s.begin_epoch();
+        s.write_batch(0, &[1u8; 4]).unwrap();
+        s.commit().unwrap();
+        s.begin_epoch();
+        assert!(matches!(s.rollback_one(), Err(DfoError::Corrupt(_))));
     }
 
     #[test]

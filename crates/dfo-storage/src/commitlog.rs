@@ -1,0 +1,310 @@
+//! Per-`Process`-call commit record spanning every checkpointed array
+//! (paper §3.2, hardened).
+//!
+//! The versioned block store commits each array *independently* — one
+//! checksummed manifest plus an atomic `CURRENT` flip per array. A
+//! `Process` call, however, touches several arrays (signal, slot, active,
+//! round marker), and a SIGKILL landing *between* their per-array commits
+//! leaves the group torn: some arrays hold the call's state, others the
+//! previous call's. Each array individually recovers to a valid checkpoint,
+//! so per-array validation can never notice.
+//!
+//! The [`CommitLog`] closes that window with a single record per node,
+//! rewritten atomically (temp-file + rename, magic + CRC-32 like the
+//! manifests) **after** all per-array commits of a call:
+//!
+//! ```text
+//! arrays/COMMITS.bin    call_seq, then per array: (name, epoch, touched?)
+//! ```
+//!
+//! * A crash **before** the record write leaves the record at call `k−1`
+//!   while some arrays sit at call `k` epochs; at recovery,
+//!   [`CommitLog::target_epoch`] caps each array's
+//!   [`crate::VersionedArrayStore::recover_to`] so the torn call is
+//!   discarded *as a unit*.
+//! * A crash **after** the record write is a clean boundary: every array of
+//!   call `k` either committed (the record proves it) or is re-derived.
+//!
+//! The record also carries the node's global call sequence number, which
+//! supervised recovery exchanges across ranks: a rank whose `call_seq` is
+//! ahead of the cluster minimum rolls its last call back
+//! ([`CommitLog::rollback_last`] plus one
+//! [`crate::VersionedArrayStore::rollback_one`] per touched array).
+
+use crate::compress::crc32;
+use crate::disk::NodeDisk;
+use dfo_types::codec::{read_u64, write_u64};
+use dfo_types::{DfoError, Result};
+use std::collections::BTreeMap;
+use std::io::{Cursor, Read};
+
+/// `"DFOCOMIT"`: identifies a commit record.
+const COMMIT_MAGIC: u64 = 0x4446_4f43_4f4d_4954;
+
+/// Entry flag bit: the array was touched by the most recent recorded call.
+const FLAG_TOUCHED: u64 = 1;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    /// The array's committed epoch as of the last recorded call.
+    epoch: u64,
+    /// Whether the last recorded call touched (committed) this array —
+    /// exactly the set a one-call rollback must undo.
+    touched: bool,
+}
+
+/// One node's per-call commit record over all of its checkpointed arrays.
+pub struct CommitLog {
+    disk: NodeDisk,
+    rel: String,
+    call_seq: u64,
+    // BTreeMap: deterministic serialization order, so byte-identical state
+    // produces byte-identical records
+    entries: BTreeMap<String, Entry>,
+}
+
+impl CommitLog {
+    /// Opens the record at `rel` on `disk`, or starts a fresh one (call
+    /// sequence 0, no arrays) when none exists. An unreadable or corrupt
+    /// record — which the atomic rewrite makes impossible under SIGKILL,
+    /// leaving only external damage — warns on stderr and starts fresh,
+    /// mirroring the manifest fallback policy (never load invalid state).
+    pub fn load_or_new(disk: NodeDisk, rel: impl Into<String>) -> Self {
+        let rel = rel.into();
+        let mut log = Self { disk, rel, call_seq: 0, entries: BTreeMap::new() };
+        if !log.disk.exists(&log.rel) {
+            return log;
+        }
+        match log.disk.read_to_vec(&log.rel).and_then(|b| Self::decode(&b)) {
+            Ok((call_seq, entries)) => {
+                log.call_seq = call_seq;
+                log.entries = entries;
+            }
+            Err(e) => {
+                eprintln!(
+                    "dfo-storage: commit record {} is unreadable ({e}); \
+                     treating as absent — arrays recover to their own CURRENT",
+                    log.rel
+                );
+            }
+        }
+        log
+    }
+
+    /// Number of `Process` calls this node has fully committed (record
+    /// included) — the value ranks exchange to detect ahead ranks.
+    pub fn call_seq(&self) -> u64 {
+        self.call_seq
+    }
+
+    /// The epoch recovery must cap array `name` at: its epoch as of the
+    /// last fully recorded call, or 0 (the creation checkpoint) for an
+    /// array no recorded call has ever touched. An array found above this
+    /// epoch committed part of a call whose record never landed — the torn
+    /// call is discarded by `recover_to`.
+    pub fn target_epoch(&self, name: &str) -> u64 {
+        self.entries.get(name).map_or(0, |e| e.epoch)
+    }
+
+    /// Records one fully committed `Process` call: `touched` lists every
+    /// checkpointed array the call committed, with its new epoch. Persists
+    /// the record atomically and advances the call sequence. Must be called
+    /// *after* the per-array commits (the record asserts they all landed).
+    pub fn record_commit(&mut self, touched: &[(&str, u64)]) -> Result<()> {
+        for e in self.entries.values_mut() {
+            e.touched = false;
+        }
+        for &(name, epoch) in touched {
+            self.entries.insert(name.to_string(), Entry { epoch, touched: true });
+        }
+        self.call_seq += 1;
+        self.persist()
+    }
+
+    /// Undoes the last recorded call *in the record*: the call sequence
+    /// steps back one and each touched array's epoch steps back one
+    /// (per-array epochs advance by exactly one per touching call).
+    /// Persists first, then returns `(name, epoch)` pairs the caller must
+    /// roll the actual array stores back to — that order is itself
+    /// crash-safe, since a crash after the record rewrite leaves arrays
+    /// ahead of the record, exactly the torn state `target_epoch` repairs.
+    pub fn rollback_last(&mut self) -> Result<Vec<(String, u64)>> {
+        if self.call_seq == 0 {
+            return Err(DfoError::NoCheckpoint(format!(
+                "{}: no recorded call to roll back",
+                self.rel
+            )));
+        }
+        let mut restored = Vec::new();
+        for (name, e) in self.entries.iter_mut() {
+            if e.touched {
+                if e.epoch == 0 {
+                    return Err(DfoError::Corrupt(format!(
+                        "{}: array {name} touched at epoch 0 (creation is not a call)",
+                        self.rel
+                    )));
+                }
+                e.epoch -= 1;
+                e.touched = false;
+                restored.push((name.clone(), e.epoch));
+            }
+        }
+        self.call_seq -= 1;
+        self.persist()?;
+        Ok(restored)
+    }
+
+    fn persist(&self) -> Result<()> {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, COMMIT_MAGIC).unwrap();
+        write_u64(&mut buf, self.call_seq).unwrap();
+        write_u64(&mut buf, self.entries.len() as u64).unwrap();
+        for (name, e) in &self.entries {
+            write_u64(&mut buf, name.len() as u64).unwrap();
+            buf.extend_from_slice(name.as_bytes());
+            write_u64(&mut buf, e.epoch).unwrap();
+            write_u64(&mut buf, if e.touched { FLAG_TOUCHED } else { 0 }).unwrap();
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        self.disk.write_atomic(&self.rel, &buf)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(u64, BTreeMap<String, Entry>)> {
+        if bytes.len() < 28 {
+            return Err(DfoError::Corrupt(format!(
+                "commit record: {} bytes is shorter than any valid record",
+                bytes.len()
+            )));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let want_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != want_crc {
+            return Err(DfoError::Corrupt("commit record: CRC mismatch".into()));
+        }
+        let mut c = Cursor::new(body);
+        let magic = read_u64(&mut c).map_err(|e| DfoError::io("commit record magic", e))?;
+        if magic != COMMIT_MAGIC {
+            return Err(DfoError::Corrupt(format!("commit record: bad magic {magic:#x}")));
+        }
+        let call_seq = read_u64(&mut c).map_err(|e| DfoError::io("commit record seq", e))?;
+        let n = read_u64(&mut c).map_err(|e| DfoError::io("commit record len", e))? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let name_len =
+                read_u64(&mut c).map_err(|e| DfoError::io("commit record name len", e))? as usize;
+            let mut name = vec![0u8; name_len];
+            c.read_exact(&mut name).map_err(|e| DfoError::io("commit record name", e))?;
+            let name = String::from_utf8(name)
+                .map_err(|_| DfoError::Corrupt("commit record: non-UTF-8 array name".into()))?;
+            let epoch = read_u64(&mut c).map_err(|e| DfoError::io("commit record epoch", e))?;
+            let flags = read_u64(&mut c).map_err(|e| DfoError::io("commit record flags", e))?;
+            entries.insert(name, Entry { epoch, touched: flags & FLAG_TOUCHED != 0 });
+        }
+        if c.position() != body.len() as u64 {
+            return Err(DfoError::Corrupt("commit record: trailing bytes".into()));
+        }
+        Ok((call_seq, entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    const REL: &str = "arrays/COMMITS.bin";
+
+    fn mk() -> (TempDir, NodeDisk) {
+        let td = TempDir::new().unwrap();
+        let disk = NodeDisk::new(td.path(), None, false).unwrap();
+        (td, disk)
+    }
+
+    #[test]
+    fn fresh_log_knows_nothing() {
+        let (_t, disk) = mk();
+        let log = CommitLog::load_or_new(disk, REL);
+        assert_eq!(log.call_seq(), 0);
+        assert_eq!(log.target_epoch("rank"), 0);
+    }
+
+    #[test]
+    fn record_and_reload_round_trip() {
+        let (_t, disk) = mk();
+        let mut log = CommitLog::load_or_new(disk.clone(), REL);
+        log.record_commit(&[("rank", 1), ("marker", 1)]).unwrap();
+        log.record_commit(&[("rank", 2)]).unwrap();
+        drop(log);
+        let log = CommitLog::load_or_new(disk, REL);
+        assert_eq!(log.call_seq(), 2);
+        assert_eq!(log.target_epoch("rank"), 2);
+        assert_eq!(log.target_epoch("marker"), 1, "untouched arrays keep their epoch");
+        assert_eq!(log.target_epoch("never_seen"), 0);
+    }
+
+    #[test]
+    fn rollback_undoes_exactly_the_last_call() {
+        let (_t, disk) = mk();
+        let mut log = CommitLog::load_or_new(disk.clone(), REL);
+        log.record_commit(&[("rank", 1), ("marker", 1)]).unwrap();
+        log.record_commit(&[("rank", 2), ("next", 1)]).unwrap();
+        let restored = log.rollback_last().unwrap();
+        assert_eq!(restored, vec![("next".to_string(), 0), ("rank".to_string(), 1)]);
+        assert_eq!(log.call_seq(), 1);
+        assert_eq!(log.target_epoch("marker"), 1, "arrays of older calls untouched");
+        drop(log);
+        let log = CommitLog::load_or_new(disk, REL);
+        assert_eq!(log.call_seq(), 1, "rollback must persist");
+        assert_eq!(log.target_epoch("rank"), 1);
+    }
+
+    #[test]
+    fn rollback_of_an_empty_log_is_refused() {
+        let (_t, disk) = mk();
+        let mut log = CommitLog::load_or_new(disk, REL);
+        assert!(matches!(log.rollback_last(), Err(DfoError::NoCheckpoint(_))));
+    }
+
+    #[test]
+    fn corrupt_record_is_treated_as_absent() {
+        let (td, disk) = mk();
+        let mut log = CommitLog::load_or_new(disk.clone(), REL);
+        log.record_commit(&[("rank", 1)]).unwrap();
+        drop(log);
+        let path = td.path().join(REL);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let log = CommitLog::load_or_new(disk, REL);
+        assert_eq!(log.call_seq(), 0, "a damaged record must never be loaded");
+    }
+
+    #[test]
+    fn truncated_record_is_treated_as_absent() {
+        let (td, disk) = mk();
+        let mut log = CommitLog::load_or_new(disk.clone(), REL);
+        log.record_commit(&[("rank", 1), ("marker", 1)]).unwrap();
+        drop(log);
+        let path = td.path().join(REL);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let log = CommitLog::load_or_new(disk, REL);
+        assert_eq!(log.call_seq(), 0);
+    }
+
+    #[test]
+    fn deterministic_bytes_for_identical_state() {
+        let (ta, disk_a) = mk();
+        let (tb, disk_b) = mk();
+        for disk in [disk_a, disk_b] {
+            let mut log = CommitLog::load_or_new(disk, REL);
+            log.record_commit(&[("b", 1), ("a", 1)]).unwrap();
+            log.record_commit(&[("a", 2), ("c", 1)]).unwrap();
+        }
+        let a = std::fs::read(ta.path().join(REL)).unwrap();
+        let b = std::fs::read(tb.path().join(REL)).unwrap();
+        assert_eq!(a, b, "identical commit history must serialize identically");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod blockstore;
 pub mod chunkcache;
+pub mod commitlog;
 pub mod compress;
 pub mod disk;
 pub mod pagecache;
@@ -18,6 +19,7 @@ pub mod throttle;
 
 pub use blockstore::VersionedArrayStore;
 pub use chunkcache::{CachedValue, ChunkCache, ChunkCacheStats, ChunkKey, PrefetchJob, Prefetcher};
+pub use commitlog::CommitLog;
 pub use compress::{FrameReader, FrameWriter, FRAME_MAGIC};
 pub use disk::{DiskReader, DiskStats, DiskWriter, NodeDisk, RandomFile};
 pub use pagecache::{CacheStats, PageCache};

@@ -20,35 +20,107 @@ pub enum BatchPolicy {
     SemiOutOfCore,
 }
 
-/// A deterministic fault-injection point: abort this process right before
-/// the `call`-th `Process` call (counting `ProcessVertices` and
-/// `ProcessEdges` commits on this rank from 0) would commit, optionally
-/// only on one rank. Kill tests use it to die at a *precise commit
-/// boundary* instead of relying on timing; see
-/// [`EngineConfig::apply_env_overrides`] for the `DFO_CRASH_AT` syntax.
+/// Where inside a `Process` call's commit sequence a [`CrashPoint`] fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrashPos {
+    /// Before any array of the call has committed (the historical
+    /// `DFO_CRASH_AT` behaviour): the whole call is lost.
+    #[default]
+    Pre,
+    /// After the first array of the call has committed but before the rest
+    /// (and before the per-call commit record is written) — the torn-call
+    /// window the commit record exists to close.
+    Mid,
+}
+
+/// A deterministic fault-injection point: abort this process at a precise
+/// position of the `call`-th `Process` call's commit sequence (counting
+/// `ProcessVertices` and `ProcessEdges` commits on this rank from 0),
+/// optionally only on one rank and only at one mesh epoch. Kill tests use
+/// schedules of these to die at *precise commit boundaries* instead of
+/// relying on timing; see [`EngineConfig::apply_env_overrides`] for the
+/// `DFO_CRASH_AT` syntax.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashPoint {
-    /// Zero-based index of the `Process` call whose commit never happens.
+    /// Zero-based index of the `Process` call whose commit is interrupted.
     pub call: u64,
     /// Restrict the crash to one rank; `None` crashes every rank that
     /// reaches the call (useful only in single-rank setups).
     pub rank: Option<Rank>,
+    /// Position within the call's commit sequence.
+    pub pos: CrashPos,
+    /// Restrict the crash to one mesh epoch; `None` fires in any epoch.
+    /// Since relaunched ranks resume their call counter from zero, an
+    /// epoch qualifier is how a schedule injects a *second* kill into an
+    /// already-recovered run.
+    pub epoch: Option<u64>,
 }
 
 impl CrashPoint {
-    /// Parses `"<call>"` or `"<call>:<rank>"` (the `DFO_CRASH_AT` format).
+    /// A plain pre-commit crash at `call` on every rank, any epoch — the
+    /// historical single-point behaviour.
+    pub fn at(call: u64) -> Self {
+        CrashPoint { call, rank: None, pos: CrashPos::Pre, epoch: None }
+    }
+
+    /// Parses one `DFO_CRASH_AT` point: `<call>[.pre|.mid][:<rank>][@<epoch>]`.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.trim();
         if s.is_empty() {
             return None;
         }
-        match s.split_once(':') {
-            Some((call, rank)) => Some(CrashPoint {
-                call: call.trim().parse().ok()?,
-                rank: Some(rank.trim().parse().ok()?),
-            }),
-            None => Some(CrashPoint { call: s.parse().ok()?, rank: None }),
+        let (s, epoch) = match s.rsplit_once('@') {
+            Some((rest, e)) => (rest, Some(e.trim().parse().ok()?)),
+            None => (s, None),
+        };
+        let (s, rank) = match s.split_once(':') {
+            Some((rest, r)) => (rest, Some(r.trim().parse().ok()?)),
+            None => (s, None),
+        };
+        let (s, pos) = match s.split_once('.') {
+            Some((rest, p)) => (
+                rest,
+                match p.trim() {
+                    "pre" => CrashPos::Pre,
+                    "mid" => CrashPos::Mid,
+                    _ => return None,
+                },
+            ),
+            None => (s, CrashPos::Pre),
+        };
+        Some(CrashPoint { call: s.trim().parse().ok()?, rank, pos, epoch })
+    }
+
+    /// Parses a comma-separated schedule of points; `None` if any point is
+    /// malformed (an empty string parses to an empty schedule).
+    pub fn parse_schedule(s: &str) -> Option<Vec<Self>> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(CrashPoint::parse)
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Renders the point back into its `DFO_CRASH_AT` grammar (the inverse
+    /// of [`CrashPoint::parse`]); supervisors use it to forward schedules
+    /// to relaunched ranks.
+    pub fn render(&self) -> String {
+        let mut s = self.call.to_string();
+        if self.pos == CrashPos::Mid {
+            s.push_str(".mid");
         }
+        if let Some(r) = self.rank {
+            s.push_str(&format!(":{r}"));
+        }
+        if let Some(e) = self.epoch {
+            s.push_str(&format!("@{e}"));
+        }
+        s
+    }
+
+    /// Renders a schedule as a comma-separated `DFO_CRASH_AT` value.
+    pub fn render_schedule(points: &[Self]) -> String {
+        points.iter().map(CrashPoint::render).collect::<Vec<_>>().join(",")
     }
 }
 
@@ -158,10 +230,19 @@ pub struct EngineConfig {
     /// giving up (`Cluster::run_supervised`; 0 = fail on the first one,
     /// the old fail-stop behaviour). `DFO_MAX_RESTARTS` overrides.
     pub max_restarts: u32,
-    /// Deterministic fault injection: abort the process right before this
-    /// `Process`-call commit. `None` (the default) injects nothing.
-    /// `DFO_CRASH_AT=<call>[:<rank>]` overrides.
-    pub crash_at: Option<CrashPoint>,
+    /// Deterministic fault injection: a schedule of points at which this
+    /// process aborts inside a `Process`-call commit sequence. Empty (the
+    /// default) injects nothing. `DFO_CRASH_AT` overrides with a
+    /// comma-separated `<call>[.pre|.mid][:<rank>][@<epoch>]` list.
+    pub crash_schedule: Vec<CrashPoint>,
+    /// Path of the supervisor-published epoch file: an atomically-rewritten
+    /// decimal mesh epoch that is the single authority under overlapping
+    /// failures. Supervised ranks re-read it between recovery attempts so
+    /// every relaunch converges on the same epoch regardless of how many
+    /// ranks died in the window. `None` (the default, and the value for
+    /// unsupervised runs) keeps the local bump-by-one scheme.
+    /// `DFO_EPOCH_FILE` overrides (empty value disables).
+    pub epoch_file: Option<String>,
     /// Span-trace output path. When set, every rank records pipeline-phase
     /// / collective / storage spans into a bounded flight recorder and the
     /// run ends by writing one merged timeline here — Chrome `trace_event`
@@ -222,7 +303,8 @@ impl EngineConfig {
             connect_timeout_secs: 30,
             epoch: 0,
             max_restarts: 0,
-            crash_at: None,
+            crash_schedule: Vec::new(),
+            epoch_file: None,
             trace_path: None,
             trace_capacity: 1 << 16,
             metrics_addr: None,
@@ -258,8 +340,13 @@ impl EngineConfig {
     /// * `DFO_EPOCH` — mesh bootstrap epoch (a supervisor passes it to
     ///   relaunched ranks).
     /// * `DFO_MAX_RESTARTS` — bounds supervised recoveries.
-    /// * `DFO_CRASH_AT=<call>[:<rank>]` — injects a deterministic crash
-    ///   right before that `Process`-call commit (empty value disables).
+    /// * `DFO_CRASH_AT` — comma-separated crash schedule, each point
+    ///   `<call>[.pre|.mid][:<rank>][@<epoch>]`: abort at that
+    ///   `Process`-call commit, `pre` (default) before any array commits,
+    ///   `mid` between the first and second array commit; optional rank and
+    ///   mesh-epoch qualifiers (empty value disables).
+    /// * `DFO_EPOCH_FILE=<path>` — supervisor-published epoch file re-read
+    ///   between recovery attempts (empty value disables).
     /// * `DFO_TRACE=<path>` — span-trace output path (Chrome `trace_event`
     ///   JSON, or JSONL when the path ends in `.jsonl`); empty disables.
     /// * `DFO_METRICS_ADDR=<host:port>` — bind address of the service
@@ -325,16 +412,21 @@ impl EngineConfig {
         }
         if let Ok(s) = std::env::var("DFO_CRASH_AT") {
             if s.trim().is_empty() {
-                self.crash_at = None; // explicit disable (supervisor relaunch)
+                self.crash_schedule.clear(); // explicit disable (supervisor relaunch)
             } else {
-                match CrashPoint::parse(&s) {
-                    Some(cp) => self.crash_at = Some(cp),
+                match CrashPoint::parse_schedule(&s) {
+                    Some(sched) => self.crash_schedule = sched,
                     None => eprintln!(
-                        "DFO_CRASH_AT={s:?} is not <call>[:<rank>]; keeping crash_at = {:?}",
-                        self.crash_at
+                        "DFO_CRASH_AT={s:?} is not a comma-separated \
+                         <call>[.pre|.mid][:<rank>][@<epoch>] list; keeping crash_schedule = {:?}",
+                        self.crash_schedule
                     ),
                 }
             }
+        }
+        if let Ok(s) = std::env::var("DFO_EPOCH_FILE") {
+            let s = s.trim();
+            self.epoch_file = if s.is_empty() { None } else { Some(s.to_string()) };
         }
         if let Ok(s) = std::env::var("DFO_TRACE") {
             let s = s.trim();
@@ -780,12 +872,39 @@ mod tests {
 
     #[test]
     fn crash_point_parsing() {
-        assert_eq!(CrashPoint::parse("5"), Some(CrashPoint { call: 5, rank: None }));
-        assert_eq!(CrashPoint::parse(" 9:1 "), Some(CrashPoint { call: 9, rank: Some(1) }));
+        assert_eq!(CrashPoint::parse("5"), Some(CrashPoint::at(5)));
+        assert_eq!(
+            CrashPoint::parse(" 9:1 "),
+            Some(CrashPoint { rank: Some(1), ..CrashPoint::at(9) })
+        );
+        assert_eq!(
+            CrashPoint::parse("7.mid:0@2"),
+            Some(CrashPoint { call: 7, rank: Some(0), pos: CrashPos::Mid, epoch: Some(2) })
+        );
+        assert_eq!(
+            CrashPoint::parse("3.pre@1"),
+            Some(CrashPoint { epoch: Some(1), ..CrashPoint::at(3) })
+        );
         assert_eq!(CrashPoint::parse("9:"), None);
         assert_eq!(CrashPoint::parse(":1"), None);
+        assert_eq!(CrashPoint::parse("4.sideways"), None);
+        assert_eq!(CrashPoint::parse("4@"), None);
         assert_eq!(CrashPoint::parse("x"), None);
         assert_eq!(CrashPoint::parse(""), None);
+    }
+
+    #[test]
+    fn crash_schedule_round_trips() {
+        let sched = vec![
+            CrashPoint { call: 7, rank: Some(1), pos: CrashPos::Mid, epoch: None },
+            CrashPoint { call: 2, rank: Some(0), pos: CrashPos::Pre, epoch: Some(1) },
+            CrashPoint::at(14),
+        ];
+        let rendered = CrashPoint::render_schedule(&sched);
+        assert_eq!(rendered, "7.mid:1,2:0@1,14");
+        assert_eq!(CrashPoint::parse_schedule(&rendered), Some(sched));
+        assert_eq!(CrashPoint::parse_schedule(""), Some(vec![]));
+        assert_eq!(CrashPoint::parse_schedule("1,bogus"), None);
     }
 
     #[test]
@@ -824,7 +943,8 @@ mod tests {
         let c = EngineConfig::for_test(2);
         assert_eq!(c.epoch, 0);
         assert_eq!(c.max_restarts, 0);
-        assert_eq!(c.crash_at, None);
+        assert!(c.crash_schedule.is_empty());
+        assert_eq!(c.epoch_file, None);
     }
 
     #[test]

@@ -45,6 +45,19 @@ impl DfoError {
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
         DfoError::Io { context: context.into(), source }
     }
+
+    /// Whether a fresh attempt could plausibly succeed: mesh failures
+    /// (`NetClosed`, `Handshake`) are environmental and transient, and an
+    /// exhausted restart budget is retryable when its underlying failure
+    /// is. Deterministic failures (panics, corruption, bad config,
+    /// cooperative cancellation) are not — retrying replays the bug.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            DfoError::NetClosed(_) | DfoError::Handshake(_) => true,
+            DfoError::RestartsExhausted { last, .. } => last.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for DfoError {
@@ -102,6 +115,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains('3') && s.contains("peer gone"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability_follows_failure_class() {
+        assert!(DfoError::NetClosed("peer gone".into()).is_retryable());
+        assert!(DfoError::Handshake("timed out".into()).is_retryable());
+        assert!(!DfoError::Panic("bug".into()).is_retryable());
+        assert!(!DfoError::Corrupt("bad crc".into()).is_retryable());
+        assert!(!DfoError::Cancelled("user".into()).is_retryable());
+        let retryable = DfoError::RestartsExhausted {
+            attempts: 2,
+            last: Box::new(DfoError::NetClosed("peer gone".into())),
+        };
+        assert!(retryable.is_retryable());
+        let deterministic = DfoError::RestartsExhausted {
+            attempts: 2,
+            last: Box::new(DfoError::Panic("bug".into())),
+        };
+        assert!(!deterministic.is_retryable());
     }
 
     #[test]

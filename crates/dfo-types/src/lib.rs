@@ -15,7 +15,7 @@ pub mod stats;
 
 pub use codec::{read_exact_or_eof, read_u32, read_u64, write_u32, write_u64};
 pub use config::{
-    BatchPolicy, CrashPoint, DispatchKind, EngineConfig, EngineConfigBuilder, ReprKind,
+    BatchPolicy, CrashPoint, CrashPos, DispatchKind, EngineConfig, EngineConfigBuilder, ReprKind,
 };
 pub use error::{DfoError, Result};
 pub use ids::{BatchId, PartitionId, Rank, VertexId, VertexRange};

@@ -205,13 +205,19 @@ impl PhaseStats {
 
 /// Checkpoint-restart counters of one supervised rank (§3.2 over process
 /// relaunch): how many times the rank re-bootstrapped the mesh after a peer
-/// failure, and the epoch it last joined under.
+/// failure, the epoch it last joined under, and how many one-call rollbacks
+/// it performed to rejoin peers that died before committing.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Mesh re-bootstraps performed by this rank (0 = never failed over).
     pub restarts: u64,
     /// Epoch of the most recent successful mesh bootstrap.
     pub mesh_epoch: u64,
+    /// Checkpoints this rank rolled back because it had committed a
+    /// `Process` call that a crashed peer had not (the ahead-rank window):
+    /// each rollback discards exactly one committed call so all ranks
+    /// resume from the same global call sequence.
+    pub rollbacks: u64,
 }
 
 #[cfg(test)]
@@ -221,7 +227,7 @@ mod tests {
     #[test]
     fn recovery_stats_default_is_clean() {
         let r = RecoveryStats::default();
-        assert_eq!(r, RecoveryStats { restarts: 0, mesh_epoch: 0 });
+        assert_eq!(r, RecoveryStats { restarts: 0, mesh_epoch: 0, rollbacks: 0 });
     }
 
     #[test]

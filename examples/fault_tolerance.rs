@@ -3,7 +3,8 @@
 //! scratch.
 //!
 //! The crash is injected with the deterministic fault hook
-//! (`EngineConfig::crash_at`, env-settable as `DFO_CRASH_AT=<call>[:<rank>]`):
+//! (`EngineConfig::crash_schedule`, env-settable as
+//! `DFO_CRASH_AT=<call>[.pre|.mid][:<rank>][@<epoch>][,...]`):
 //! node 1 dies right *before* a chosen `Process` call commits, so the kill
 //! lands at a precise commit boundary instead of relying on timing. The
 //! recovery run reopens the arrays (recovering their last committed
@@ -64,7 +65,8 @@ fn main() -> dfograph::types::Result<()> {
     // Call numbering on a fresh run: call 0 is the committed_round scan,
     // call 1 + it is round `it` — so the hook targets call CRASH_BEFORE + 1.
     let mut crash_cfg = config();
-    crash_cfg.crash_at = Some(CrashPoint { call: CRASH_BEFORE + 1, rank: Some(1) });
+    crash_cfg.crash_schedule =
+        vec![CrashPoint { rank: Some(1), ..CrashPoint::at(CRASH_BEFORE + 1) }];
     let crashing = Cluster::create(crash_cfg, &dir)?;
     crashing.preprocess(&graph)?;
 
