@@ -14,7 +14,6 @@
 use crate::read_local;
 use dfo_core::NodeCtx;
 use dfo_types::{pod, DfoError, Pod, Result, VertexId};
-use std::collections::BTreeMap;
 
 /// Edge payload an algorithm requires of the preprocessed graph. Checked
 /// against [`dfo_part::plan::Plan::edge_data_bytes`] by
@@ -101,38 +100,13 @@ impl AlgoOutput {
 /// Named integer parameters for a by-name dispatch (`iters`, `root`,
 /// `max_iters`, …). Every algorithm documents its keys and falls back to a
 /// default for absent ones; unknown keys are ignored, so one parameter map
-/// can serve a batch of different algorithms. Deliberately string-keyed and
-/// integer-valued to stay transport-agnostic (trivially serializable).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct JobParams {
-    map: BTreeMap<String, u64>,
-}
-
-impl JobParams {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Builder-style insert: `JobParams::new().with("iters", 10)`.
-    #[must_use]
-    pub fn with(mut self, key: &str, value: u64) -> Self {
-        self.map.insert(key.to_string(), value);
-        self
-    }
-
-    pub fn set(&mut self, key: &str, value: u64) {
-        self.map.insert(key.to_string(), value);
-    }
-
-    pub fn get(&self, key: &str) -> Option<u64> {
-        self.map.get(key).copied()
-    }
-
-    /// The value of `key`, or `default` when absent.
-    pub fn get_or(&self, key: &str, default: u64) -> u64 {
-        self.get(key).unwrap_or(default)
-    }
-}
+/// can serve a batch of different algorithms.
+///
+/// The type itself lives in [`dfo_types::jobspec`] (so the remote job wire
+/// codec can encode it without depending on this crate); this re-export
+/// keeps `dfo_algos::JobParams` the conventional import for algorithm
+/// callers.
+pub use dfo_types::JobParams;
 
 /// A graph workload dispatchable by name: the uniform interface a job
 /// service multiplexes over one engine. Implementations are thin wrappers

@@ -29,7 +29,7 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 /// mesh failure comes back out as the typed error (retryable by supervised
 /// recovery); anything else is a deterministic bug in the program and maps
 /// to the non-retryable [`DfoError::Panic`].
-fn panic_to_error(panic: Box<dyn std::any::Any + Send>, rank: Rank) -> DfoError {
+pub(crate) fn panic_to_error(panic: Box<dyn std::any::Any + Send>, rank: Rank) -> DfoError {
     match panic.downcast::<DfoError>() {
         Ok(e) => *e,
         Err(panic) => DfoError::Panic(format!("rank {rank}: {}", panic_message(panic))),
@@ -255,7 +255,11 @@ impl Cluster {
     }
 
     /// Builds the telemetry context one rank's [`NodeCtx`] runs under.
-    fn rank_telemetry(&self, rank: Rank, recorder: Option<&Arc<FlightRecorder>>) -> Telemetry {
+    pub(crate) fn rank_telemetry(
+        &self,
+        rank: Rank,
+        recorder: Option<&Arc<FlightRecorder>>,
+    ) -> Telemetry {
         let mut tele = Telemetry::new(self.registry.clone());
         for (k, v) in &self.labels {
             tele = tele.with_label(k, v);
@@ -273,6 +277,16 @@ impl Cluster {
 
     pub fn base(&self) -> &PathBuf {
         &self.base
+    }
+
+    /// This rank's shared decoded-chunk cache, if caching is on.
+    pub(crate) fn chunk_cache(&self, rank: Rank) -> Option<Arc<ChunkCache>> {
+        self.chunk_caches.get(rank).cloned()
+    }
+
+    /// The shared rollback counter contexts report into.
+    pub(crate) fn rollbacks_handle(&self) -> Arc<AtomicU64> {
+        self.rollbacks.clone()
     }
 
     pub fn disks(&self) -> &[NodeDisk] {

@@ -50,10 +50,12 @@ pub mod cluster;
 pub mod edges;
 pub mod messages;
 pub mod node;
+pub mod resident;
 pub mod supervisor;
 
 pub use accum::Accum;
 pub use array::{BatchCtx, VertexArray};
 pub use cluster::Cluster;
 pub use node::NodeCtx;
+pub use resident::ResidentMesh;
 pub use supervisor::{RankSpec, SuperviseReport, Supervisor};

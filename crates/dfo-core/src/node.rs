@@ -260,6 +260,13 @@ impl NodeCtx {
         &self.scratch
     }
 
+    /// Consumes the context and hands back its network endpoint — how a
+    /// resident mesh ([`crate::ResidentMesh`]) reclaims the established
+    /// transport after a job's context is done with it.
+    pub fn into_net(self) -> Endpoint {
+        self.net
+    }
+
     pub fn net(&self) -> &Endpoint {
         &self.net
     }

@@ -1,0 +1,179 @@
+//! A resident TCP mesh: bootstrap once, serve a stream of jobs.
+//!
+//! [`crate::Cluster::run_distributed`] ties one mesh bootstrap to one job —
+//! every call re-dials every peer, re-handshakes, and tears the transport
+//! down again. A resident service daemon amortizes that: it calls
+//! [`ResidentMesh::connect`] **once** at startup and then runs any number
+//! of jobs over the same established endpoint with [`ResidentMesh::run_job`],
+//! interleaved with control-plane messages ([`ResidentMesh::ctrl_send`] /
+//! [`ResidentMesh::ctrl_recv`]) on the reserved control tag-space
+//! ([`dfo_net::CTRL_TAG_BIT`]) that can never contend with engine streams.
+//!
+//! ## Why serial jobs are safe — and concurrent ones are not
+//!
+//! Each `run_job` call builds a fresh [`NodeCtx`] over the retained
+//! endpoint. Engine stream tags restart at 0 per context, which is safe
+//! precisely because jobs are serial: every stream of job *n* is fully
+//! consumed before job *n+1* opens a stream on the same tag (the demux
+//! reclaims a (peer, tag) queue when its last frame is popped). The
+//! transport's collective sequence counter, by contrast, lives on the
+//! endpoint and keeps counting *across* jobs, so collective tags never
+//! repeat. Two jobs interleaving on one mesh would break both properties —
+//! which is why the daemon's scheduler orders jobs instead of overlapping
+//! them, and why `run_job` takes `&mut self`.
+//!
+//! ## Failure model
+//!
+//! * **Cooperative cancellation** is a clean collective unwind — every rank
+//!   agrees at the same `Process`-call boundary — so a cancelled job
+//!   returns [`DfoError::Cancelled`] and the mesh stays healthy for the
+//!   next job.
+//! * Any **other** job failure (error or panic) poisons the mesh exactly
+//!   like `run_distributed`: survivors' collectives fail with `NetClosed`
+//!   instead of hanging. The mesh is then dead; subsequent `run_job` and
+//!   control calls fail fast, and the daemon is expected to exit (its
+//!   supervisor may relaunch the whole daemon under a bumped epoch).
+
+use crate::cluster::Cluster;
+use crate::node::NodeCtx;
+use bytes::Bytes;
+use dfo_net::{Endpoint, TcpCluster, TcpOpts, CTRL_TAG_BIT};
+use dfo_part::plan::Plan;
+use dfo_types::{DfoError, EngineConfig, Rank, Result};
+use std::time::Duration;
+
+/// One rank's resident mesh endpoint. See the module docs.
+pub struct ResidentMesh {
+    rank: Rank,
+    nodes: usize,
+    /// `None` only transiently inside [`ResidentMesh::run_job`] (the job's
+    /// `NodeCtx` owns the endpoint for the duration) or permanently after a
+    /// context build failed so badly the endpoint was lost.
+    ep: Option<Endpoint>,
+}
+
+impl ResidentMesh {
+    /// Joins the TCP mesh described by `cfg.peers` as `rank`, blocking
+    /// until every pairwise connection is up and epoch-handshaken — the
+    /// same bootstrap as [`Cluster::run_distributed`], performed once for
+    /// the daemon's lifetime.
+    pub fn connect(cfg: &EngineConfig, rank: Rank) -> Result<Self> {
+        let peers = cfg.peers.clone().ok_or_else(|| {
+            DfoError::Config("ResidentMesh::connect needs cfg.peers (the rank address list)".into())
+        })?;
+        if rank >= cfg.nodes {
+            return Err(DfoError::Config(format!(
+                "rank {rank} outside cluster of {} nodes",
+                cfg.nodes
+            )));
+        }
+        let ep = TcpCluster::connect(
+            rank,
+            &peers,
+            cfg.net_bw,
+            cfg.record_traffic,
+            TcpOpts {
+                connect_timeout: Duration::from_secs(cfg.connect_timeout_secs),
+                epoch: cfg.epoch,
+            },
+        )?;
+        Ok(Self { rank, nodes: cfg.nodes, ep: Some(ep) })
+    }
+
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn ep(&self) -> Result<&Endpoint> {
+        self.ep.as_ref().ok_or_else(|| {
+            DfoError::NetClosed("resident mesh endpoint was lost to an earlier failure".into())
+        })
+    }
+
+    /// Sends one control-plane message to `dst` as a complete stream on the
+    /// reserved control tag. Control messages are strictly one-at-a-time
+    /// per peer (send, then wait for the peer to act), which keeps the
+    /// outstanding control-frame count within the demux head-of-line budget
+    /// ([`dfo_net::DEMUX_QUEUE_DEPTH`]).
+    pub fn ctrl_send(&self, dst: Rank, payload: Vec<u8>) -> Result<()> {
+        self.ep()?.send_stream(dst, CTRL_TAG_BIT, Bytes::from(payload))
+    }
+
+    /// Receives one complete control-plane message from `src` (blocking).
+    pub fn ctrl_recv(&self, src: Rank) -> Result<Vec<u8>> {
+        self.ep()?.recv_all(src, CTRL_TAG_BIT)
+    }
+
+    /// Mesh-wide barrier outside any job (e.g. a coordinated shutdown).
+    pub fn barrier(&self) -> Result<()> {
+        self.ep()?.barrier();
+        Ok(())
+    }
+
+    /// Runs one job over the resident mesh, SPMD-style: every rank of the
+    /// mesh must call this with the same `cluster` graph, `scope` and an
+    /// equivalent `f`, exactly like one closure execution of
+    /// [`Cluster::run_distributed`] — but over the already-established
+    /// endpoint, with no re-dial, no re-handshake and no re-preprocess.
+    ///
+    /// The job's mutable state (vertex arrays, checkpoints, spills) lives
+    /// under the private scratch scope `sub` of this rank's node disk;
+    /// graph data is read from the node root. Call
+    /// [`Cluster::remove_scratch`] afterwards like any scoped run.
+    ///
+    /// A [`DfoError::Cancelled`] return leaves the mesh healthy (see the
+    /// module docs); any other failure poisons it.
+    pub fn run_job<T>(
+        &mut self,
+        cluster: &Cluster,
+        scope: &str,
+        f: impl FnOnce(&mut NodeCtx) -> Result<T>,
+    ) -> Result<T> {
+        let cfg = cluster.config().clone();
+        if cfg.nodes != self.nodes {
+            return Err(DfoError::Config(format!(
+                "graph cluster spans {} nodes but the resident mesh has {}",
+                cfg.nodes, self.nodes
+            )));
+        }
+        let disk = cluster.disks()[self.rank].clone();
+        // validate everything that can fail *before* committing the
+        // endpoint to the context, so a bad graph directory is a per-job
+        // error rather than the end of the mesh
+        Plan::load(&disk)?;
+        let scratch = disk.scoped(scope)?;
+        let ep = self.ep.take().ok_or_else(|| {
+            DfoError::NetClosed("resident mesh endpoint was lost to an earlier failure".into())
+        })?;
+        // on a failed build the endpoint goes down with it; the mesh is lost
+        let mut ctx =
+            NodeCtx::with_disks(self.rank, cfg, disk, scratch, ep, cluster.chunk_cache(self.rank))?;
+        ctx.rollbacks = cluster.rollbacks_handle();
+        ctx.set_telemetry(cluster.rank_telemetry(self.rank, None));
+        // one-rank-per-process deployment: injected crashes kill the process
+        ctx.crash_abort = true;
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+        let out = match res {
+            Ok(Ok(v)) => Ok(v),
+            // a cooperative cancellation unwound every rank together at the
+            // same call boundary — the mesh is still consistent, keep it
+            Ok(Err(e @ DfoError::Cancelled(_))) => Err(e),
+            Ok(Err(e)) => {
+                ctx.net().poison_collective();
+                Err(e)
+            }
+            Err(panic) => {
+                ctx.net().poison_collective();
+                Err(crate::cluster::panic_to_error(panic, self.rank))
+            }
+        };
+        // hand the endpoint back for the next job (poisoned endpoints fail
+        // fast rather than hang, so returning one is safe)
+        self.ep = Some(ctx.into_net());
+        out
+    }
+}

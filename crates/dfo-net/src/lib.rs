@@ -30,5 +30,5 @@ pub use collective::Collective;
 pub use endpoint::{Endpoint, NetStats, NetTotals, PeerCounters, SimCluster, StreamRecv};
 pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
 pub use sim::SimTransport;
-pub use tcp::{TcpCluster, TcpOpts, TcpTransport};
+pub use tcp::{TcpCluster, TcpOpts, TcpTransport, CTRL_TAG_BIT, DEMUX_QUEUE_DEPTH};
 pub use transport::Transport;

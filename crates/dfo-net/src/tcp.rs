@@ -76,9 +76,27 @@ const PROTO_VERSION: u32 = 2; // v2: hello carries the mesh epoch
 /// sequence numbers and never reach it.
 const COLL_TAG_BIT: u64 = 1 << 63;
 
+/// Tag namespace bit reserved for **job-control** traffic (the resident
+/// service daemon's spec fan-out and the remote client protocol). Bit 63 is
+/// collectives, engine stream tags are call-sequence numbers that never
+/// leave the low bits — so control frames get their own per-(peer, tag)
+/// demux queues and can never contend with engine streams or collectives.
+///
+/// Control senders must respect the demux head-of-line rule: at most
+/// [`DEMUX_QUEUE_DEPTH`] control frames may be outstanding (sent but not
+/// yet received) per peer, because a full queue blocks the *reader thread*
+/// for that peer and would then stall every tag from it. The daemon's
+/// one-command-at-a-time discipline keeps the outstanding count at 1.
+pub const CTRL_TAG_BIT: u64 = 1 << 62;
+
 /// Frames buffered per (peer, tag) on the receive side before the demux
 /// reader stops reading from that peer's socket (backpressure).
 const QUEUE_DEPTH: usize = CHANNEL_DEPTH;
+
+/// Public alias of the per-(peer, tag) demux queue depth, so control-plane
+/// code (and the head-of-line guard test) can state its outstanding-frame
+/// budget against the real number.
+pub const DEMUX_QUEUE_DEPTH: usize = QUEUE_DEPTH;
 
 /// Socket buffer sizing for the codec threads.
 const IO_BUF: usize = 256 << 10;

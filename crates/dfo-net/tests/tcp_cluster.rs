@@ -307,3 +307,53 @@ fn single_rank_mesh_is_trivial() {
     assert_eq!(ep.allreduce_sum_u64(41), 41);
     assert_eq!(ep.nodes(), 1);
 }
+
+#[test]
+fn pending_control_frames_never_stall_engine_traffic() {
+    // The job-control guard: a slow consumer on the reserved control
+    // tag-space (CTRL_TAG_BIT) must not head-of-line-block engine streams,
+    // `exchange_bytes`-style all-to-all traffic, or collectives from the
+    // same peer. This models a resident daemon whose rank 0 has fanned out
+    // control frames that rank 1 has not picked up yet (a "slow client"
+    // situation) while engine traffic keeps flowing.
+    //
+    // The per-(peer, tag) demux queue holds DEMUX_QUEUE_DEPTH frames before
+    // the peer's reader thread blocks — so the test parks one frame *less*
+    // than the bound on the control tag (the documented outstanding budget
+    // any control-plane sender must respect; the daemon keeps it at 1) and
+    // then proves every engine-side primitive still completes.
+    use dfo_net::{CTRL_TAG_BIT, DEMUX_QUEUE_DEPTH};
+    const ROUNDS: usize = 4;
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            // park control frames at rank 1: sent, enqueued, not consumed
+            for i in 0..(DEMUX_QUEUE_DEPTH - 1) as u8 {
+                ep.send(1, CTRL_TAG_BIT, Bytes::copy_from_slice(&[i]), false).unwrap();
+            }
+        }
+        ep.barrier(); // control frames are in flight or queued at rank 1
+                      // engine traffic in both directions while the control frames sit
+                      // queued: streams on call-sequence tags, then collectives
+        for round in 0..ROUNDS as u64 {
+            let payload = vec![round as u8; 64 << 10];
+            let to = 1 - rank;
+            std::thread::scope(|s| {
+                s.spawn(|| ep.send_stream(to, round, Bytes::from(payload.clone())).unwrap());
+                let got = ep.recv_all(to, round).unwrap();
+                assert_eq!(got.len(), 64 << 10);
+                assert!(got.iter().all(|b| *b == round as u8));
+            });
+            assert_eq!(ep.allreduce_sum_u64(round + 1), 2 * (round + 1));
+        }
+        ep.barrier();
+        // only now does rank 1 drain the control tag; everything is there,
+        // in order, untouched by the interleaved engine traffic
+        if rank == 0 {
+            ep.finish_stream(1, CTRL_TAG_BIT).unwrap();
+        } else {
+            let ctrl = ep.recv_all(0, CTRL_TAG_BIT).unwrap();
+            assert_eq!(ctrl, (0..(DEMUX_QUEUE_DEPTH - 1) as u8).collect::<Vec<_>>());
+        }
+        ep.barrier();
+    });
+}

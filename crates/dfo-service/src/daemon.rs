@@ -1,0 +1,690 @@
+//! The resident daemon: one process per rank, serving jobs over the mesh.
+//!
+//! [`Daemon::run`] is the per-rank entry point of service phase 2. Every
+//! rank process connects the [`ResidentMesh`] **once** (paying mesh
+//! bootstrap at startup, not per job), opens the preprocessed graphs under
+//! `<base>/graphs/`, and then splits by role:
+//!
+//! * **Rank 0** additionally binds the job-control listener
+//!   (`cfg.control_addr` / `DFO_CONTROL_ADDR`) and accepts
+//!   [`crate::DfoClient`] connections. Client handler threads validate and
+//!   enqueue [`JobSpec`]s; the executor loop picks jobs off the
+//!   [scheduler](crate::sched) (priority, aging — serially, one job at a
+//!   time, because two jobs may not interleave on one mesh), fans each
+//!   admitted spec to the peer ranks as a [`PeerCmd::Run`] over the
+//!   reserved control tag, runs its own rank, and streams status
+//!   transitions, [`JobReport`]s and typed errors back to the submitting
+//!   client.
+//! * **Peer ranks** sit in a follower loop: block on the next control
+//!   message from rank 0, enter the same SPMD job, loop. The control plane
+//!   keeps at most one outstanding message per peer, so it can never fill
+//!   its demux queue and stall engine traffic.
+//!
+//! Job results travel **in-band**: every rank encodes its output slice,
+//! [`dfo_types::PhaseStats`] and measured scratch footprint as a
+//! [`wire::RankResult`] and the job closure gathers them to rank 0 with
+//! `exchange_bytes` — no side channel, no shared filesystem assumption.
+//! The measured footprints feed the same [`FootprintEstimator`] the
+//! in-process service uses, so repeat submissions of an
+//! `(algorithm, graph)` pair are admitted against learned estimates.
+//!
+//! ## Failure model
+//!
+//! Cooperative cancellation unwinds all ranks together and leaves the mesh
+//! healthy. Any other job failure poisons the mesh: the daemon reports the
+//! typed error to the submitting client, fails everything still queued,
+//! and exits — a supervisor may relaunch the whole mesh under a bumped
+//! epoch. The daemon deliberately ignores [`JobSpec::max_retries`]:
+//! retrying requires a fresh mesh, which is the supervisor's job, not the
+//! daemon's.
+
+use crate::catalog::validate_name;
+use crate::estimator::FootprintEstimator;
+use crate::job::JobReport;
+use crate::metrics::MetricsServer;
+use crate::sched::JobQueue;
+use crate::service::{default_estimate, CLIENT_QUOTA};
+use crate::wire::{self, ClientMsg, DaemonMsg, PeerCmd, RankResult, PROTO_VERSION};
+use dfo_algos::check_edge_data;
+use dfo_core::{Cluster, ResidentMesh};
+use dfo_obs::Registry;
+use dfo_part::plan::Plan;
+use dfo_types::{DfoError, EngineConfig, JobPhase, JobSpec, JobStatus, PhaseStats, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One opened graph: the cluster whose disks hold the preprocessed chunks,
+/// and its replicated plan.
+struct GraphEntry {
+    cluster: Cluster,
+    plan: Plan,
+}
+
+/// The write half of one client connection, shared by the handler thread
+/// (replies) and the executor (job events). Send failures mark the sink
+/// dead and are otherwise ignored: a vanished client must never take the
+/// daemon down with it.
+struct ClientSink {
+    w: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ClientSink {
+    fn send(&self, msg: &DaemonMsg) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut w = self.w.lock();
+        if wire::send_msg(&mut *w, msg.encode()).is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One job tracked by the daemon, shared by the submitting connection's
+/// handler, the scheduler, and the executor.
+struct RemoteJob {
+    id: u64,
+    spec: JobSpec,
+    estimate: u64,
+    /// Rank 0's real cancel token; peers install always-false tokens and
+    /// the collective cancel check spreads this one's value to every rank.
+    cancel: Arc<AtomicBool>,
+    phase: Mutex<JobPhase>,
+    /// Where this job's status transitions and terminal result stream to.
+    sink: Arc<ClientSink>,
+}
+
+impl RemoteJob {
+    fn status(&self) -> JobStatus {
+        JobStatus {
+            id: self.id,
+            phase: *self.phase.lock(),
+            graph: self.spec.graph.clone(),
+            algorithm: self.spec.algorithm.clone(),
+            mem_estimate: self.estimate,
+            retries: 0,
+            priority: self.spec.priority,
+            client_id: self.spec.client_id.clone(),
+        }
+    }
+
+    fn set_phase(&self, phase: JobPhase) {
+        *self.phase.lock() = phase;
+        self.sink.send(&DaemonMsg::Status { status: self.status() });
+    }
+}
+
+struct SchedState {
+    queue: JobQueue,
+    jobs: BTreeMap<u64, Arc<RemoteJob>>,
+    next_id: u64,
+    shutdown: bool,
+    /// The connection that requested shutdown, owed a `ShutdownOk`.
+    shutdown_sink: Option<Arc<ClientSink>>,
+}
+
+/// Rank-0 daemon state shared between the accept/handler threads and the
+/// executor loop.
+struct Shared {
+    cfg: EngineConfig,
+    catalog: BTreeMap<String, GraphEntry>,
+    registry: Arc<Registry>,
+    estimator: FootprintEstimator,
+    sched: Mutex<SchedState>,
+    /// Signaled on submit, cancel and shutdown; the executor waits here.
+    work: Condvar,
+}
+
+impl Shared {
+    fn sched_gauges(&self, queued: usize, running: usize) {
+        self.registry
+            .gauge("dfo_sched_queue_depth", "Jobs waiting for admission", &[])
+            .set(queued as f64);
+        self.registry
+            .gauge("dfo_sched_running_jobs", "Jobs currently admitted and running", &[])
+            .set(running as f64);
+    }
+}
+
+/// The resident per-rank daemon. See the module docs; in short, each rank
+/// process of the deployment calls [`Daemon::run`] with its rank and the
+/// shared engine config, and rank 0's `control_addr` is what
+/// [`crate::DfoClient::connect`] dials.
+pub struct Daemon;
+
+impl Daemon {
+    /// Runs one rank of the daemon mesh until a client requests shutdown
+    /// (clean `Ok`) or a job failure poisons the mesh (the poisoning
+    /// error). Graphs are discovered under `<base>/graphs/` — preprocess
+    /// them first with [`crate::Service::load_graph`] (or ship the
+    /// directories); the daemon never preprocesses.
+    pub fn run(cfg: EngineConfig, rank: usize, base: impl Into<PathBuf>) -> Result<()> {
+        cfg.validate().map_err(DfoError::Config)?;
+        let base = base.into();
+        let registry = Registry::new();
+        let catalog = open_catalog(&cfg, &base, &registry)?;
+        if catalog.is_empty() {
+            return Err(DfoError::Config(format!(
+                "no preprocessed graphs under {}/graphs",
+                base.display()
+            )));
+        }
+        let mesh = ResidentMesh::connect(&cfg, rank)?;
+        if rank == 0 {
+            run_rank0(cfg, catalog, registry, mesh)
+        } else {
+            run_peer(catalog, mesh)
+        }
+    }
+}
+
+/// Opens every preprocessed graph under `<base>/graphs/` into the shared
+/// registry — attach-only, no preprocessing (the plan must already exist).
+fn open_catalog(
+    cfg: &EngineConfig,
+    base: &Path,
+    registry: &Arc<Registry>,
+) -> Result<BTreeMap<String, GraphEntry>> {
+    let graphs_dir = base.join("graphs");
+    let mut catalog = BTreeMap::new();
+    let entries = match std::fs::read_dir(&graphs_dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(catalog), // no graphs directory yet
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| DfoError::io("listing graphs directory", e))?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if validate_name(&name).is_err() {
+            continue;
+        }
+        let cluster = Cluster::create_with_registry(
+            cfg.clone(),
+            entry.path(),
+            registry.clone(),
+            &[("graph", name.as_str())],
+        )?;
+        let plan = Plan::load(&cluster.disks()[0])?;
+        catalog.insert(name, GraphEntry { cluster, plan });
+    }
+    Ok(catalog)
+}
+
+/// Runs the SPMD body of one job on this rank over the resident mesh and
+/// gathers every rank's [`RankResult`] to rank 0 in-band.
+fn run_spmd_job(
+    mesh: &mut ResidentMesh,
+    entry: &GraphEntry,
+    spec: &JobSpec,
+    scope: &str,
+    token: Arc<AtomicBool>,
+) -> Result<Option<Vec<RankResult>>> {
+    let nodes = mesh.nodes();
+    let rank = mesh.rank();
+    mesh.run_job(&entry.cluster, scope, |ctx| {
+        ctx.set_cancel_token(token);
+        let algo = dfo_algos::find(&spec.algorithm).ok_or_else(|| {
+            DfoError::Config(format!("algorithm {:?} is not registered", spec.algorithm))
+        })?;
+        let output = algo.run(ctx, &spec.params)?;
+        let stats = ctx.job_phase_stats().clone();
+        let footprint = ctx.scratch().usage_bytes().unwrap_or(0);
+        let mine = RankResult { output, stats, footprint };
+        let mut outgoing = vec![Vec::new(); nodes];
+        outgoing[0] = mine.encode();
+        let gathered = ctx.exchange_bytes(outgoing)?;
+        if rank != 0 {
+            return Ok(None);
+        }
+        let mut results = Vec::with_capacity(nodes);
+        for bytes in &gathered {
+            results.push(RankResult::decode(bytes)?);
+        }
+        Ok(Some(results))
+    })
+}
+
+/// Post-job cleanup on the healthy path (success or cooperative cancel):
+/// a mesh-wide barrier so no rank deletes scratch another rank still
+/// touches, then each rank removes its **own** scratch directory — correct
+/// whether the deployment shares a filesystem or not.
+fn finish_scope(mesh: &ResidentMesh, entry: &GraphEntry, scope: &str) -> Result<()> {
+    mesh.barrier()?;
+    let dir = entry.cluster.disks()[mesh.rank()].root().join(scope);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| DfoError::io(format!("removing scratch dir {}", dir.display()), e))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// peer ranks: the follower loop
+
+fn run_peer(catalog: BTreeMap<String, GraphEntry>, mut mesh: ResidentMesh) -> Result<()> {
+    loop {
+        let msg = mesh.ctrl_recv(0)?;
+        match PeerCmd::decode(&msg)? {
+            PeerCmd::Run { scope, spec, .. } => {
+                let entry = catalog.get(&spec.graph).ok_or_else(|| {
+                    DfoError::Protocol(format!(
+                        "coordinator fanned out unknown graph {:?}",
+                        spec.graph
+                    ))
+                })?;
+                // rank 0's token cancels everyone through the collective
+                // cancel agreement; this rank never flips its own
+                let token = Arc::new(AtomicBool::new(false));
+                match run_spmd_job(&mut mesh, entry, &spec, &scope, token) {
+                    Ok(_) | Err(DfoError::Cancelled(_)) => finish_scope(&mesh, entry, &scope)?,
+                    Err(e) => return Err(e), // mesh poisoned; daemon dies
+                }
+            }
+            PeerCmd::Shutdown => {
+                mesh.barrier()?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rank 0: client listener, handlers, executor
+
+fn run_rank0(
+    cfg: EngineConfig,
+    catalog: BTreeMap<String, GraphEntry>,
+    registry: Arc<Registry>,
+    mut mesh: ResidentMesh,
+) -> Result<()> {
+    let control_addr = cfg.control_addr.clone().ok_or_else(|| {
+        DfoError::Config(
+            "daemon rank 0 needs cfg.control_addr (or DFO_CONTROL_ADDR) for the client listener"
+                .into(),
+        )
+    })?;
+    // the scrape endpoint lives on rank 0 alongside the control listener
+    let _metrics = match &cfg.metrics_addr {
+        Some(addr) => Some(MetricsServer::spawn(addr, registry.clone())?),
+        None => None,
+    };
+    let listener = TcpListener::bind(&control_addr)
+        .map_err(|e| DfoError::io(format!("binding control listener on {control_addr}"), e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DfoError::io("setting control listener non-blocking", e))?;
+    eprintln!(
+        "[dfo-daemon] rank 0 serving {} graph(s) on {}",
+        catalog.len(),
+        listener.local_addr().map(|a| a.to_string()).unwrap_or(control_addr.clone()),
+    );
+
+    let shared = Arc::new(Shared {
+        cfg,
+        catalog,
+        registry,
+        estimator: FootprintEstimator::new(),
+        sched: Mutex::new(SchedState {
+            queue: JobQueue::new(CLIENT_QUOTA),
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            shutdown: false,
+            shutdown_sink: None,
+        }),
+        work: Condvar::new(),
+    });
+
+    // accept loop: non-blocking poll so it can observe shutdown and release
+    // the port even when Daemon::run is hosted in a long-lived process
+    let accept_shared = shared.clone();
+    let accept = std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = accept_shared.clone();
+                std::thread::spawn(move || handle_client(shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if accept_shared.sched.lock().shutdown {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => return,
+        }
+    });
+
+    let out = executor(&shared, &mut mesh);
+    let _ = accept.join();
+    out
+}
+
+/// The serial executor: picks one job at a time off the scheduler and runs
+/// it over the resident mesh. Serial on purpose — engine stream tags
+/// restart per job and the collective sequence is mesh-global, so two jobs
+/// may not interleave on one mesh (see [`ResidentMesh`]); the scheduler
+/// *orders* the queue instead of overlapping it.
+fn executor(shared: &Arc<Shared>, mesh: &mut ResidentMesh) -> Result<()> {
+    loop {
+        // wait for an admissible job, a cancellation to reap, or shutdown
+        let job = {
+            let mut s = shared.sched.lock();
+            loop {
+                // withdraw cancelled queued jobs wherever they sit
+                let cancelled: Vec<u64> = s
+                    .jobs
+                    .values()
+                    .filter(|j| {
+                        j.cancel.load(Ordering::Relaxed) && *j.phase.lock() == JobPhase::Queued
+                    })
+                    .map(|j| j.id)
+                    .collect();
+                for id in cancelled {
+                    s.queue.remove(id);
+                    if let Some(j) = s.jobs.get(&id) {
+                        *j.phase.lock() = JobPhase::Cancelled;
+                        j.sink.send(&DaemonMsg::JobError {
+                            job_id: id,
+                            error: DfoError::Cancelled("job cancelled while queued".into()),
+                        });
+                    }
+                }
+                if s.shutdown && s.queue.is_empty() {
+                    break None;
+                }
+                // serial executor: nothing is running while picking, so
+                // every pick is "alone" — priority and aging order the
+                // queue, the alone-rule admits even oversized footprints
+                let picked = s.queue.pick(&BTreeMap::new(), shared.cfg.mem_budget, true);
+                match picked {
+                    Some(e) => {
+                        shared.sched_gauges(s.queue.len(), 1);
+                        break Some(s.jobs.get(&e.id).expect("picked job is tracked").clone());
+                    }
+                    None => {
+                        shared.sched_gauges(s.queue.len(), 0);
+                        shared.work.wait(&mut s);
+                    }
+                }
+            }
+        };
+
+        let Some(job) = job else {
+            // coordinated shutdown: stop the peers, settle the mesh, ack
+            let cmd = PeerCmd::Shutdown.encode();
+            for peer in 1..mesh.nodes() {
+                mesh.ctrl_send(peer, cmd.clone())?;
+            }
+            mesh.barrier()?;
+            let sink = shared.sched.lock().shutdown_sink.clone();
+            if let Some(sink) = sink {
+                sink.send(&DaemonMsg::ShutdownOk);
+            }
+            return Ok(());
+        };
+
+        let priority = job.spec.priority.to_string();
+        shared
+            .registry
+            .counter(
+                "dfo_sched_admitted_total",
+                "Jobs admitted by the scheduler, by priority",
+                &[("priority", priority.as_str())],
+            )
+            .inc();
+        if let Err(e) = run_job_rank0(shared, mesh, &job) {
+            // the mesh is poisoned: fail everything still queued and exit
+            fail_queued(shared, &e);
+            return Err(e);
+        }
+        shared.sched_gauges(shared.sched.lock().queue.len(), 0);
+    }
+}
+
+/// Runs one admitted job end to end on rank 0: fan-out, SPMD execution,
+/// learning, and the terminal client event. `Err` means the mesh is dead.
+fn run_job_rank0(
+    shared: &Arc<Shared>,
+    mesh: &mut ResidentMesh,
+    job: &Arc<RemoteJob>,
+) -> Result<()> {
+    let entry = shared.catalog.get(&job.spec.graph).expect("graph validated at submit");
+    let scope = format!("job{}", job.id);
+    let cmd = PeerCmd::Run { job_id: job.id, scope: scope.clone(), spec: job.spec.clone() };
+    let encoded = cmd.encode();
+    for peer in 1..mesh.nodes() {
+        mesh.ctrl_send(peer, encoded.clone())?;
+    }
+    job.set_phase(JobPhase::Running);
+    let started = Instant::now();
+    let graph = job.spec.graph.as_str();
+    let algorithm = job.spec.algorithm.as_str();
+    match run_spmd_job(mesh, entry, &job.spec, &scope, job.cancel.clone()) {
+        Ok(results) => {
+            finish_scope(mesh, entry, &scope)?;
+            let results = results.expect("rank 0 gathers results");
+            let mut outputs = Vec::with_capacity(results.len());
+            let mut rank_stats = Vec::with_capacity(results.len());
+            let mut totals = PhaseStats::default();
+            let mut peak = 0u64;
+            for r in results {
+                totals.merge(&r.stats);
+                peak = peak.max(r.footprint);
+                outputs.push(r.output);
+                rank_stats.push(r.stats);
+            }
+            if peak > 0 {
+                shared.estimator.record(algorithm, graph, peak);
+                shared
+                    .registry
+                    .gauge(
+                        "dfo_sched_estimate_error_ratio",
+                        "Charged admission estimate over measured peak scratch footprint \
+                         (last completed job; >1 = over-estimate)",
+                        &[("graph", graph), ("algorithm", algorithm)],
+                    )
+                    .set(job.estimate as f64 / peak.max(1) as f64);
+            }
+            shared
+                .registry
+                .counter(
+                    "dfo_jobs_completed_total",
+                    "Jobs that ran to completion",
+                    &[("graph", graph), ("algorithm", algorithm)],
+                )
+                .inc();
+            let report = JobReport {
+                id: job.id,
+                graph: job.spec.graph.clone(),
+                algorithm: job.spec.algorithm.clone(),
+                outputs,
+                rank_stats,
+                totals,
+                cache_window: Vec::new(),
+                retries: 0,
+                elapsed: started.elapsed(),
+            };
+            *job.phase.lock() = JobPhase::Done;
+            job.sink.send(&DaemonMsg::Report { report });
+            Ok(())
+        }
+        Err(e @ DfoError::Cancelled(_)) => {
+            // cooperative cancel: every rank unwound together, mesh healthy
+            finish_scope(mesh, entry, &scope)?;
+            shared
+                .registry
+                .counter(
+                    "dfo_jobs_failed_total",
+                    "Jobs that errored or were cancelled",
+                    &[("graph", graph), ("algorithm", algorithm)],
+                )
+                .inc();
+            *job.phase.lock() = JobPhase::Cancelled;
+            job.sink.send(&DaemonMsg::JobError { job_id: job.id, error: e });
+            Ok(())
+        }
+        Err(e) => {
+            shared
+                .registry
+                .counter(
+                    "dfo_jobs_failed_total",
+                    "Jobs that errored or were cancelled",
+                    &[("graph", graph), ("algorithm", algorithm)],
+                )
+                .inc();
+            *job.phase.lock() = JobPhase::Failed;
+            job.sink.send(&DaemonMsg::JobError { job_id: job.id, error: wire::clone_error(&e) });
+            Err(e)
+        }
+    }
+}
+
+/// Fails every still-queued job after the mesh died.
+fn fail_queued(shared: &Arc<Shared>, cause: &DfoError) {
+    let s = shared.sched.lock();
+    for j in s.jobs.values() {
+        if *j.phase.lock() == JobPhase::Queued {
+            *j.phase.lock() = JobPhase::Failed;
+            j.sink.send(&DaemonMsg::JobError {
+                job_id: j.id,
+                error: DfoError::NetClosed(format!("daemon mesh died: {cause}")),
+            });
+        }
+    }
+}
+
+/// One client connection: handshake, then a request loop. Protocol
+/// violations answer with a typed error and close the connection; a bad
+/// job *spec* is a per-request [`DaemonMsg::Error`], not a disconnect.
+fn handle_client(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let sink = Arc::new(ClientSink { w: Mutex::new(write_half), dead: AtomicBool::new(false) });
+    let mut reader = stream;
+
+    // handshake: Hello must come first and the version must match
+    let hello_client_id = match wire::recv_msg(&mut reader) {
+        Ok(Some(bytes)) => match ClientMsg::decode(&bytes) {
+            Ok(ClientMsg::Hello { version, client_id }) if version == PROTO_VERSION => client_id,
+            Ok(ClientMsg::Hello { version, .. }) => {
+                sink.send(&DaemonMsg::Error {
+                    message: format!(
+                        "unsupported protocol version {version} (daemon speaks {PROTO_VERSION})"
+                    ),
+                });
+                return;
+            }
+            _ => {
+                sink.send(&DaemonMsg::Error { message: "expected Hello first".into() });
+                return;
+            }
+        },
+        _ => return,
+    };
+    sink.send(&DaemonMsg::HelloOk { version: PROTO_VERSION, nodes: shared.cfg.nodes as u32 });
+
+    loop {
+        let bytes = match wire::recv_msg(&mut reader) {
+            Ok(Some(b)) => b,
+            Ok(None) | Err(_) => return, // client left (or spoke garbage)
+        };
+        let msg = match ClientMsg::decode(&bytes) {
+            Ok(m) => m,
+            Err(e) => {
+                sink.send(&DaemonMsg::Error { message: e.to_string() });
+                return;
+            }
+        };
+        match msg {
+            ClientMsg::Hello { .. } => {
+                sink.send(&DaemonMsg::Error { message: "duplicate Hello".into() });
+                return;
+            }
+            ClientMsg::Submit { mut spec } => {
+                if spec.client_id.is_empty() {
+                    spec.client_id = hello_client_id.clone();
+                }
+                match submit(&shared, spec, &sink) {
+                    Ok(job_id) => sink.send(&DaemonMsg::Submitted { job_id }),
+                    Err(e) => sink.send(&DaemonMsg::Error { message: e.to_string() }),
+                }
+            }
+            ClientMsg::Cancel { job_id } => {
+                let s = shared.sched.lock();
+                if let Some(j) = s.jobs.get(&job_id) {
+                    j.cancel.store(true, Ordering::Relaxed);
+                }
+                drop(s);
+                shared.work.notify_all();
+            }
+            ClientMsg::ListJobs => {
+                let s = shared.sched.lock();
+                let jobs = s.jobs.values().map(|j| j.status()).collect();
+                drop(s);
+                sink.send(&DaemonMsg::Jobs { jobs });
+            }
+            ClientMsg::Shutdown => {
+                {
+                    let mut s = shared.sched.lock();
+                    s.shutdown = true;
+                    s.shutdown_sink = Some(sink.clone());
+                }
+                shared.work.notify_all();
+                // ShutdownOk arrives from the executor once the mesh is down
+            }
+        }
+    }
+}
+
+/// Validates and enqueues one spec (the daemon-side analogue of
+/// [`crate::Service::submit`]): graph in catalog, algorithm registered,
+/// edge payload compatible; estimate from the spec, the learned estimator,
+/// or the static hint — in that order.
+fn submit(shared: &Arc<Shared>, spec: JobSpec, sink: &Arc<ClientSink>) -> Result<u64> {
+    let entry = shared
+        .catalog
+        .get(&spec.graph)
+        .ok_or_else(|| DfoError::Config(format!("graph {:?} is not in the catalog", spec.graph)))?;
+    let algo = dfo_algos::find(&spec.algorithm).ok_or_else(|| {
+        DfoError::Config(format!(
+            "unknown algorithm {:?} (registered: {})",
+            spec.algorithm,
+            dfo_algos::registry().iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+        ))
+    })?;
+    check_edge_data(algo, entry.plan.edge_data_bytes)?;
+    let estimate = spec
+        .mem_estimate
+        .or_else(|| shared.estimator.estimate(&spec.algorithm, &spec.graph))
+        .unwrap_or_else(|| default_estimate(algo, entry.plan.n_vertices, shared.cfg.nodes));
+    let job = {
+        let mut s = shared.sched.lock();
+        if s.shutdown {
+            return Err(DfoError::NetClosed("daemon is shutting down".into()));
+        }
+        let id = s.next_id;
+        s.next_id += 1;
+        let job = Arc::new(RemoteJob {
+            id,
+            spec,
+            estimate,
+            cancel: Arc::new(AtomicBool::new(false)),
+            phase: Mutex::new(JobPhase::Queued),
+            sink: sink.clone(),
+        });
+        s.queue.push(id, &job.spec.client_id, job.spec.priority, estimate);
+        s.jobs.insert(id, job.clone());
+        shared.sched_gauges(s.queue.len(), 0);
+        job
+    };
+    job.sink.send(&DaemonMsg::Status { status: job.status() });
+    shared.work.notify_all();
+    Ok(job.id)
+}

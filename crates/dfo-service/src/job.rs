@@ -1,95 +1,19 @@
-//! Job model: specs, handles, status, and the finished-job report.
+//! Job model: handles, lifecycle state, and the finished-job report.
+//!
+//! The spec/status vocabulary ([`JobSpec`], [`JobPhase`], [`JobStatus`])
+//! lives in `dfo_types::jobspec` since the remote protocol made it a wire
+//! format; this crate re-exports it, so `dfo_service::JobSpec` keeps
+//! working. What remains here is the process-local side: the shared
+//! [`JobInner`] record and the [`JobHandle`] a submitter holds.
 
 use crate::service::ServiceInner;
-use dfo_algos::{AlgoOutput, JobParams};
+use dfo_algos::AlgoOutput;
 use dfo_storage::ChunkCacheStats;
-use dfo_types::{DfoError, PhaseStats, Pod, Result};
+use dfo_types::{DfoError, JobPhase, JobSpec, JobStatus, PhaseStats, Pod, Result};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
-
-/// What to run: a catalog graph by name, a registered algorithm by name,
-/// and the algorithm's integer parameters. Deliberately plain data — no
-/// process-local state — so a transport layer can ship it between
-/// processes unchanged.
-#[derive(Clone, Debug)]
-pub struct JobSpec {
-    /// Catalog name of the graph ([`crate::Service::load_graph`]).
-    pub graph: String,
-    /// Registry name of the algorithm ([`dfo_algos::registry`]).
-    pub algorithm: String,
-    /// Parameters the algorithm reads by key (`iters`, `root`, …).
-    pub params: JobParams,
-    /// Overrides the admission-control footprint estimate (bytes per node).
-    /// `None` derives one from the algorithm's per-vertex state hint and
-    /// the graph's vertex count.
-    pub mem_estimate: Option<u64>,
-    /// Bounded retry policy: how many times a *retryable* failure
-    /// ([`DfoError::is_retryable`] — a mesh death or bootstrap handshake
-    /// failure, the errors checkpoint-restart exists for) is re-executed
-    /// before surfacing to [`JobHandle::wait`]. Non-retryable errors
-    /// (corruption, config, panics, cancellation) surface immediately.
-    /// Defaults to 0: every failure surfaces on first occurrence.
-    pub max_retries: u32,
-}
-
-impl JobSpec {
-    pub fn new(graph: impl Into<String>, algorithm: impl Into<String>) -> Self {
-        Self {
-            graph: graph.into(),
-            algorithm: algorithm.into(),
-            params: JobParams::new(),
-            mem_estimate: None,
-            max_retries: 0,
-        }
-    }
-
-    #[must_use]
-    pub fn with_param(mut self, key: &str, value: u64) -> Self {
-        self.params.set(key, value);
-        self
-    }
-
-    #[must_use]
-    pub fn with_mem_estimate(mut self, bytes: u64) -> Self {
-        self.mem_estimate = Some(bytes);
-        self
-    }
-
-    #[must_use]
-    pub fn with_max_retries(mut self, retries: u32) -> Self {
-        self.max_retries = retries;
-        self
-    }
-}
-
-/// Where a job is in its lifecycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JobPhase {
-    /// Admitted to the queue; not yet running (waiting for budget or for
-    /// earlier jobs — admission is FIFO, no overtaking).
-    Queued,
-    Running,
-    Done,
-    Failed,
-    Cancelled,
-}
-
-/// A point-in-time snapshot from [`JobHandle::stats`].
-#[derive(Clone, Debug)]
-pub struct JobStatus {
-    pub id: u64,
-    pub phase: JobPhase,
-    pub graph: String,
-    pub algorithm: String,
-    /// The admission-control footprint this job charges against
-    /// `mem_budget` while running (bytes per node).
-    pub mem_estimate: u64,
-    /// Retryable failures absorbed so far under the spec's `max_retries`
-    /// budget (live — a running job being re-executed counts up here).
-    pub retries: u32,
-}
+use std::time::{Duration, Instant};
 
 /// Everything a finished job produced.
 #[derive(Clone, Debug)]
@@ -161,6 +85,24 @@ impl JobInner {
         *self.state.lock() = State::Finished { phase, result: Box::new(Some(result)) };
         self.done.notify_all();
     }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        let phase = match &*self.state.lock() {
+            State::Queued => JobPhase::Queued,
+            State::Running => JobPhase::Running,
+            State::Finished { phase, .. } => *phase,
+        };
+        JobStatus {
+            id: self.id,
+            phase,
+            graph: self.spec.graph.clone(),
+            algorithm: self.spec.algorithm.clone(),
+            mem_estimate: self.estimate,
+            retries: self.retries.load(Ordering::Relaxed),
+            priority: self.spec.priority,
+            client_id: self.spec.client_id.clone(),
+        }
+    }
 }
 
 /// Tracks one submitted job. Not cloneable: [`JobHandle::wait`] consumes
@@ -199,6 +141,31 @@ impl JobHandle {
         }
     }
 
+    /// Like [`JobHandle::wait`], but gives up after `timeout`. On timeout
+    /// the handle comes back in the `Err` arm, still valid — poll again,
+    /// [`JobHandle::cancel`], or [`JobHandle::wait`] for good.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> std::result::Result<Result<JobReport>, JobHandle> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut st = self.job.state.lock();
+            loop {
+                if let State::Finished { result, .. } = &mut *st {
+                    return Ok(result.take().expect("wait consumes the only handle"));
+                }
+                let Some(left) =
+                    deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                self.job.done.wait_for(&mut st, left);
+            }
+        }
+        Err(self)
+    }
+
     /// Requests cooperative cancellation. A queued job is withdrawn without
     /// running; a running job's ranks observe the token at their next
     /// `Process`-call boundary, agree collectively, and unwind together —
@@ -215,18 +182,6 @@ impl JobHandle {
 
     /// Point-in-time snapshot of the job's phase and admission footprint.
     pub fn stats(&self) -> JobStatus {
-        let phase = match &*self.job.state.lock() {
-            State::Queued => JobPhase::Queued,
-            State::Running => JobPhase::Running,
-            State::Finished { phase, .. } => *phase,
-        };
-        JobStatus {
-            id: self.job.id,
-            phase,
-            graph: self.job.spec.graph.clone(),
-            algorithm: self.job.spec.algorithm.clone(),
-            mem_estimate: self.job.estimate,
-            retries: self.job.retries.load(Ordering::Relaxed),
-        }
+        self.job.status()
     }
 }

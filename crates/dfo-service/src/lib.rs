@@ -14,7 +14,12 @@
 //!   [`dfo_algos::JobParams`] — and tracked through [`JobHandle`]s with
 //!   [`JobHandle::wait`], [`JobHandle::cancel`] and [`JobHandle::stats`];
 //! * **admission control** queues a job while the running jobs' estimated
-//!   footprints would push past `mem_budget`, FIFO without overtaking;
+//!   footprints would push past `mem_budget`; the scheduler admits by
+//!   [`JobSpec::priority`] with per-client fair share and aging against
+//!   starvation, and its footprint estimates are **learned**: each
+//!   completed job's measured peak scratch usage feeds an EWMA per
+//!   `(algorithm, graph)` that replaces the static per-vertex hint on the
+//!   next submission;
 //! * concurrent jobs over one graph are isolated by per-job scratch
 //!   directories ([`dfo_core::Cluster::run_scoped`]) while sharing the
 //!   graph's chunk caches and disk/network throttles, and a cooperative
@@ -38,14 +43,28 @@
 //! put in front of [`Service::submit`] without touching the job model.
 
 mod catalog;
+mod client;
+mod daemon;
+mod estimator;
 mod job;
 mod metrics;
+mod sched;
 mod service;
+mod wire;
 
 pub use catalog::CatalogEntry;
-pub use job::{JobHandle, JobPhase, JobReport, JobSpec, JobStatus};
+pub use client::{DfoClient, RemoteJobHandle};
+pub use daemon::Daemon;
+pub use job::{JobHandle, JobReport};
 pub use metrics::MetricsServer;
 pub use service::Service;
+pub use wire::PROTO_VERSION;
+
+// The job vocabulary ([`JobSpec`], [`JobPhase`], [`JobStatus`]) moved to
+// `dfo_types::jobspec` when the remote protocol made it a wire format.
+// These re-exports keep every pre-existing `dfo_service::JobSpec` import
+// path compiling unchanged — new code may import from either crate.
+pub use dfo_types::{JobPhase, JobSpec, JobStatus};
 
 // The vocabulary types a service caller needs, so `dfo_service` (or the
 // facade's `service::*`) is a self-sufficient import.

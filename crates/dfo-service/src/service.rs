@@ -1,20 +1,27 @@
 //! The resident engine: catalog management, admission control, execution.
 
 use crate::catalog::{validate_name, CatalogEntry};
-use crate::job::{JobHandle, JobInner, JobReport, JobSpec, State};
+use crate::estimator::FootprintEstimator;
+use crate::job::{JobHandle, JobInner, JobReport, State};
 use crate::metrics::MetricsServer;
+use crate::sched::JobQueue;
 use dfo_algos::{check_edge_data, Algorithm};
 use dfo_core::Cluster;
 use dfo_graph::EdgeList;
 use dfo_obs::Registry;
-use dfo_types::{DfoError, EngineConfig, PhaseStats, Pod, Result};
+use dfo_types::{DfoError, EngineConfig, JobSpec, PhaseStats, Pod, Result};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Fair-share quota: jobs one client may have running while other clients'
+/// admissible jobs wait (the scheduler is work-conserving, so the quota
+/// never idles free budget — see [`crate::sched`]).
+pub(crate) const CLIENT_QUOTA: usize = 2;
 
 /// A queued job together with everything resolved at submit time: the
 /// catalog entry `Arc` (pinning the graph for the job's lifetime) and the
@@ -25,13 +32,29 @@ struct Pending {
     algo: &'static dyn Algorithm,
 }
 
-/// Admission state: bytes charged by running jobs, and the FIFO of jobs
-/// waiting for budget.
-#[derive(Default)]
+/// Admission state: bytes charged by running jobs, and the prioritized
+/// queue of jobs waiting for budget (ordering lives in [`JobQueue`]; the
+/// per-id [`Pending`] records carry the resolved graph and algorithm).
 struct Sched {
     running_bytes: u64,
     running_jobs: usize,
-    queue: VecDeque<Pending>,
+    /// Running jobs per client id — the fair-share state [`JobQueue::pick`]
+    /// consults.
+    running_per_client: BTreeMap<String, usize>,
+    queue: JobQueue,
+    pending: BTreeMap<u64, Pending>,
+}
+
+impl Default for Sched {
+    fn default() -> Self {
+        Self {
+            running_bytes: 0,
+            running_jobs: 0,
+            running_per_client: BTreeMap::new(),
+            queue: JobQueue::new(CLIENT_QUOTA),
+            pending: BTreeMap::new(),
+        }
+    }
 }
 
 pub(crate) struct ServiceInner {
@@ -45,6 +68,9 @@ pub(crate) struct ServiceInner {
     registry: Arc<Registry>,
     /// Scrape endpoint; present when `cfg.metrics_addr` is set.
     metrics: Option<MetricsServer>,
+    /// Learned admission footprints per `(algorithm, graph)`, fed by every
+    /// completed job's measured peak scratch usage.
+    estimator: FootprintEstimator,
 }
 
 /// A resident engine owning a graph [catalog](CatalogEntry) and a job
@@ -89,6 +115,7 @@ impl Service {
                 next_id: AtomicU64::new(0),
                 registry,
                 metrics,
+                estimator: FootprintEstimator::new(),
             }),
         })
     }
@@ -144,6 +171,42 @@ impl Service {
         Ok(entry)
     }
 
+    /// Attaches a graph that is **already preprocessed** under
+    /// `<base>/graphs/<name>` — plan reload only, no preprocessing. This is
+    /// how a restarted service (or a [`crate::Daemon`] rank) reopens its
+    /// catalog, and how a process that didn't do the preprocessing itself
+    /// serves a shipped graph directory.
+    pub fn open_graph(&self, name: &str) -> Result<Arc<CatalogEntry>> {
+        validate_name(name)?;
+        {
+            let catalog = self.inner.catalog.lock();
+            if catalog.contains_key(name) {
+                return Err(DfoError::Config(format!("graph {name:?} is already loaded")));
+            }
+        }
+        let dir = self.inner.base.join("graphs").join(name);
+        if !dir.is_dir() {
+            return Err(DfoError::Config(format!(
+                "graph {name:?} has no preprocessed directory at {}",
+                dir.display()
+            )));
+        }
+        let cluster = Cluster::create_with_registry(
+            self.inner.cfg.clone(),
+            dir,
+            self.inner.registry.clone(),
+            &[("graph", name)],
+        )?;
+        let plan = dfo_part::plan::Plan::load(&cluster.disks()[0])?;
+        let entry = Arc::new(CatalogEntry { name: name.to_string(), cluster, plan });
+        let mut catalog = self.inner.catalog.lock();
+        if catalog.contains_key(name) {
+            return Err(DfoError::Config(format!("graph {name:?} is already loaded")));
+        }
+        catalog.insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
     /// Removes `name` from the catalog. Jobs already submitted over it keep
     /// their reference-counted entry (and finish normally); new submissions
     /// no longer resolve the name.
@@ -169,9 +232,13 @@ impl Service {
     /// Submits a job. Resolution (graph in catalog, algorithm in registry,
     /// edge-payload compatibility) happens **here**, so a bad spec is a
     /// typed error at submit time, not a mid-run failure. The job starts
-    /// immediately when its footprint fits the admission budget alongside
-    /// the running jobs; otherwise it queues FIFO. The returned handle is
-    /// the only way to get the job's [`JobReport`].
+    /// when the scheduler admits it: higher
+    /// [`JobSpec::priority`] first, per-client fair share on ties, aging
+    /// against starvation, all gated by the admission budget. Its footprint
+    /// charge is, in order: the spec's explicit `mem_estimate`; the learned
+    /// estimate from earlier completed runs of the same
+    /// `(algorithm, graph)`; the static per-vertex hint. The returned
+    /// handle is the only way to get the job's [`JobReport`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle> {
         let entry = self.graph(&spec.graph).ok_or_else(|| {
             DfoError::Config(format!("graph {:?} is not in the catalog", spec.graph))
@@ -186,6 +253,7 @@ impl Service {
         check_edge_data(algo, entry.plan.edge_data_bytes)?;
         let estimate = spec
             .mem_estimate
+            .or_else(|| self.inner.estimator.estimate(&spec.algorithm, &spec.graph))
             .unwrap_or_else(|| default_estimate(algo, entry.plan.n_vertices, self.inner.cfg.nodes));
         let job = Arc::new(JobInner {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
@@ -196,7 +264,11 @@ impl Service {
             state: Mutex::new(State::Queued),
             done: Condvar::new(),
         });
-        self.inner.sched.lock().queue.push_back(Pending { job: job.clone(), entry, algo });
+        {
+            let mut s = self.inner.sched.lock();
+            s.queue.push(job.id, &job.spec.client_id, job.spec.priority, estimate);
+            s.pending.insert(job.id, Pending { job: job.clone(), entry, algo });
+        }
         ServiceInner::pump(&self.inner);
         Ok(JobHandle { job, svc: Arc::downgrade(&self.inner) })
     }
@@ -207,39 +279,54 @@ impl Service {
         let s = self.inner.sched.lock();
         (s.running_jobs, s.queue.len())
     }
+
+    /// The learned admission footprint for `(algorithm, graph)` — present
+    /// once at least one job of that pair has completed and reported its
+    /// measured peak scratch usage. What [`Service::submit`] charges when
+    /// the spec has no explicit `mem_estimate`.
+    pub fn learned_estimate(&self, algorithm: &str, graph: &str) -> Option<u64> {
+        self.inner.estimator.estimate(algorithm, graph)
+    }
 }
 
 /// Default admission footprint: the algorithm's per-vertex state hint times
 /// this node's share of the vertices — the mutable working set the engine
 /// will batch through `mem_budget`.
-fn default_estimate(algo: &dyn Algorithm, n_vertices: u64, nodes: usize) -> u64 {
+pub(crate) fn default_estimate(algo: &dyn Algorithm, n_vertices: u64, nodes: usize) -> u64 {
     let per_node = n_vertices.div_ceil(nodes.max(1) as u64);
     (algo.state_bytes_per_vertex() * per_node).max(1)
 }
 
 impl ServiceInner {
-    /// Admits as many jobs as budget allows. Called whenever the queue or
-    /// the budget changes (submit, job completion, cancellation); safe to
-    /// call concurrently. FIFO with no overtaking: a queued job never
-    /// starts before an earlier-queued one, and a job whose estimate alone
-    /// exceeds the budget is admitted once it is the only job — refusing it
-    /// forever would starve it, and the engine degrades gracefully when a
-    /// job's working set overruns `mem_budget` (it batches harder).
+    /// Admits as many jobs as the scheduler allows. Called whenever the
+    /// queue or the budget changes (submit, job completion, cancellation);
+    /// safe to call concurrently. Each round asks [`JobQueue::pick`] for
+    /// the best admissible job — priority first, per-client fair share on
+    /// ties, aging against starvation — under the remaining `mem_budget`;
+    /// a job whose estimate alone exceeds the budget is still admitted once
+    /// it runs alone, because the engine degrades gracefully when a working
+    /// set overruns `mem_budget` (it batches harder).
     pub(crate) fn pump(inner: &Arc<ServiceInner>) {
         loop {
             let pending = {
-                let mut s = inner.sched.lock();
+                let mut guard = inner.sched.lock();
+                let s = &mut *guard;
                 // withdraw cancelled jobs wherever they sit in the queue
-                let mut withdrawn = Vec::new();
-                s.queue.retain(|p| {
-                    let c = p.job.cancel.load(Ordering::Relaxed);
-                    if c {
-                        withdrawn.push(p.job.clone());
+                let cancelled: Vec<u64> = s
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| p.job.cancel.load(Ordering::Relaxed))
+                    .map(|(id, _)| *id)
+                    .collect();
+                if !cancelled.is_empty() {
+                    let mut withdrawn = Vec::new();
+                    for id in cancelled {
+                        s.queue.remove(id);
+                        if let Some(p) = s.pending.remove(&id) {
+                            withdrawn.push(p.job);
+                        }
                     }
-                    !c
-                });
-                if !withdrawn.is_empty() {
-                    drop(s);
+                    drop(guard);
                     for job in withdrawn {
                         job.finish(Err(DfoError::Cancelled(
                             "job cancelled while queued".to_string(),
@@ -247,18 +334,29 @@ impl ServiceInner {
                     }
                     continue;
                 }
-                let Some(front) = s.queue.front() else { return };
                 let alone = s.running_jobs == 0;
-                let fits =
-                    s.running_bytes.saturating_add(front.job.estimate) <= inner.cfg.mem_budget;
-                if !fits && !alone {
+                let budget_left = inner.cfg.mem_budget.saturating_sub(s.running_bytes);
+                let picked = s.queue.pick(&s.running_per_client, budget_left, alone);
+                let Some(entry) = picked else {
+                    ServiceInner::sched_gauges(inner, s.queue.len(), s.running_jobs);
                     return;
-                }
-                let p = s.queue.pop_front().expect("front exists");
+                };
+                let p = s.pending.remove(&entry.id).expect("picked job has a pending record");
                 s.running_bytes += p.job.estimate;
                 s.running_jobs += 1;
+                *s.running_per_client.entry(entry.client.clone()).or_insert(0) += 1;
+                ServiceInner::sched_gauges(inner, s.queue.len(), s.running_jobs);
                 p
             };
+            let priority = pending.job.spec.priority.to_string();
+            inner
+                .registry
+                .counter(
+                    "dfo_sched_admitted_total",
+                    "Jobs admitted by the scheduler, by priority",
+                    &[("priority", priority.as_str())],
+                )
+                .inc();
             *pending.job.state.lock() = State::Running;
             let inner = inner.clone();
             std::thread::spawn(move || {
@@ -267,11 +365,30 @@ impl ServiceInner {
                     let mut s = inner.sched.lock();
                     s.running_bytes -= pending.job.estimate;
                     s.running_jobs -= 1;
+                    let client = pending.job.spec.client_id.clone();
+                    if let Some(n) = s.running_per_client.get_mut(&client) {
+                        *n -= 1;
+                        if *n == 0 {
+                            s.running_per_client.remove(&client);
+                        }
+                    }
                 }
                 pending.job.finish(result);
                 ServiceInner::pump(&inner);
             });
         }
+    }
+
+    /// Refreshes the scheduler gauges (queue depth, running jobs).
+    fn sched_gauges(inner: &Arc<ServiceInner>, queued: usize, running: usize) {
+        inner
+            .registry
+            .gauge("dfo_sched_queue_depth", "Jobs waiting for admission", &[])
+            .set(queued as f64);
+        inner
+            .registry
+            .gauge("dfo_sched_running_jobs", "Jobs currently admitted and running", &[])
+            .set(running as f64);
     }
 
     /// Runs one admitted job under its spec's bounded retry policy: a
@@ -347,7 +464,12 @@ impl ServiceInner {
         let res = p.entry.cluster.run_scoped(&scope, |ctx| {
             ctx.set_cancel_token(token.clone());
             let out = algo.run(ctx, &params)?;
-            Ok((out, ctx.job_phase_stats().clone()))
+            // measured peak footprint: everything the job materialized in
+            // its private scratch scope (vertex arrays, checkpoints,
+            // spills) — what the estimator learns per (algorithm, graph).
+            // Measurement failure must not fail a finished job.
+            let footprint = ctx.scratch().usage_bytes().ok();
+            Ok((out, ctx.job_phase_stats().clone(), footprint))
         });
         // scratch cleanup happens even when the job failed or was cancelled
         let cleanup = p.entry.cluster.remove_scratch(&scope);
@@ -379,10 +501,26 @@ impl ServiceInner {
         let mut totals = PhaseStats::default();
         let mut outputs = Vec::with_capacity(per_rank.len());
         let mut rank_stats = Vec::with_capacity(per_rank.len());
-        for (out, stats) in per_rank {
+        let mut measured: Option<u64> = None;
+        for (out, stats, footprint) in per_rank {
             totals.merge(&stats);
             outputs.push(out);
             rank_stats.push(stats);
+            measured = measured.max(footprint);
+        }
+        // close the admission loop: the busiest rank's measured footprint
+        // becomes the learned estimate for the next (algorithm, graph) run
+        if let Some(peak) = measured {
+            inner.estimator.record(algorithm, graph, peak);
+            inner
+                .registry
+                .gauge(
+                    "dfo_sched_estimate_error_ratio",
+                    "Charged admission estimate over measured peak scratch footprint \
+                     (last completed job; >1 = over-estimate)",
+                    &[("graph", graph), ("algorithm", algorithm)],
+                )
+                .set(p.job.estimate as f64 / peak.max(1) as f64);
         }
         // per-job series: cache traffic attributed at the job's own lookup
         // sites (PR 6), now also scrapeable. One series per job id — fine

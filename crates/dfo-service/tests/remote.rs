@@ -1,0 +1,246 @@
+//! End-to-end remote service test: a 2-rank daemon mesh as real OS
+//! processes, driven by a [`DfoClient`] over localhost TCP.
+//!
+//! Mirrors the `dfo-core` distributed test harness: the parent re-execs
+//! this test binary as the daemon processes (`child_entry` is a no-op
+//! under plain `cargo test`, a daemon rank when `DFO_SERVICE_REMOTE_ROLE`
+//! is set), preprocesses the shared graph up front, and asserts on exit
+//! codes. Covered end to end:
+//!
+//! * remote submission with **no re-bootstrap**: the daemons preprocess
+//!   nothing and handshake the mesh once, every job reuses both;
+//! * remote results **bit-identical** to batch [`Cluster::run`] over the
+//!   same preprocessed graph;
+//! * **priority scheduling**: with the mesh busy, a higher-priority job
+//!   submitted later overtakes an earlier lower-priority one;
+//! * **cancellation** of a queued job (typed [`DfoError::Cancelled`]
+//!   through the client) with the mesh healthy afterwards;
+//! * **learned admission**: the second submission of the same
+//!   `(algorithm, graph)` is charged a learned estimate, not the static
+//!   hint;
+//! * the scheduler metrics surface on the daemon's scrape endpoint.
+
+use dfo_core::Cluster;
+use dfo_service::{Daemon, DfoClient, JobSpec};
+use dfo_types::{BatchPolicy, DfoError, EngineConfig, JobPhase};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus};
+use std::time::{Duration, Instant};
+use tempfile::TempDir;
+
+const ROLE_ENV: &str = "DFO_SERVICE_REMOTE_ROLE";
+const GRAPH: &str = "web";
+const PAGERANK_ITERS: u64 = 4;
+
+/// Config shared by the parent (preprocessing, batch reference) and every
+/// daemon process — they must agree on the partitioning.
+fn remote_cfg(nodes: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::for_test(nodes);
+    cfg.batch_policy = BatchPolicy::FixedVertices(32);
+    cfg.connect_timeout_secs = 60;
+    cfg
+}
+
+fn test_graph() -> dfo_graph::EdgeList<()> {
+    dfo_graph::gen::uniform(192, 1400, 5)
+}
+
+// ---------------------------------------------------------------------------
+// daemon-side entry point
+
+/// No-op under plain `cargo test`; one daemon rank when the role env var is
+/// set. The daemon discovers the preprocessed graph under `DFO_BASE`, joins
+/// the mesh via `DFO_PEERS`, and (on rank 0) serves clients on
+/// `DFO_CONTROL_ADDR` and metrics on `DFO_METRICS_ADDR`.
+#[test]
+fn child_entry() {
+    if std::env::var(ROLE_ENV).is_err() {
+        return;
+    }
+    let rank = EngineConfig::env_rank().expect("DFO_RANK");
+    let base = PathBuf::from(std::env::var("DFO_BASE").expect("DFO_BASE"));
+    let mut cfg = remote_cfg(2);
+    cfg.apply_env_overrides();
+    assert!(cfg.peers.is_some(), "daemon needs DFO_PEERS");
+    let code = match Daemon::run(cfg, rank, &base) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("daemon rank {rank} failed: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// parent-side helpers
+
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port())).collect()
+}
+
+fn spawn_daemon(rank: usize, base: &Path, peers: &str, ctrl: Option<&str>) -> Child {
+    let mut cmd = Command::new(std::env::current_exe().unwrap());
+    cmd.args(["child_entry", "--exact", "--test-threads=1", "--nocapture"])
+        .env(ROLE_ENV, "daemon")
+        .env("DFO_RANK", rank.to_string())
+        .env("DFO_PEERS", peers)
+        .env("DFO_BASE", base);
+    if let Some(ctrl) = ctrl {
+        cmd.env("DFO_CONTROL_ADDR", ctrl);
+    }
+    cmd.spawn().expect("spawn daemon process")
+}
+
+fn wait_with_deadline(child: &mut Child, what: &str) -> ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            return st;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("{what} hung past the deadline");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The daemon binds its listener after connecting the mesh; retry until it
+/// answers or the deadline trips.
+fn connect_with_retry(addr: &str, client_id: &str) -> DfoClient {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match DfoClient::connect_as(addr, client_id) {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "daemon never came up at {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Minimal HTTP GET against the daemon's metrics endpoint.
+fn scrape_metrics(addr: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect metrics endpoint");
+    s.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("send scrape request");
+    let mut body = String::new();
+    s.read_to_string(&mut body).expect("read scrape response");
+    body
+}
+
+fn pagerank_spec() -> JobSpec {
+    JobSpec::new(GRAPH, "pagerank").with_param("iters", PAGERANK_ITERS)
+}
+
+// ---------------------------------------------------------------------------
+// the actual test
+
+#[test]
+fn remote_jobs_over_two_rank_daemon_mesh() {
+    let g = test_graph();
+    let td = TempDir::new().unwrap();
+
+    // preprocess once where the daemons will discover it, and compute the
+    // batch-mode reference over the very same preprocessed chunks
+    let graph_dir = td.path().join("graphs").join(GRAPH);
+    let batch = Cluster::create(remote_cfg(2), &graph_dir).unwrap();
+    batch.preprocess(&g).unwrap();
+    let algo = dfo_algos::find("pagerank").unwrap();
+    let params = pagerank_spec().params;
+    let reference = batch.run(|ctx| algo.run(ctx, &params)).unwrap();
+    drop(batch);
+
+    let peers = free_addrs(2).join(",");
+    let ctrl = free_addrs(1).remove(0);
+    let metrics = free_addrs(1).remove(0);
+    let mut daemons = [
+        {
+            // rank 0 also serves the metrics endpoint
+            let mut cmd = Command::new(std::env::current_exe().unwrap());
+            cmd.args(["child_entry", "--exact", "--test-threads=1", "--nocapture"])
+                .env(ROLE_ENV, "daemon")
+                .env("DFO_RANK", "0")
+                .env("DFO_PEERS", &peers)
+                .env("DFO_BASE", td.path())
+                .env("DFO_CONTROL_ADDR", &ctrl)
+                .env("DFO_METRICS_ADDR", &metrics);
+            cmd.spawn().expect("spawn daemon rank 0")
+        },
+        spawn_daemon(1, td.path(), &peers, None),
+    ];
+
+    let client = connect_with_retry(&ctrl, "itest");
+    assert_eq!(client.nodes(), 2);
+
+    // --- job 1: remote result must be bit-identical to the batch run -----
+    let first = client.submit(pagerank_spec()).unwrap();
+    let first_id = first.id();
+    let report = first.wait().unwrap();
+    assert_eq!(report.outputs.len(), 2, "one output slice per rank");
+    for (rank, want) in reference.iter().enumerate() {
+        assert_eq!(report.outputs[rank].kind, want.kind);
+        assert_eq!(
+            report.outputs[rank].values, want.values,
+            "rank {rank} remote output differs from batch Cluster::run"
+        );
+    }
+    assert!(report.totals.messages_generated > 0, "phase stats travel with the report");
+
+    // --- learned admission: the second submission of the same
+    // (algorithm, graph) is charged the learned estimate ------------------
+    let second = client.submit(pagerank_spec()).unwrap();
+    let second_id = second.id();
+    let jobs = client.list_jobs().unwrap();
+    let est = |id: u64| jobs.iter().find(|s| s.id == id).map(|s| s.mem_estimate).unwrap();
+    assert_ne!(
+        est(first_id),
+        est(second_id),
+        "second submission must be charged the learned estimate, not the static hint"
+    );
+    assert!(est(second_id) > 0);
+
+    // --- priority: while the mesh is busy, queue low (B) then high (C);
+    // C must finish while B has not, and one queued job (D) is cancelled --
+    let b = client.submit(pagerank_spec()).unwrap();
+    let c = client.submit(pagerank_spec().with_priority(5)).unwrap();
+    let d = client.submit(pagerank_spec()).unwrap();
+    d.cancel().unwrap();
+    match d.wait() {
+        Err(DfoError::Cancelled(_)) => {}
+        other => panic!("cancelled queued job must resolve Cancelled, got {other:?}"),
+    }
+    second.wait().unwrap();
+    let c_report = c.wait().unwrap();
+    assert_eq!(c_report.outputs.len(), 2);
+    let b_phase_when_c_done =
+        client.list_jobs().unwrap().iter().find(|s| s.id == b.id()).map(|s| s.phase).unwrap();
+    assert_ne!(
+        b_phase_when_c_done,
+        JobPhase::Done,
+        "higher-priority job C must complete before lower-priority B"
+    );
+    b.wait().unwrap();
+
+    // --- scheduler metrics are live on the scrape endpoint ---------------
+    let body = scrape_metrics(&metrics);
+    assert!(body.contains("dfo_sched_admitted_total"), "missing admitted counter:\n{body}");
+    assert!(body.contains("dfo_sched_queue_depth"), "missing queue gauge:\n{body}");
+    assert!(body.contains("dfo_sched_estimate_error_ratio"), "missing estimator gauge:\n{body}");
+
+    // --- clean shutdown: both daemon ranks exit 0 ------------------------
+    client.shutdown().unwrap();
+    for (r, d) in daemons.iter_mut().enumerate() {
+        let st = wait_with_deadline(d, &format!("daemon rank {r}"));
+        assert!(st.success(), "daemon rank {r} exited with {st:?}");
+    }
+}

@@ -253,6 +253,31 @@ impl NodeDisk {
         }
     }
 
+    /// Total bytes of every file under this disk's root, recursively — for
+    /// a scoped disk, the measured on-disk footprint of that scope (vertex
+    /// arrays, checkpoints, message spills). Files that vanish mid-walk
+    /// (concurrent cleanup) are skipped rather than erroring.
+    pub fn usage_bytes(&self) -> Result<u64> {
+        fn walk(dir: &Path) -> io::Result<u64> {
+            let mut total = 0;
+            for entry in fs::read_dir(dir)? {
+                let entry = match entry {
+                    Ok(e) => e,
+                    Err(_) => continue,
+                };
+                let Ok(meta) = entry.metadata() else { continue };
+                if meta.is_dir() {
+                    total += walk(&entry.path()).unwrap_or(0);
+                } else {
+                    total += meta.len();
+                }
+            }
+            Ok(total)
+        }
+        walk(&self.root)
+            .map_err(|e| DfoError::io(format!("sizing disk root {}", self.root.display()), e))
+    }
+
     /// Atomically replaces `rel` with `contents` (write temp + rename); used
     /// for checkpoint CURRENT pointers.
     pub fn write_atomic(&self, rel: &str, contents: &[u8]) -> Result<()> {

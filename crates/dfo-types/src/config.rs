@@ -260,6 +260,13 @@ pub struct EngineConfig {
     /// service reports the actual one). `None` (the default) serves
     /// nothing. `DFO_METRICS_ADDR` overrides (empty value disables).
     pub metrics_addr: Option<String>,
+    /// `host:port` bind address of the rank-0 **job-control listener** in
+    /// daemon mode (`dfo-service`): remote `DfoClient`s connect here to
+    /// submit [`crate::JobSpec`]s to the resident mesh. Port `0` binds an
+    /// ephemeral port. `None` (the default) serves no remote clients.
+    /// `DFO_CONTROL_ADDR` overrides (empty value disables). Only rank 0
+    /// reads it.
+    pub control_addr: Option<String>,
 }
 
 impl EngineConfig {
@@ -308,6 +315,7 @@ impl EngineConfig {
             trace_path: None,
             trace_capacity: 1 << 16,
             metrics_addr: None,
+            control_addr: None,
         }
     }
 
@@ -351,6 +359,8 @@ impl EngineConfig {
     ///   JSON, or JSONL when the path ends in `.jsonl`); empty disables.
     /// * `DFO_METRICS_ADDR=<host:port>` — bind address of the service
     ///   metrics scrape endpoint; empty disables.
+    /// * `DFO_CONTROL_ADDR=<host:port>` — bind address of the rank-0
+    ///   job-control listener in daemon mode; empty disables.
     ///
     /// A value that fails to parse warns on stderr and keeps the configured
     /// value rather than silently changing behaviour.
@@ -435,6 +445,10 @@ impl EngineConfig {
         if let Ok(s) = std::env::var("DFO_METRICS_ADDR") {
             let s = s.trim();
             self.metrics_addr = if s.is_empty() { None } else { Some(s.to_string()) };
+        }
+        if let Ok(s) = std::env::var("DFO_CONTROL_ADDR") {
+            let s = s.trim();
+            self.control_addr = if s.is_empty() { None } else { Some(s.to_string()) };
         }
     }
 
@@ -636,6 +650,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Rank-0 job-control listener bind address for daemon mode (`None`
+    /// serves no remote clients).
+    pub fn control_addr(mut self, addr: Option<String>) -> Self {
+        self.cfg.control_addr = addr;
+        self
+    }
+
     /// Forces a dispatch strategy instead of the adaptive choice.
     pub fn dispatch_override(mut self, kind: Option<DispatchKind>) -> Self {
         self.cfg.dispatch_override = kind;
@@ -697,14 +718,18 @@ impl EngineConfigBuilder {
                 }
             }
         }
-        if let Some(addr) = &self.cfg.metrics_addr {
-            let port_ok = addr
-                .rsplit_once(':')
-                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
-            if !port_ok {
-                return Err(format!(
-                    "metrics address {addr:?} is not host:port with a numeric port"
-                ));
+        for (what, addr) in
+            [("metrics", &self.cfg.metrics_addr), ("control", &self.cfg.control_addr)]
+        {
+            if let Some(addr) = addr {
+                let port_ok = addr
+                    .rsplit_once(':')
+                    .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+                if !port_ok {
+                    return Err(format!(
+                        "{what} address {addr:?} is not host:port with a numeric port"
+                    ));
+                }
             }
         }
         self.cfg.validate()?;

@@ -29,6 +29,11 @@ pub enum DfoError {
     /// on-disk array state is the consistent state of the last committed
     /// call. Never retried.
     Cancelled(String),
+    /// A remote peer spoke the job-control protocol wrong: bad magic,
+    /// unsupported wire version, an undecodable message, or a reply that
+    /// does not fit the request. Deterministic (resending the same bytes
+    /// replays it), so never retried.
+    Protocol(String),
     /// A supervised run (or its supervisor) recovered from mesh failures
     /// until the restart budget ran out; `last` is the failure that broke
     /// the camel's back.
@@ -71,6 +76,7 @@ impl fmt::Display for DfoError {
             DfoError::NoCheckpoint(m) => write!(f, "no checkpoint available: {m}"),
             DfoError::Panic(m) => write!(f, "node program panicked: {m}"),
             DfoError::Cancelled(m) => write!(f, "job cancelled: {m}"),
+            DfoError::Protocol(m) => write!(f, "job-control protocol violation: {m}"),
             DfoError::RestartsExhausted { attempts, last } => {
                 write!(f, "restart budget exhausted after {attempts} recoveries: {last}")
             }

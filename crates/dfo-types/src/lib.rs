@@ -10,6 +10,7 @@ pub mod codec;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod jobspec;
 pub mod pod;
 pub mod stats;
 
@@ -19,6 +20,7 @@ pub use config::{
 };
 pub use error::{DfoError, Result};
 pub use ids::{BatchId, PartitionId, Rank, VertexId, VertexRange};
+pub use jobspec::{JobParams, JobPhase, JobSpec, JobStatus, JOB_WIRE_VERSION};
 pub use pod::{
     bytes_of, pod_from_bytes, pod_size, pod_zeroed, slice_as_bytes, vec_from_bytes, Pod,
 };

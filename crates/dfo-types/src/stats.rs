@@ -201,6 +201,88 @@ impl PhaseStats {
     pub fn total_net(&self) -> u64 {
         self.pass_net_sent
     }
+
+    /// The fields in wire order — the one place the codec's field layout is
+    /// spelled out. **Append only**: decoders match encodings by position.
+    fn wire_fields(&self) -> [u64; 20] {
+        [
+            self.generate_disk_read,
+            self.generate_disk_write,
+            self.pass_disk_read,
+            self.pass_net_sent,
+            self.dispatch_disk_read,
+            self.dispatch_disk_write,
+            self.dispatch_net_recv,
+            self.process_disk_read,
+            self.process_disk_write,
+            self.messages_generated,
+            self.messages_sent,
+            self.chunk_cache_hits,
+            self.chunk_cache_misses,
+            self.chunk_cache_evicted_bytes,
+            self.logical_disk_read,
+            self.logical_disk_write,
+            self.generate_nanos,
+            self.pass_nanos,
+            self.dispatch_nanos,
+            self.process_nanos,
+        ]
+    }
+
+    /// Encodes the stats as a count-prefixed `u64` list, so a decoder built
+    /// against fewer fields skips the extras and one built against more
+    /// zero-fills the missing tail (append-only evolution, like the job
+    /// messages in [`crate::jobspec`]).
+    pub fn encode_wire(&self) -> Vec<u8> {
+        let fields = self.wire_fields();
+        let mut out = Vec::with_capacity(4 + fields.len() * 8);
+        crate::codec::write_u32(&mut out, fields.len() as u32).expect("vec write");
+        for v in fields {
+            crate::codec::write_u64(&mut out, v).expect("vec write");
+        }
+        out
+    }
+
+    /// Decodes stats written by [`PhaseStats::encode_wire`] of any vintage.
+    pub fn decode_wire(bytes: &[u8]) -> crate::Result<Self> {
+        use std::io::Cursor;
+        let err = |e: &dyn std::fmt::Display| {
+            crate::DfoError::Protocol(format!("decoding PhaseStats: {e}"))
+        };
+        let mut c = Cursor::new(bytes);
+        let n = crate::codec::read_u32(&mut c).map_err(|e| err(&e))? as usize;
+        let mut vals = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            vals.push(crate::codec::read_u64(&mut c).map_err(|e| err(&e))?);
+        }
+        let mut s = PhaseStats::default();
+        let mut fields = s.wire_fields();
+        let take = fields.len().min(vals.len());
+        fields[..take].copy_from_slice(&vals[..take]);
+        [
+            s.generate_disk_read,
+            s.generate_disk_write,
+            s.pass_disk_read,
+            s.pass_net_sent,
+            s.dispatch_disk_read,
+            s.dispatch_disk_write,
+            s.dispatch_net_recv,
+            s.process_disk_read,
+            s.process_disk_write,
+            s.messages_generated,
+            s.messages_sent,
+            s.chunk_cache_hits,
+            s.chunk_cache_misses,
+            s.chunk_cache_evicted_bytes,
+            s.logical_disk_read,
+            s.logical_disk_write,
+            s.generate_nanos,
+            s.pass_nanos,
+            s.dispatch_nanos,
+            s.process_nanos,
+        ] = fields;
+        Ok(s)
+    }
 }
 
 /// Checkpoint-restart counters of one supervised rank (§3.2 over process
@@ -223,6 +305,28 @@ pub struct RecoveryStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_stats_wire_roundtrip() {
+        let s = PhaseStats {
+            pass_net_sent: 7,
+            process_nanos: 99,
+            chunk_cache_hits: 3,
+            ..PhaseStats::default()
+        };
+        let back = PhaseStats::decode_wire(&s.encode_wire()).unwrap();
+        assert_eq!(back, s);
+        // an older 3-field encoding still decodes, missing tail zero-filled
+        let mut short = Vec::new();
+        crate::codec::write_u32(&mut short, 3).unwrap();
+        for v in [1u64, 2, 3] {
+            crate::codec::write_u64(&mut short, v).unwrap();
+        }
+        let old = PhaseStats::decode_wire(&short).unwrap();
+        assert_eq!(old.generate_disk_read, 1);
+        assert_eq!(old.pass_disk_read, 3);
+        assert_eq!(old.process_nanos, 0);
+    }
 
     #[test]
     fn recovery_stats_default_is_clean() {

@@ -1,0 +1,177 @@
+//! Remote job submission against a resident daemon mesh: the service API
+//! over real processes and real TCP.
+//!
+//! The parent preprocesses a graph into `<base>/graphs/web`, then
+//! re-executes itself as one [`Daemon`] process per rank (the `mpirun`
+//! way: `DFO_RANK` picks the rank, `DFO_PEERS` carries the mesh address
+//! list, `DFO_CONTROL_ADDR` is rank 0's client listener). The daemons pay
+//! mesh bootstrap **once**; the parent then connects a [`DfoClient`] and
+//! pushes a burst of jobs through the resident mesh — mixed priorities,
+//! one cancellation — and finally scrapes the scheduler metrics and shuts
+//! the mesh down cleanly.
+//!
+//! ```sh
+//! cargo run --release --example remote_jobs
+//! ```
+
+use dfograph::core::Cluster;
+use dfograph::graph::gen::{rmat, GenConfig};
+use dfograph::types::{DfoError, EngineConfig, Result};
+use dfograph::{Daemon, DfoClient, JobSpec};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const RANKS: usize = 2;
+
+fn config() -> EngineConfig {
+    let mut cfg = EngineConfig::for_test(RANKS);
+    cfg.batch_policy = dfograph::types::BatchPolicy::FixedVertices(128);
+    cfg.connect_timeout_secs = 60;
+    cfg
+}
+
+fn main() -> Result<()> {
+    // the same binary is both launcher and daemon; DFO_RANK picks the role
+    match EngineConfig::env_rank() {
+        Some(rank) => daemon(rank),
+        None => launcher(),
+    }
+}
+
+/// One resident daemon rank: joins the mesh once, serves jobs until the
+/// client asks the mesh to shut down.
+fn daemon(rank: usize) -> Result<()> {
+    let base = std::env::var("DFO_BASE").expect("launcher sets DFO_BASE");
+    let mut cfg = config();
+    cfg.apply_env_overrides(); // DFO_PEERS, DFO_CONTROL_ADDR, DFO_METRICS_ADDR
+    Daemon::run(cfg, rank, base)
+}
+
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port())).collect()
+}
+
+fn launcher() -> Result<()> {
+    let graph = rmat(GenConfig::new(11, 8, 7));
+    println!("graph: {} vertices, {} edges", graph.n_vertices, graph.n_edges());
+
+    // preprocess once, where the daemons will discover it
+    let dir = std::env::temp_dir().join("dfograph-remote-jobs");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Cluster::create(config(), dir.join("graphs").join("web"))?;
+    cluster.preprocess(&graph)?;
+    drop(cluster);
+
+    let peers = free_addrs(RANKS).join(",");
+    let ctrl = free_addrs(1).remove(0);
+    let metrics = free_addrs(1).remove(0);
+    println!("forking {RANKS} daemon processes on {peers}; control listener {ctrl}");
+    let exe = std::env::current_exe().map_err(|e| DfoError::io("locating own binary", e))?;
+    let mut daemons: Vec<_> = (0..RANKS)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            cmd.env("DFO_RANK", rank.to_string()).env("DFO_PEERS", &peers).env("DFO_BASE", &dir);
+            if rank == 0 {
+                cmd.env("DFO_CONTROL_ADDR", &ctrl).env("DFO_METRICS_ADDR", &metrics);
+            }
+            cmd.spawn().expect("spawning daemon")
+        })
+        .collect();
+
+    // the daemon binds its listener after the mesh handshake; retry briefly
+    let client = {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match DfoClient::connect_as(&ctrl, "example") {
+                Ok(c) => break c,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
+    println!("connected: daemon mesh spans {} ranks", client.nodes());
+
+    // a burst of jobs through the resident mesh — no re-bootstrap between
+    // them: background WCC, two PageRanks where the later, higher-priority
+    // one overtakes, and a cancelled straggler
+    let wcc = client.submit(JobSpec::new("web", "wcc"))?;
+    let low = client.submit(JobSpec::new("web", "pagerank").with_param("iters", 5))?;
+    let high =
+        client.submit(JobSpec::new("web", "pagerank").with_param("iters", 5).with_priority(5))?;
+    let doomed = client.submit(JobSpec::new("web", "degree"))?;
+    doomed.cancel()?;
+
+    let report = high.wait()?;
+    println!(
+        "high-priority pagerank: {} ranks, {:?}, {} messages",
+        report.outputs.len(),
+        report.elapsed,
+        report.totals.messages_generated
+    );
+    let report = low.wait()?;
+    println!("low-priority pagerank: done after the high-priority one ({:?})", report.elapsed);
+    let report = wcc.wait()?;
+    println!("wcc: {} output slices", report.outputs.len());
+    match doomed.wait() {
+        Err(DfoError::Cancelled(_)) => println!("cancelled job resolved as Cancelled, mesh intact"),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    // every tracked job, with the daemon's charged admission estimates —
+    // repeat (algorithm, graph) pairs show learned estimates, not the
+    // static hint
+    for s in client.list_jobs()? {
+        println!(
+            "  job {}: {} on {} prio {} est {}B → {:?}",
+            s.id, s.algorithm, s.graph, s.priority, s.mem_estimate, s.phase
+        );
+    }
+
+    // scrape the scheduler metrics off the daemon's endpoint
+    let mut sock = TcpStream::connect(&metrics).map_err(|e| DfoError::io("metrics connect", e))?;
+    sock.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {metrics}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| DfoError::io("metrics request", e))?;
+    let mut body = String::new();
+    sock.read_to_string(&mut body).map_err(|e| DfoError::io("metrics read", e))?;
+    for family in ["dfo_sched_admitted_total", "dfo_sched_queue_depth", "dfo_jobs_completed_total"]
+    {
+        assert!(body.contains(family), "scrape missing {family}");
+    }
+    println!("scheduler metrics live on {metrics}");
+    if let Ok(out) = std::env::var("DFO_SCRAPE_OUT") {
+        let text = body.split("\r\n\r\n").nth(1).unwrap_or(&body);
+        std::fs::write(&out, text).map_err(|e| DfoError::io("writing scrape", e))?;
+        println!("scrape written to {out}");
+    }
+
+    // clean shutdown: queued work drained, every rank exits 0
+    client.shutdown()?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for (rank, child) in daemons.iter_mut().enumerate() {
+        loop {
+            match child.try_wait().expect("try_wait") {
+                Some(st) if st.success() => break,
+                Some(st) => {
+                    return Err(DfoError::NetClosed(format!("daemon {rank} failed: {st:?}")))
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    return Err(DfoError::NetClosed(format!("daemon {rank} hung on shutdown")));
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        println!("daemon rank {rank} exited cleanly");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

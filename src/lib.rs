@@ -26,7 +26,10 @@ pub use dfo_storage as storage;
 pub use dfo_types as types;
 
 // Service-mode vocabulary at the crate root, so `use dfograph::{Service,
-// JobSpec}` is all an application needs.
+// JobSpec}` is all an application needs — and the remote counterparts
+// (`Daemon` for the resident mesh, `DfoClient` for submission over TCP),
+// so remote deployments need nothing beyond the facade either.
 pub use dfo_service::{
-    CatalogEntry, JobHandle, JobParams, JobPhase, JobReport, JobSpec, JobStatus, Service,
+    CatalogEntry, Daemon, DfoClient, JobHandle, JobParams, JobPhase, JobReport, JobSpec, JobStatus,
+    RemoteJobHandle, Service,
 };

@@ -93,12 +93,34 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard vacated");
+        let (inner, res) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because of its timeout.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
