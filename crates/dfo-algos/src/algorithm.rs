@@ -285,9 +285,53 @@ impl Algorithm for LabelProp {
     }
 }
 
+/// Chaos/testing workload: sleeps, then fails with a typed error or
+/// succeeds — the runtime fault injector for service availability tests
+/// (mesh relaunch, retry bounds, overlap isolation). Parameters:
+///
+/// * `delay_ms` (default 0): sleep before acting, so a fault can be timed
+///   to land while other jobs are mid-flight — or so a `mode=2` job is a
+///   deterministic-duration sleeper.
+/// * `mode` (default 0): `0` fails with a non-retryable
+///   [`DfoError::Config`]; `1` fails with a retryable
+///   [`DfoError::NetClosed`]; anything else succeeds, returning a zeroed
+///   `u32` per local vertex.
+///
+/// Failures are SPMD-deterministic (every rank sleeps and fails alike), so
+/// a failing fault job poisons a shared mesh the way any real job failure
+/// would.
+pub struct Fault;
+
+impl Algorithm for Fault {
+    fn name(&self) -> &'static str {
+        "fault"
+    }
+
+    fn state_bytes_per_vertex(&self) -> u64 {
+        1
+    }
+
+    fn run(&self, ctx: &mut NodeCtx, params: &JobParams) -> Result<AlgoOutput> {
+        let delay_ms = params.get_or("delay_ms", 0);
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+        match params.get_or("mode", 0) {
+            0 => Err(DfoError::Config("fault: injected deterministic failure".into())),
+            1 => Err(DfoError::NetClosed("fault: injected mesh failure".into())),
+            _ => {
+                let range = &ctx.plan().partitions[ctx.rank()];
+                let local = vec![0u32; (range.end - range.start) as usize];
+                Ok(AlgoOutput::from_values(OutputKind::U32, &local, None))
+            }
+        }
+    }
+}
+
 /// The built-in workloads, one static instance each.
 pub fn registry() -> &'static [&'static dyn Algorithm] {
-    static REGISTRY: [&dyn Algorithm; 6] = [&PageRank, &Wcc, &Sssp, &Bfs, &Degree, &LabelProp];
+    static REGISTRY: [&dyn Algorithm; 7] =
+        [&PageRank, &Wcc, &Sssp, &Bfs, &Degree, &LabelProp, &Fault];
     &REGISTRY
 }
 
@@ -303,7 +347,7 @@ mod tests {
     #[test]
     fn registry_lists_all_builtins() {
         let names: Vec<_> = registry().iter().map(|a| a.name()).collect();
-        assert_eq!(names, ["pagerank", "wcc", "sssp", "bfs", "degree", "labelprop"]);
+        assert_eq!(names, ["pagerank", "wcc", "sssp", "bfs", "degree", "labelprop", "fault"]);
         assert!(find("pagerank").is_some());
         assert!(find("pagerank2").is_none());
     }

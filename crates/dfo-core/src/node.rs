@@ -260,9 +260,12 @@ impl NodeCtx {
         &self.scratch
     }
 
-    /// Consumes the context and hands back its network endpoint — how a
-    /// resident mesh ([`crate::ResidentMesh`]) reclaims the established
-    /// transport after a job's context is done with it.
+    /// Consumes the context and hands back its network endpoint. A context
+    /// built over a *job view* of a shared transport (the resident mesh,
+    /// [`crate::ResidentMesh`]) does not need this — dropping the view
+    /// leaves the underlying transport connected — but owners of a
+    /// dedicated endpoint ([`crate::Cluster::run_distributed`]) use it to
+    /// reclaim the endpoint when the job's context is done with it.
     pub fn into_net(self) -> Endpoint {
         self.net
     }

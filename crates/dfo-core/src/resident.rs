@@ -1,38 +1,64 @@
-//! A resident TCP mesh: bootstrap once, serve a stream of jobs.
+//! A resident TCP mesh: bootstrap once, serve a stream of **concurrent**
+//! jobs.
 //!
 //! [`crate::Cluster::run_distributed`] ties one mesh bootstrap to one job —
 //! every call re-dials every peer, re-handshakes, and tears the transport
 //! down again. A resident service daemon amortizes that: it calls
 //! [`ResidentMesh::connect`] **once** at startup and then runs any number
-//! of jobs over the same established endpoint with [`ResidentMesh::run_job`],
-//! interleaved with control-plane messages ([`ResidentMesh::ctrl_send`] /
-//! [`ResidentMesh::ctrl_recv`]) on the reserved control tag-space
-//! ([`dfo_net::CTRL_TAG_BIT`]) that can never contend with engine streams.
+//! of jobs over the same established endpoint with [`ResidentMesh::run_job`]
+//! / [`ResidentMesh::run_job_as`], interleaved with control-plane messages
+//! ([`ResidentMesh::ctrl_send`] / [`ResidentMesh::ctrl_recv`]) on the
+//! reserved control tag-space ([`dfo_net::CTRL_TAG_BIT`]) that can never
+//! contend with engine streams.
 //!
-//! ## Why serial jobs are safe — and concurrent ones are not
+//! ## The tag-namespace invariant: why concurrent jobs are safe
 //!
-//! Each `run_job` call builds a fresh [`NodeCtx`] over the retained
-//! endpoint. Engine stream tags restart at 0 per context, which is safe
-//! precisely because jobs are serial: every stream of job *n* is fully
-//! consumed before job *n+1* opens a stream on the same tag (the demux
-//! reclaims a (peer, tag) queue when its last frame is popped). The
-//! transport's collective sequence counter, by contrast, lives on the
-//! endpoint and keeps counting *across* jobs, so collective tags never
-//! repeat. Two jobs interleaving on one mesh would break both properties —
-//! which is why the daemon's scheduler orders jobs instead of overlapping
-//! them, and why `run_job` takes `&mut self`.
+//! Each job runs over a **job view** of the mesh endpoint
+//! ([`dfo_net::Endpoint::job_view`]): every stream and collective tag the
+//! job emits carries the job's namespace base
+//! ([`dfo_net::job_tag_base`]) in bits 44..61 of the tag. Engine stream
+//! tags still restart at 0 per job and each job counts its own collective
+//! sequence from 0 — but two jobs' tags can no longer collide, because
+//! their namespace fields differ, and neither can collide with the mesh's
+//! *master* namespace (field 0: out-of-job barriers, control fan-out
+//! acknowledgement), which [`job_tag_base`](dfo_net::job_tag_base)
+//! deliberately skips. The TCP demux routes by full tag, and collectives
+//! relay through rank 0 keyed by full tag, so any number of jobs may
+//! overlap on one mesh with their traffic pairwise isolated.
+//!
+//! Three rules keep the invariant airtight:
+//!
+//! 1. **Equal job ids across ranks.** All ranks must enter a job under the
+//!    same id ([`ResidentMesh::run_job_as`]; a coordinator assigns ids and
+//!    fans them out). [`ResidentMesh::run_job`] allocates from a local
+//!    counter and is only deterministic for meshes driven *serially* by
+//!    identical call sequences on every rank.
+//! 2. **One collective sequence per job.** The job's collective counter
+//!    lives on the mesh (not the view), so a post-job
+//!    [`ResidentMesh::job_barrier`] continues the job's sequence in
+//!    lockstep instead of restarting it.
+//! 3. **Reclamation on every exit path.** [`ResidentMesh::end_job`] drops
+//!    the job's demux queues and marks the namespace dead, so a job that
+//!    died mid-stream can neither leak queues nor head-of-line-block an
+//!    overlapping job.
+//!
+//! Concurrent jobs are a property of the **TCP** backend: the in-process
+//! simulation's shared-memory collective ignores tags (see
+//! [`dfo_net::Transport`]), and a resident mesh is always TCP.
 //!
 //! ## Failure model
 //!
 //! * **Cooperative cancellation** is a clean collective unwind — every rank
 //!   agrees at the same `Process`-call boundary — so a cancelled job
 //!   returns [`DfoError::Cancelled`] and the mesh stays healthy for the
-//!   next job.
+//!   jobs overlapping it and the next ones.
 //! * Any **other** job failure (error or panic) poisons the mesh exactly
 //!   like `run_distributed`: survivors' collectives fail with `NetClosed`
-//!   instead of hanging. The mesh is then dead; subsequent `run_job` and
-//!   control calls fail fast, and the daemon is expected to exit (its
-//!   supervisor may relaunch the whole daemon under a bumped epoch).
+//!   instead of hanging — including every overlapping job, which unwinds
+//!   with a retryable error. The mesh is then dead; the daemon drains its
+//!   workers and rebuilds the mesh in place under a bumped epoch (see
+//!   `dfo-service`'s daemon), re-running retryable jobs up to their
+//!   `max_retries` bound.
 
 use crate::cluster::Cluster;
 use crate::node::NodeCtx;
@@ -40,23 +66,34 @@ use bytes::Bytes;
 use dfo_net::{Endpoint, TcpCluster, TcpOpts, CTRL_TAG_BIT};
 use dfo_part::plan::Plan;
 use dfo_types::{DfoError, EngineConfig, Rank, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One rank's resident mesh endpoint. See the module docs.
 pub struct ResidentMesh {
     rank: Rank,
     nodes: usize,
-    /// `None` only transiently inside [`ResidentMesh::run_job`] (the job's
-    /// `NodeCtx` owns the endpoint for the duration) or permanently after a
-    /// context build failed so badly the endpoint was lost.
-    ep: Option<Endpoint>,
+    /// The master view (tag namespace 0). Job views are derived per job
+    /// and dropped when the job ends; the master never leaves the mesh.
+    ep: Endpoint,
+    /// Job-id allocator for [`ResidentMesh::run_job`] (serial direct
+    /// callers); coordinated deployments assign ids externally and use
+    /// [`ResidentMesh::run_job_as`].
+    next_job: AtomicU64,
+    /// Live jobs' collective sequence counters, so successive views of one
+    /// job (the run, then [`ResidentMesh::job_barrier`]) share a sequence.
+    coll_counters: Mutex<HashMap<u64, Arc<AtomicU64>>>,
 }
 
 impl ResidentMesh {
     /// Joins the TCP mesh described by `cfg.peers` as `rank`, blocking
     /// until every pairwise connection is up and epoch-handshaken — the
     /// same bootstrap as [`Cluster::run_distributed`], performed once for
-    /// the daemon's lifetime.
+    /// the daemon's lifetime (or once per in-place relaunch, under a
+    /// bumped `cfg.epoch`).
     pub fn connect(cfg: &EngineConfig, rank: Rank) -> Result<Self> {
         let peers = cfg.peers.clone().ok_or_else(|| {
             DfoError::Config("ResidentMesh::connect needs cfg.peers (the rank address list)".into())
@@ -77,7 +114,13 @@ impl ResidentMesh {
                 epoch: cfg.epoch,
             },
         )?;
-        Ok(Self { rank, nodes: cfg.nodes, ep: Some(ep) })
+        Ok(Self {
+            rank,
+            nodes: cfg.nodes,
+            ep,
+            next_job: AtomicU64::new(0),
+            coll_counters: Mutex::new(HashMap::new()),
+        })
     }
 
     pub fn rank(&self) -> Rank {
@@ -88,47 +131,78 @@ impl ResidentMesh {
         self.nodes
     }
 
-    fn ep(&self) -> Result<&Endpoint> {
-        self.ep.as_ref().ok_or_else(|| {
-            DfoError::NetClosed("resident mesh endpoint was lost to an earlier failure".into())
-        })
-    }
-
     /// Sends one control-plane message to `dst` as a complete stream on the
-    /// reserved control tag. Control messages are strictly one-at-a-time
-    /// per peer (send, then wait for the peer to act), which keeps the
-    /// outstanding control-frame count within the demux head-of-line budget
-    /// ([`dfo_net::DEMUX_QUEUE_DEPTH`]).
+    /// reserved control tag. Concurrent control senders must serialize
+    /// whole messages per peer (a message spans several frames and the
+    /// demux queue is FIFO per (peer, tag)) and keep the outstanding
+    /// control-frame count within the demux head-of-line budget
+    /// ([`dfo_net::DEMUX_QUEUE_DEPTH`]) — the daemon does both.
     pub fn ctrl_send(&self, dst: Rank, payload: Vec<u8>) -> Result<()> {
-        self.ep()?.send_stream(dst, CTRL_TAG_BIT, Bytes::from(payload))
+        self.ep.send_stream(dst, CTRL_TAG_BIT, Bytes::from(payload))
     }
 
     /// Receives one complete control-plane message from `src` (blocking).
     pub fn ctrl_recv(&self, src: Rank) -> Result<Vec<u8>> {
-        self.ep()?.recv_all(src, CTRL_TAG_BIT)
+        self.ep.recv_all(src, CTRL_TAG_BIT)
     }
 
-    /// Mesh-wide barrier outside any job (e.g. a coordinated shutdown).
+    /// Mesh-wide barrier outside any job (e.g. a coordinated shutdown), in
+    /// the master namespace. Every rank must call out-of-job barriers in
+    /// the same order — the usual SPMD discipline, now scoped to the
+    /// master namespace only.
     pub fn barrier(&self) -> Result<()> {
-        self.ep()?.barrier();
-        Ok(())
+        self.ep.try_barrier()
     }
 
-    /// Runs one job over the resident mesh, SPMD-style: every rank of the
-    /// mesh must call this with the same `cluster` graph, `scope` and an
-    /// equivalent `f`, exactly like one closure execution of
-    /// [`Cluster::run_distributed`] — but over the already-established
-    /// endpoint, with no re-dial, no re-handshake and no re-preprocess.
+    /// Poisons the mesh: every blocked collective and stream on every rank
+    /// fails with `NetClosed` instead of hanging. Idempotent. A daemon
+    /// calls this before tearing down a mesh it has judged dead for a
+    /// *local* reason (say, a scratch I/O failure after a job), so peers
+    /// observe the death instead of waiting forever.
+    pub fn poison(&self) {
+        self.ep.poison_collective();
+    }
+
+    /// Runs one job with a mesh-allocated id. Safe only for meshes driven
+    /// **serially with identical call sequences on every rank** (each
+    /// rank's allocator then assigns equal ids) — a concurrent coordinator
+    /// must assign ids itself and use [`ResidentMesh::run_job_as`].
+    pub fn run_job<T>(
+        &self,
+        cluster: &Cluster,
+        scope: &str,
+        f: impl FnOnce(&mut NodeCtx) -> Result<T>,
+    ) -> Result<T> {
+        let job_id = self.next_job.fetch_add(1, Ordering::SeqCst);
+        let out = self.run_job_as(job_id, cluster, scope, f);
+        // serial callers have no post-job barrier/reclaim protocol of
+        // their own; settle and reclaim here so the next job starts clean
+        let _ = self.job_barrier(job_id);
+        self.end_job(job_id);
+        out
+    }
+
+    /// Runs one job over the resident mesh under the caller-assigned
+    /// `job_id`, SPMD-style: every rank of the mesh must call this with
+    /// the same `job_id`, `cluster` graph, `scope` and an equivalent `f`,
+    /// exactly like one closure execution of [`Cluster::run_distributed`]
+    /// — but over a job view of the already-established endpoint, with no
+    /// re-dial, no re-handshake and no re-preprocess. Jobs with distinct
+    /// ids may overlap freely (worker threads of one process each calling
+    /// this); see the module docs for the namespace invariant.
     ///
     /// The job's mutable state (vertex arrays, checkpoints, spills) lives
-    /// under the private scratch scope `sub` of this rank's node disk;
-    /// graph data is read from the node root. Call
-    /// [`Cluster::remove_scratch`] afterwards like any scoped run.
+    /// under the private scratch scope `scope` of this rank's node disk;
+    /// graph data is read from the node root. Afterwards the caller runs
+    /// [`ResidentMesh::job_barrier`], removes the scratch, and calls
+    /// [`ResidentMesh::end_job`].
     ///
     /// A [`DfoError::Cancelled`] return leaves the mesh healthy (see the
-    /// module docs); any other failure poisons it.
-    pub fn run_job<T>(
-        &mut self,
+    /// module docs); any other failure poisons it — taking every
+    /// overlapping job down with a retryable `NetClosed`.
+    pub fn run_job_as<T>(
+        &self,
+        job_id: u64,
         cluster: &Cluster,
         scope: &str,
         f: impl FnOnce(&mut NodeCtx) -> Result<T>,
@@ -141,23 +215,28 @@ impl ResidentMesh {
             )));
         }
         let disk = cluster.disks()[self.rank].clone();
-        // validate everything that can fail *before* committing the
-        // endpoint to the context, so a bad graph directory is a per-job
-        // error rather than the end of the mesh
+        // validate everything that can fail *before* building the job
+        // view, so a bad graph directory is a per-job error rather than
+        // the end of the mesh
         Plan::load(&disk)?;
         let scratch = disk.scoped(scope)?;
-        let ep = self.ep.take().ok_or_else(|| {
-            DfoError::NetClosed("resident mesh endpoint was lost to an earlier failure".into())
-        })?;
-        // on a failed build the endpoint goes down with it; the mesh is lost
-        let mut ctx =
-            NodeCtx::with_disks(self.rank, cfg, disk, scratch, ep, cluster.chunk_cache(self.rank))?;
+        let view = self.ep.job_view(job_id, self.coll_counter(job_id));
+        // a failed context build drops only the view; the master endpoint
+        // (and with it the mesh) survives
+        let mut ctx = NodeCtx::with_disks(
+            self.rank,
+            cfg,
+            disk,
+            scratch,
+            view,
+            cluster.chunk_cache(self.rank),
+        )?;
         ctx.rollbacks = cluster.rollbacks_handle();
         ctx.set_telemetry(cluster.rank_telemetry(self.rank, None));
         // one-rank-per-process deployment: injected crashes kill the process
         ctx.crash_abort = true;
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
-        let out = match res {
+        match res {
             Ok(Ok(v)) => Ok(v),
             // a cooperative cancellation unwound every rank together at the
             // same call boundary — the mesh is still consistent, keep it
@@ -170,10 +249,28 @@ impl ResidentMesh {
                 ctx.net().poison_collective();
                 Err(crate::cluster::panic_to_error(panic, self.rank))
             }
-        };
-        // hand the endpoint back for the next job (poisoned endpoints fail
-        // fast rather than hang, so returning one is safe)
-        self.ep = Some(ctx.into_net());
-        out
+        }
+    }
+
+    /// Barrier inside job `job_id`'s namespace, continuing the job's
+    /// collective sequence — the post-job settle before scratch removal
+    /// ("no rank deletes scratch another rank still reads"). Every rank
+    /// that ran the job must call it, and only once per run, like any
+    /// collective.
+    pub fn job_barrier(&self, job_id: u64) -> Result<()> {
+        self.ep.job_view(job_id, self.coll_counter(job_id)).try_barrier()
+    }
+
+    /// Retires job `job_id` on this rank: forgets its collective counter
+    /// and reclaims its receive-side demux state, dropping any frames of
+    /// the job still in flight. Call on **every** exit path — success,
+    /// cancellation, or failure — after the job's views are gone.
+    pub fn end_job(&self, job_id: u64) {
+        self.coll_counters.lock().remove(&job_id);
+        self.ep.reclaim_job(job_id);
+    }
+
+    fn coll_counter(&self, job_id: u64) -> Arc<AtomicU64> {
+        self.coll_counters.lock().entry(job_id).or_default().clone()
     }
 }

@@ -1,0 +1,94 @@
+//! In-process [`ResidentMesh`] tests: ranks as threads of one process over
+//! localhost TCP, exercising the tag-namespace invariant that lets jobs
+//! overlap on one mesh (see `resident.rs` module docs). The multi-process
+//! deployment of the same machinery is covered end to end by
+//! `crates/dfo-service/tests/remote.rs`.
+
+use dfo_core::{Cluster, ResidentMesh};
+use dfo_graph::gen::uniform;
+use dfo_types::{BatchPolicy, EngineConfig};
+use std::net::TcpListener;
+use tempfile::TempDir;
+
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port())).collect()
+}
+
+/// The SPMD job body: iterated in-degree counting over the preprocessed
+/// graph — engine streams, message exchange and per-call cancel
+/// collectives, the same call pattern an iterative algorithm (PageRank)
+/// drives through the remote daemon.
+fn in_degree_job(ctx: &mut dfo_core::NodeCtx) -> dfo_types::Result<Vec<u64>> {
+    ctx.set_cancel_token(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)));
+    let deg = ctx.vertex_array::<u64>("deg")?;
+    for _ in 0..5 {
+        {
+            let d = deg.clone();
+            ctx.process_vertices(&["deg"], None, move |v, c| {
+                c.set(&d, v, 0);
+                0u64
+            })?;
+        }
+        ctx.process_edges(
+            &[],
+            &["deg"],
+            None,
+            |_v, _c| Some(1u64),
+            |msg, _s, dst, _d: &(), c| {
+                let cur = c.get(&deg, dst);
+                c.set(&deg, dst, cur + msg);
+                1u64
+            },
+        )?;
+    }
+    let r = ctx.plan().partitions[ctx.rank()];
+    let mut out = vec![0u64; r.len() as usize];
+    let deg2 = deg.clone();
+    let collected = std::sync::Mutex::new(&mut out);
+    ctx.process_vertices(&["deg"], None, |v, c| {
+        let val = c.get(&deg2, v);
+        collected.lock().unwrap()[(v - r.start) as usize] = val;
+        0u64
+    })?;
+    Ok(out)
+}
+
+/// N jobs overlapping on one 2-rank mesh — every job's result bit-equal to
+/// the serial batch run over the same preprocessed chunks.
+#[test]
+fn concurrent_jobs_on_one_mesh_match_serial() {
+    const JOBS: u64 = 3;
+    let td = TempDir::new().unwrap();
+    let mut cfg = EngineConfig::for_test(2);
+    cfg.batch_policy = BatchPolicy::FixedVertices(32);
+    cfg.peers = Some(free_addrs(2));
+    cfg.connect_timeout_secs = 30;
+    let cluster = Cluster::create(cfg.clone(), td.path()).unwrap();
+    cluster.preprocess(&uniform(192, 1400, 5)).unwrap();
+    let reference = cluster.run(in_degree_job).unwrap();
+
+    let cluster = &cluster;
+    std::thread::scope(|s| {
+        for (rank, want) in reference.iter().enumerate() {
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let mesh = ResidentMesh::connect(&cfg, rank).unwrap();
+                let mesh = &mesh;
+                std::thread::scope(|sj| {
+                    for job in 0..JOBS {
+                        sj.spawn(move || {
+                            let scope = format!("j{job}");
+                            let out = mesh.run_job_as(job, cluster, &scope, in_degree_job).unwrap();
+                            mesh.job_barrier(job).unwrap();
+                            mesh.end_job(job);
+                            assert_eq!(out, *want, "job {job} rank {rank}");
+                        });
+                    }
+                });
+                mesh.barrier().unwrap();
+            });
+        }
+    });
+}

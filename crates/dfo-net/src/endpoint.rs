@@ -17,10 +17,12 @@
 
 use crate::frame::Frame;
 use crate::sim::SimTransport;
+use crate::tag::{job_tag_base, COLL_TAG_BIT};
 use crate::transport::Transport;
 use bytes::Bytes;
 use dfo_storage::Throttle;
 use dfo_types::{Counter, DfoError, Rank, Result, TrafficRecorder};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Frame size [`Endpoint::send_stream`] cuts payloads into; 256 KiB keeps
@@ -131,13 +133,30 @@ struct EndpointObs {
 }
 
 /// One node's connection to the cluster, over either backend.
+///
+/// An endpoint is a *view* over a (possibly shared) transport: it carries a
+/// tag-namespace base (see [`crate::tag`]) OR-ed into every stream and
+/// collective tag, and its own collective sequence counter. The endpoint
+/// built by [`Endpoint::new`] is the **master** view (namespace base 0);
+/// [`Endpoint::job_view`] derives per-job views over the same transport so
+/// concurrent jobs demultiplex into disjoint queues.
 pub struct Endpoint {
     rank: Rank,
     p: usize,
     egress: Throttle,
     ingress: Throttle,
     stats: Arc<NetStats>,
-    transport: Box<dyn Transport>,
+    transport: Arc<dyn Transport>,
+    /// Tag-namespace base OR-ed into every stream/collective tag (0 for
+    /// the master view, [`job_tag_base`] for job views).
+    tag_base: u64,
+    /// This namespace's collective sequence number; SPMD discipline keeps
+    /// it in lockstep across the ranks of the namespace, so
+    /// `COLL_TAG_BIT | tag_base | seq` is the collective's stream tag.
+    /// Shared (`Arc`) so an owner can hand a job's counter to several
+    /// successive views of the same job — e.g. a post-job barrier that
+    /// must continue the job's sequence, not restart it.
+    coll_seq: Arc<AtomicU64>,
     obs: Option<EndpointObs>,
 }
 
@@ -156,9 +175,45 @@ impl Endpoint {
             egress: Throttle::from_option(net_bw),
             ingress: Throttle::from_option(net_bw),
             stats: Arc::new(NetStats::new(p, record_traffic)),
-            transport,
+            transport: Arc::from(transport),
+            tag_base: 0,
+            coll_seq: Arc::new(AtomicU64::new(0)),
             obs: None,
         }
+    }
+
+    /// Derives a view of this endpoint living in job `job_id`'s tag
+    /// namespace: same transport, same byte accounting, same NIC throttles
+    /// (concurrent jobs share the node's bandwidth, §4.5), but every
+    /// stream and collective tag carries [`job_tag_base`]`(job_id)` and
+    /// collectives count on `coll_seq`. The caller owns the counter so
+    /// successive views of the same job (the job run, then a post-job
+    /// barrier) continue one sequence; ranks must pass counters at equal
+    /// positions, exactly like any SPMD collective discipline.
+    ///
+    /// Only meaningful on tag-demultiplexing transports (TCP): the channel
+    /// backend's collectives ignore tags, so overlapping job views there
+    /// would race one shared rendezvous.
+    pub fn job_view(&self, job_id: u64, coll_seq: Arc<AtomicU64>) -> Endpoint {
+        Endpoint {
+            rank: self.rank,
+            p: self.p,
+            egress: self.egress.clone(),
+            ingress: self.ingress.clone(),
+            stats: self.stats.clone(),
+            transport: self.transport.clone(),
+            tag_base: job_tag_base(job_id),
+            coll_seq,
+            obs: None,
+        }
+    }
+
+    /// Discards receive-side demux state of job `job_id`'s namespace and
+    /// drops its late frames on arrival — call once a job's views are gone
+    /// (success or failure) so a job that died mid-stream cannot leak
+    /// queues or head-of-line-block an overlapping job.
+    pub fn reclaim_job(&self, job_id: u64) {
+        self.transport.reclaim_job(job_id);
     }
 
     /// Attaches telemetry: collective latencies feed a
@@ -206,11 +261,12 @@ impl Endpoint {
         self.stats.clone()
     }
 
-    /// Sends one frame of the stream `tag` to `dst`. Blocks while the
-    /// egress throttle paces the transfer or the peer's buffer is full.
+    /// Sends one frame of the stream `tag` to `dst` (the tag is placed in
+    /// this endpoint's namespace). Blocks while the egress throttle paces
+    /// the transfer or the peer's buffer is full.
     pub fn send(&self, dst: Rank, tag: u64, payload: Bytes, last: bool) -> Result<()> {
         assert_ne!(dst, self.rank, "self-sends are handled node-locally by the engine");
-        let frame = Frame { src: self.rank, tag, payload, last };
+        let frame = Frame { src: self.rank, tag: self.tag_base | tag, payload, last };
         let wire = frame.wire_bytes();
         self.egress.acquire(wire);
         self.stats.sent_bytes.add(wire);
@@ -238,10 +294,11 @@ impl Endpoint {
         self.finish_stream(dst, tag)
     }
 
-    /// Opens the receiving side of stream `tag` from `src`.
+    /// Opens the receiving side of stream `tag` from `src` (matched in
+    /// this endpoint's namespace).
     pub fn recv_stream(&self, src: Rank, tag: u64) -> StreamRecv<'_> {
         assert_ne!(src, self.rank);
-        StreamRecv { ep: self, src, tag, done: false }
+        StreamRecv { ep: self, src, tag: self.tag_base | tag, done: false }
     }
 
     /// Receives an entire stream into one buffer (tests and small payloads).
@@ -254,17 +311,29 @@ impl Endpoint {
         Ok(out)
     }
 
+    /// The next collective tag of this namespace: the namespace base plus
+    /// this view's sequence number, which SPMD discipline keeps in
+    /// lockstep across ranks.
+    fn next_coll_tag(&self) -> u64 {
+        COLL_TAG_BIT | self.tag_base | self.coll_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
     /// Blocks until every rank arrives. Panics if the cluster is poisoned
     /// or a peer died mid-collective — with the [`DfoError`] itself as the
     /// panic payload, so the cluster runner can recover the typed error
     /// (telling a mesh failure apart from a user-code bug) instead of a
     /// formatted string.
     pub fn barrier(&self) {
-        self.collective("barrier", || {
-            if let Err(e) = self.transport.barrier() {
-                std::panic::panic_any(e);
-            }
-        })
+        if let Err(e) = self.try_barrier() {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// Non-panicking [`Endpoint::barrier`]: a mesh failure comes back as a
+    /// typed error. For callers outside the engine's catch-unwind runner —
+    /// a resident daemon must survive a poisoned mesh, not unwind with it.
+    pub fn try_barrier(&self) -> Result<()> {
+        self.collective("barrier", || self.transport.barrier(self.next_coll_tag()))
     }
 
     /// Poisons the cluster collective: peers blocked in barriers abort
@@ -274,9 +343,11 @@ impl Endpoint {
     }
 
     fn allreduce_u64_with(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> u64 {
-        self.collective("allreduce_u64", || match self.transport.allreduce_u64(v, fold) {
-            Ok(out) => out,
-            Err(e) => std::panic::panic_any(e),
+        self.collective("allreduce_u64", || {
+            match self.transport.allreduce_u64(self.next_coll_tag(), v, fold) {
+                Ok(out) => out,
+                Err(e) => std::panic::panic_any(e),
+            }
         })
     }
 
@@ -285,9 +356,11 @@ impl Endpoint {
     }
 
     pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
-        self.collective("allreduce_f64", || match self.transport.allreduce_f64(v, &|a, b| a + b) {
-            Ok(out) => out,
-            Err(e) => std::panic::panic_any(e),
+        self.collective("allreduce_f64", || {
+            match self.transport.allreduce_f64(self.next_coll_tag(), v, &|a, b| a + b) {
+                Ok(out) => out,
+                Err(e) => std::panic::panic_any(e),
+            }
         })
     }
 

@@ -23,6 +23,7 @@ pub mod collective;
 pub mod endpoint;
 pub mod frame;
 pub mod sim;
+pub mod tag;
 pub mod tcp;
 pub mod transport;
 
@@ -30,5 +31,6 @@ pub use collective::Collective;
 pub use endpoint::{Endpoint, NetStats, NetTotals, PeerCounters, SimCluster, StreamRecv};
 pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
 pub use sim::SimTransport;
-pub use tcp::{TcpCluster, TcpOpts, TcpTransport, CTRL_TAG_BIT, DEMUX_QUEUE_DEPTH};
+pub use tag::{job_tag_base, tag_in_job, CTRL_TAG_BIT, JOB_FIELD_MASK, JOB_TAG_SHIFT};
+pub use tcp::{TcpCluster, TcpOpts, TcpTransport, DEMUX_QUEUE_DEPTH};
 pub use transport::Transport;

@@ -81,7 +81,12 @@ impl Transport for SimTransport {
             .map_err(|_| DfoError::NetClosed(format!("recv {} <- {}", self.rank, src)))
     }
 
-    fn barrier(&self) -> Result<()> {
+    /// The shared-memory collective is a single rendezvous — it cannot
+    /// isolate concurrent tag namespaces, so the tag is ignored. Exactly
+    /// one job's collectives may be live at a time on this backend (see
+    /// the [`Transport`] trait docs); concurrent jobs need the TCP
+    /// backend's tag-demultiplexed relay.
+    fn barrier(&self, _tag: u64) -> Result<()> {
         self.collective.barrier()
     }
 
@@ -89,11 +94,21 @@ impl Transport for SimTransport {
         self.collective.poison();
     }
 
-    fn allreduce_u64(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> Result<u64> {
+    fn allreduce_u64(
+        &self,
+        _tag: u64,
+        v: u64,
+        fold: &(dyn Fn(u64, u64) -> u64 + Sync),
+    ) -> Result<u64> {
         self.collective.allreduce_u64(self.rank, v, fold)
     }
 
-    fn allreduce_f64(&self, v: f64, fold: &(dyn Fn(f64, f64) -> f64 + Sync)) -> Result<f64> {
+    fn allreduce_f64(
+        &self,
+        _tag: u64,
+        v: f64,
+        fold: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> Result<f64> {
         self.collective.allreduce_f64(self.rank, v, fold)
     }
 }

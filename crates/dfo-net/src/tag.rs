@@ -1,0 +1,122 @@
+//! The 64-bit tag layout: how streams, collectives, control messages and
+//! **job namespaces** share one tag space.
+//!
+//! ```text
+//!  bit 63    bit 62    bits 44..61        bits 0..43
+//! ┌────────┬─────────┬────────────────┬──────────────────────────┐
+//! │ COLL   │ CTRL    │ job field (18) │ stream / sequence number │
+//! └────────┴─────────┴────────────────┴──────────────────────────┘
+//! ```
+//!
+//! * **`COLL_TAG_BIT`** marks collective relay streams (barrier,
+//!   all-reduce). The low bits carry the collective *sequence number*,
+//!   which must advance in lockstep on every rank (SPMD discipline).
+//! * **`CTRL_TAG_BIT`** marks job-control traffic (the resident daemon's
+//!   spec fan-out). Control tags carry **no** job field: control is a
+//!   mesh-level channel that outlives any job.
+//! * The **job field** namespaces everything else. Field `0` is the
+//!   *master* (mesh-level) namespace: out-of-job barriers, batch-mode
+//!   runs, and every endpoint that never calls
+//!   [`crate::Endpoint::job_view`]. Fields `1..=JOB_FIELD_MASK` belong to
+//!   jobs: [`job_tag_base`] maps a job id onto them (wrapping), skipping
+//!   `0` so job tags can never collide with the master namespace.
+//!
+//! This is what lets jobs **overlap** on one resident mesh: each job's
+//! engine streams restart their call-sequence numbers at 0 and each job
+//! counts its own collective sequence, yet two concurrent jobs (and the
+//! mesh's own master collectives) still demultiplex into disjoint
+//! per-`(peer, tag)` queues because their job fields differ.
+
+/// Tag namespace bit reserved for collectives; engine stream tags are call
+/// sequence numbers and never reach it.
+pub const COLL_TAG_BIT: u64 = 1 << 63;
+
+/// Tag namespace bit reserved for **job-control** traffic (the resident
+/// service daemon's spec fan-out and the remote client protocol). Bit 63 is
+/// collectives, engine stream tags are call-sequence numbers that never
+/// leave the low bits — so control frames get their own per-(peer, tag)
+/// demux queues and can never contend with engine streams or collectives.
+///
+/// Control senders must respect the demux head-of-line rule: at most
+/// [`crate::DEMUX_QUEUE_DEPTH`] control frames may be outstanding (sent but
+/// not yet received) per peer, because a full queue blocks the *reader
+/// thread* for that peer and would then stall every tag from it. The
+/// daemon bounds its concurrent fan-outs accordingly.
+pub const CTRL_TAG_BIT: u64 = 1 << 62;
+
+/// Bit position of the job field inside a tag.
+pub const JOB_TAG_SHIFT: u32 = 44;
+
+/// Width of the job field in bits.
+pub const JOB_FIELD_BITS: u32 = 18;
+
+/// Mask of the job field (after shifting right by [`JOB_TAG_SHIFT`]).
+pub const JOB_FIELD_MASK: u64 = (1 << JOB_FIELD_BITS) - 1;
+
+/// The tag-namespace base of job `job_id`: OR it into every stream and
+/// collective tag of that job. Job ids map onto fields `1..=JOB_FIELD_MASK`
+/// (wrapping), never `0` — field `0` is the master/mesh namespace — so a
+/// job's tags are disjoint from the mesh's own barriers and from any job
+/// whose id differs by less than `JOB_FIELD_MASK`.
+pub const fn job_tag_base(job_id: u64) -> u64 {
+    ((job_id % JOB_FIELD_MASK) + 1) << JOB_TAG_SHIFT
+}
+
+/// The job field of a tag (0 = master namespace). Meaningless for control
+/// tags, which carry no job field — check [`CTRL_TAG_BIT`] first.
+pub const fn tag_job_field(tag: u64) -> u64 {
+    (tag >> JOB_TAG_SHIFT) & JOB_FIELD_MASK
+}
+
+/// Whether `tag` belongs to job `job_id`'s namespace. Control tags belong
+/// to no job (the control channel outlives jobs), collective and stream
+/// tags match on the job field.
+pub const fn tag_in_job(tag: u64, job_id: u64) -> bool {
+    tag & CTRL_TAG_BIT == 0 && tag_job_field(tag) == (job_id % JOB_FIELD_MASK) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_bases_are_disjoint_from_master_and_each_other() {
+        // field 0 is reserved for the master namespace
+        for id in [0u64, 1, 2, 63, JOB_FIELD_MASK - 1, JOB_FIELD_MASK, 2 * JOB_FIELD_MASK] {
+            assert_ne!(tag_job_field(job_tag_base(id)), 0, "job {id} collides with master");
+        }
+        // consecutive ids get distinct fields until the field wraps
+        let fields: Vec<u64> =
+            (0..JOB_FIELD_MASK).map(|i| tag_job_field(job_tag_base(i))).collect();
+        let mut sorted = fields.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), fields.len(), "job fields repeat before the wrap");
+        // ...and the wrap lands back on field 1, still never 0
+        assert_eq!(tag_job_field(job_tag_base(JOB_FIELD_MASK)), 1);
+    }
+
+    #[test]
+    fn job_base_preserves_low_bits_and_namespace_bits() {
+        let base = job_tag_base(7);
+        let stream_tag = base | 3;
+        let coll_tag = COLL_TAG_BIT | base | 12;
+        assert_eq!(stream_tag & ((1 << JOB_TAG_SHIFT) - 1), 3);
+        assert_eq!(tag_job_field(stream_tag), 8);
+        assert_eq!(tag_job_field(coll_tag), 8);
+        assert!(tag_in_job(stream_tag, 7));
+        assert!(tag_in_job(coll_tag, 7));
+        assert!(!tag_in_job(stream_tag, 8));
+    }
+
+    #[test]
+    fn control_tags_belong_to_no_job() {
+        // tag_job_field(CTRL_TAG_BIT) == 0, so without the CTRL check a
+        // master-namespace reclaim could swallow control traffic
+        assert_eq!(tag_job_field(CTRL_TAG_BIT), 0);
+        for id in 0..64 {
+            assert!(!tag_in_job(CTRL_TAG_BIT, id));
+            assert!(!tag_in_job(CTRL_TAG_BIT | job_tag_base(id), id));
+        }
+    }
+}

@@ -45,14 +45,18 @@
 //! relayed through rank 0: everyone sends its value to rank 0, rank 0 folds
 //! in rank order (bit-identical to the simulation's slot fold) and
 //! broadcasts the result. Collective streams use tags with the top bit set
-//! (`COLL_TAG_BIT`), a namespace the engine's call-sequence tags never
-//! reach. A dead peer (EOF, reset, or an explicit `poison`) fails the
+//! ([`crate::tag::COLL_TAG_BIT`]), a namespace the engine's call-sequence
+//! tags never reach; the full tag (namespace base + per-namespace sequence
+//! number) comes from the caller, so collectives of concurrent job
+//! namespaces relay through rank 0 without ever matching each other's
+//! frames. A dead peer (EOF, reset, or an explicit `poison`) fails the
 //! collective with `NetClosed` on every survivor instead of hanging, and a
 //! failed collective poisons the local mesh so the error cascades.
 
 use crate::endpoint::Endpoint;
 use crate::frame::Frame;
 use crate::sim::CHANNEL_DEPTH;
+use crate::tag;
 use crate::transport::Transport;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
@@ -62,7 +66,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -72,26 +76,17 @@ use std::time::{Duration, Instant};
 const MAGIC: u64 = 0x4446_4f47_4d45_5348; // "DFOGMESH"
 const PROTO_VERSION: u32 = 2; // v2: hello carries the mesh epoch
 
-/// Tag namespace bit reserved for collectives; engine stream tags are call
-/// sequence numbers and never reach it.
-const COLL_TAG_BIT: u64 = 1 << 63;
-
-/// Tag namespace bit reserved for **job-control** traffic (the resident
-/// service daemon's spec fan-out and the remote client protocol). Bit 63 is
-/// collectives, engine stream tags are call-sequence numbers that never
-/// leave the low bits — so control frames get their own per-(peer, tag)
-/// demux queues and can never contend with engine streams or collectives.
-///
-/// Control senders must respect the demux head-of-line rule: at most
-/// [`DEMUX_QUEUE_DEPTH`] control frames may be outstanding (sent but not
-/// yet received) per peer, because a full queue blocks the *reader thread*
-/// for that peer and would then stall every tag from it. The daemon's
-/// one-command-at-a-time discipline keeps the outstanding count at 1.
-pub const CTRL_TAG_BIT: u64 = 1 << 62;
-
 /// Frames buffered per (peer, tag) on the receive side before the demux
 /// reader stops reading from that peer's socket (backpressure).
 const QUEUE_DEPTH: usize = CHANNEL_DEPTH;
+
+/// Dead job namespaces remembered per peer so a reclaimed job's in-flight
+/// frames are dropped on arrival rather than resurrecting its queues. A
+/// bounded FIFO: once more than this many jobs have been reclaimed, the
+/// oldest is forgotten — by then its stragglers have long since drained
+/// (frames of a forgotten dead job would sit in an orphaned queue until
+/// the transport drops, bounded by `QUEUE_DEPTH` frames each).
+const DEAD_JOBS_REMEMBERED: usize = 64;
 
 /// Public alias of the per-(peer, tag) demux queue depth, so control-plane
 /// code (and the head-of-line guard test) can state its outstanding-frame
@@ -173,8 +168,18 @@ fn read_hello(s: &mut TcpStream) -> Result<(Rank, usize, u64)> {
 
 struct PeerState {
     queues: HashMap<u64, VecDeque<Frame>>,
+    /// Job namespaces reclaimed on this endpoint (newest last, bounded by
+    /// [`DEAD_JOBS_REMEMBERED`]): frames whose tag falls in one of these
+    /// are dropped on arrival instead of queued.
+    dead_jobs: VecDeque<u64>,
     /// Why the peer is gone, once it is; queued frames still drain first.
     closed: Option<String>,
+}
+
+impl PeerState {
+    fn job_is_dead(&self, frame_tag: u64) -> bool {
+        self.dead_jobs.iter().any(|&job| tag::tag_in_job(frame_tag, job))
+    }
 }
 
 struct PeerSlot {
@@ -191,7 +196,11 @@ impl Demux {
         Arc::new(Self {
             slots: (0..p)
                 .map(|_| PeerSlot {
-                    state: Mutex::new(PeerState { queues: HashMap::new(), closed: None }),
+                    state: Mutex::new(PeerState {
+                        queues: HashMap::new(),
+                        dead_jobs: VecDeque::new(),
+                        closed: None,
+                    }),
                     cv: Condvar::new(),
                 })
                 .collect(),
@@ -200,13 +209,20 @@ impl Demux {
 
     /// Routes one incoming frame; blocks while its queue is full (which in
     /// turn stalls the reader thread and lets TCP flow control push back on
-    /// the sender). Errors only when the slot was closed locally.
+    /// the sender). Frames of a reclaimed job namespace are dropped — the
+    /// dead-job check repeats after every wakeup, so a reader blocked on a
+    /// queue that [`Demux::reclaim_job`] then discards unblocks and drops
+    /// instead of resurrecting it. Errors only when the slot was closed
+    /// locally.
     fn push(&self, src: Rank, frame: Frame) -> std::result::Result<(), ()> {
         let slot = &self.slots[src];
         let mut st = slot.state.lock();
         loop {
             if st.closed.is_some() {
                 return Err(());
+            }
+            if st.job_is_dead(frame.tag) {
+                return Ok(()); // late frame of a reclaimed job: drop it
             }
             let q = st.queues.entry(frame.tag).or_default();
             if q.len() < QUEUE_DEPTH {
@@ -226,8 +242,13 @@ impl Demux {
         loop {
             if let Some(q) = st.queues.get_mut(&tag) {
                 if let Some(f) = q.pop_front() {
-                    if f.last {
-                        // stream finished: reclaim the queue slot
+                    if f.last && q.is_empty() {
+                        // stream finished: reclaim the queue slot — but only
+                        // when nothing is buffered behind it. Tags are reused
+                        // for back-to-back streams (the control channel sends
+                        // every message on one tag), so frames of the *next*
+                        // stream may already sit in this queue and must not
+                        // be discarded with the finished one.
                         st.queues.remove(&tag);
                     }
                     slot.cv.notify_all();
@@ -253,6 +274,26 @@ impl Demux {
     fn close_all(&self, why: &str) {
         for src in 0..self.slots.len() {
             self.close(src, why);
+        }
+    }
+
+    /// Discards every queue of job `job_id`'s tag namespace on every peer
+    /// slot and remembers the job as dead (bounded memory, see
+    /// [`DEAD_JOBS_REMEMBERED`]) so frames of it still in flight are
+    /// dropped on arrival. Control queues are untouched — control tags
+    /// belong to no job. Wakes all waiters: a reader thread blocked pushing
+    /// into a discarded (previously full) queue re-checks and drops.
+    fn reclaim_job(&self, job_id: u64) {
+        for slot in &self.slots {
+            let mut st = slot.state.lock();
+            st.queues.retain(|&tag, _| !tag::tag_in_job(tag, job_id));
+            if !st.dead_jobs.contains(&job_id) {
+                st.dead_jobs.push_back(job_id);
+                if st.dead_jobs.len() > DEAD_JOBS_REMEMBERED {
+                    st.dead_jobs.pop_front();
+                }
+            }
+            slot.cv.notify_all();
         }
     }
 }
@@ -331,9 +372,6 @@ pub struct TcpTransport {
     /// threads and the remote peer).
     streams: Vec<Option<TcpStream>>,
     poisoned: AtomicBool,
-    /// Collective sequence number; SPMD discipline keeps it in lockstep
-    /// across ranks, so it doubles as the collective's stream tag.
-    coll_seq: AtomicU64,
     writer_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -439,7 +477,6 @@ impl TcpTransport {
             demux,
             streams,
             poisoned: AtomicBool::new(false),
-            coll_seq: AtomicU64::new(0),
             writer_handles: Mutex::new(handles),
         })
     }
@@ -453,10 +490,6 @@ impl TcpTransport {
 
     fn coll_frame(&self, tag: u64, payload: Bytes) -> Frame {
         Frame { src: self.rank, tag, payload, last: true }
-    }
-
-    fn next_coll_tag(&self) -> u64 {
-        COLL_TAG_BIT | self.coll_seq.fetch_add(1, Ordering::SeqCst)
     }
 
     fn barrier_inner(&self, tag: u64) -> Result<()> {
@@ -474,11 +507,12 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// Rank-0-relayed 8-byte all-reduce: gather in rank order, fold at rank
-    /// 0, broadcast. The rank-order fold makes float reductions
-    /// bit-identical to the shared-memory backend.
+    /// Rank-0-relayed 8-byte all-reduce under the caller's collective tag:
+    /// gather in rank order, fold at rank 0, broadcast. The rank-order fold
+    /// makes float reductions bit-identical to the shared-memory backend.
     fn relay_reduce(
         &self,
+        tag: u64,
         mine: [u8; 8],
         fold: &dyn Fn([u8; 8], [u8; 8]) -> [u8; 8],
     ) -> Result<[u8; 8]> {
@@ -486,7 +520,6 @@ impl TcpTransport {
         if self.p == 1 {
             return Ok(mine);
         }
-        let tag = self.next_coll_tag();
         let res = self.relay_reduce_inner(tag, mine, fold);
         if res.is_err() {
             self.poison();
@@ -539,12 +572,11 @@ impl Transport for TcpTransport {
         self.demux.pop(src, tag)
     }
 
-    fn barrier(&self) -> Result<()> {
+    fn barrier(&self, tag: u64) -> Result<()> {
         self.check_poisoned()?;
         if self.p == 1 {
             return Ok(());
         }
-        let tag = self.next_coll_tag();
         let res = self.barrier_inner(tag);
         if res.is_err() {
             // a failed collective is unrecoverable for the whole job:
@@ -564,18 +596,32 @@ impl Transport for TcpTransport {
         self.demux.close_all("cluster collective poisoned");
     }
 
-    fn allreduce_u64(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> Result<u64> {
-        let out = self.relay_reduce(v.to_le_bytes(), &|a, b| {
+    fn allreduce_u64(
+        &self,
+        tag: u64,
+        v: u64,
+        fold: &(dyn Fn(u64, u64) -> u64 + Sync),
+    ) -> Result<u64> {
+        let out = self.relay_reduce(tag, v.to_le_bytes(), &|a, b| {
             fold(u64::from_le_bytes(a), u64::from_le_bytes(b)).to_le_bytes()
         })?;
         Ok(u64::from_le_bytes(out))
     }
 
-    fn allreduce_f64(&self, v: f64, fold: &(dyn Fn(f64, f64) -> f64 + Sync)) -> Result<f64> {
-        let out = self.relay_reduce(v.to_le_bytes(), &|a, b| {
+    fn allreduce_f64(
+        &self,
+        tag: u64,
+        v: f64,
+        fold: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> Result<f64> {
+        let out = self.relay_reduce(tag, v.to_le_bytes(), &|a, b| {
             fold(f64::from_le_bytes(a), f64::from_le_bytes(b)).to_le_bytes()
         })?;
         Ok(f64::from_le_bytes(out))
+    }
+
+    fn reclaim_job(&self, job_id: u64) {
+        self.demux.reclaim_job(job_id);
     }
 }
 

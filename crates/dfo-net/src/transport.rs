@@ -31,10 +31,20 @@ use dfo_types::{Rank, Result};
 ///   time) may return the next frame from `src` regardless of tag; the
 ///   caller checks the tag.
 /// * Collectives are SPMD: every rank calls the same collective in the same
-///   order. Fold closures are only evaluated where the reduction happens
-///   (shared memory, or rank 0 for relayed backends) and must be
-///   commutative-free order-stable: both backends fold values in rank order
-///   so floating-point reductions are bit-identical across backends.
+///   order **per tag namespace** — the caller (the [`crate::Endpoint`])
+///   supplies the full collective tag, combining its namespace base with a
+///   per-namespace sequence number, so independent namespaces (the mesh
+///   master plus any number of concurrent jobs, see [`crate::tag`]) may
+///   interleave collectives freely on tag-demultiplexing backends. Fold
+///   closures are only evaluated where the reduction happens (shared
+///   memory, or rank 0 for relayed backends) and must be commutative-free
+///   order-stable: both backends fold values in rank order so
+///   floating-point reductions are bit-identical across backends.
+/// * The channel backend's collectives hit one shared-memory rendezvous
+///   and **ignore the tag** — it cannot isolate concurrent namespaces, so
+///   overlapping jobs are only supported over the TCP backend (the
+///   simulation runs ranks as threads of one process, where the engine
+///   already serializes jobs per cluster).
 /// * After `poison`, every pending and future operation on any rank's
 ///   endpoint fails with `DfoError::NetClosed` instead of blocking — the
 ///   moral equivalent of an MPI job abort.
@@ -46,17 +56,35 @@ pub trait Transport: Send + Sync {
     /// tag-matching latitude given to FIFO backends).
     fn recv_frame(&self, src: Rank, tag: u64) -> Result<Frame>;
 
-    /// Blocks until every rank arrives; fails if the cluster is poisoned or
-    /// a peer died.
-    fn barrier(&self) -> Result<()>;
+    /// Blocks until every rank arrives at a barrier with this `tag`; fails
+    /// if the cluster is poisoned or a peer died.
+    fn barrier(&self, tag: u64) -> Result<()>;
 
     /// Marks the cluster dead, waking every blocked rank with an error.
     fn poison(&self);
 
-    /// All-reduce over `u64`; `fold` is applied in rank order where the
-    /// reduction happens.
-    fn allreduce_u64(&self, v: u64, fold: &(dyn Fn(u64, u64) -> u64 + Sync)) -> Result<u64>;
+    /// All-reduce over `u64` under collective tag `tag`; `fold` is applied
+    /// in rank order where the reduction happens.
+    fn allreduce_u64(
+        &self,
+        tag: u64,
+        v: u64,
+        fold: &(dyn Fn(u64, u64) -> u64 + Sync),
+    ) -> Result<u64>;
 
-    /// All-reduce over `f64`, folded in rank order (bit-stable).
-    fn allreduce_f64(&self, v: f64, fold: &(dyn Fn(f64, f64) -> f64 + Sync)) -> Result<f64>;
+    /// All-reduce over `f64` under collective tag `tag`, folded in rank
+    /// order (bit-stable).
+    fn allreduce_f64(
+        &self,
+        tag: u64,
+        v: f64,
+        fold: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> Result<f64>;
+
+    /// Drops receive-side resources of job namespace `job_id` (see
+    /// [`crate::tag::job_tag_base`]): pending demux queues are discarded
+    /// and frames of that job still in flight are dropped on arrival, so a
+    /// job that died mid-stream can neither leak queues nor head-of-line
+    /// block an overlapping job. No-op on backends without per-tag queues.
+    fn reclaim_job(&self, _job_id: u64) {}
 }

@@ -357,3 +357,76 @@ fn pending_control_frames_never_stall_engine_traffic() {
         ep.barrier();
     });
 }
+
+#[test]
+fn back_to_back_streams_on_one_tag_all_arrive() {
+    // Tag reuse: the control channel sends every message as a complete
+    // stream on the single CTRL_TAG_BIT tag, so consecutive messages can
+    // both be sitting in the same demux queue before the receiver pops the
+    // first. Popping a `last` frame must only reclaim the queue slot when
+    // nothing is buffered behind it — discarding the rest would silently
+    // lose the next message (a job fan-out, with the mesh then deadlocked
+    // on the job that never started everywhere).
+    use dfo_net::CTRL_TAG_BIT;
+    const MSGS: usize = 5;
+    with_mesh(2, |rank, ep| {
+        if rank == 0 {
+            for i in 0..MSGS {
+                let payload = vec![i as u8; 100 + i];
+                ep.send_stream(1, CTRL_TAG_BIT, Bytes::from(payload)).unwrap();
+            }
+        }
+        // the release frame trails rank 0's streams on the same connection,
+        // so after this barrier every message is already queued at rank 1
+        ep.barrier();
+        if rank == 1 {
+            for i in 0..MSGS {
+                let got = ep.recv_all(0, CTRL_TAG_BIT).unwrap();
+                assert_eq!(got, vec![i as u8; 100 + i], "message {i} lost or mangled");
+            }
+        }
+        ep.barrier();
+    });
+}
+
+#[test]
+fn dead_job_queues_are_reclaimed_and_never_stall_overlapping_jobs() {
+    // The concurrent-jobs guard, extending the stalled-consumer test above
+    // to job namespaces: a job that dies mid-stream leaves frames nobody
+    // will ever consume queued at its peers — and more still in flight.
+    // After `reclaim_job` the dead job's per-(peer, tag) queues must be
+    // gone and late frames dropped on arrival (even a push already blocked
+    // on the full queue must unblock and drop), so the dead job neither
+    // leaks queues nor head-of-line-blocks a live overlapping job.
+    use dfo_net::DEMUX_QUEUE_DEPTH;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    with_mesh(2, |rank, ep| {
+        let dying = ep.job_view(7, Arc::new(AtomicU64::new(0)));
+        let healthy = ep.job_view(8, Arc::new(AtomicU64::new(0)));
+        if rank == 0 {
+            // job 7 "dies" on rank 1 mid-stream: fill its queue to the
+            // exact depth bound with frames rank 1 never consumes
+            for i in 0..DEMUX_QUEUE_DEPTH as u8 {
+                dying.send(1, 3, Bytes::copy_from_slice(&[i]), false).unwrap();
+            }
+            ep.barrier(); // rank 1 reclaims job 7 after this
+                          // late frames of the dead job: well past the queue bound, so
+                          // rank 1's reader would stall here if they were still queued
+                          // (the first push even starts against the still-full queue)
+            for i in 0..(2 * DEMUX_QUEUE_DEPTH) as u8 {
+                dying.send(1, 3, Bytes::copy_from_slice(&[i]), false).unwrap();
+            }
+            // the overlapping job is untouched throughout
+            healthy.send_stream(1, 5, Bytes::from(vec![42u8; 64 << 10])).unwrap();
+            ep.barrier();
+        } else {
+            ep.barrier(); // job-7 frames are queued (or in flight) here
+            ep.reclaim_job(7);
+            let got = healthy.recv_all(0, 5).unwrap();
+            assert_eq!(got.len(), 64 << 10);
+            assert!(got.iter().all(|b| *b == 42));
+            ep.barrier();
+        }
+    });
+}

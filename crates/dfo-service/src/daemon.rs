@@ -1,4 +1,5 @@
-//! The resident daemon: one process per rank, serving jobs over the mesh.
+//! The resident daemon: one process per rank, serving **concurrent** jobs
+//! over the mesh.
 //!
 //! [`Daemon::run`] is the per-rank entry point of service phase 2. Every
 //! rank process connects the [`ResidentMesh`] **once** (paying mesh
@@ -8,17 +9,25 @@
 //! * **Rank 0** additionally binds the job-control listener
 //!   (`cfg.control_addr` / `DFO_CONTROL_ADDR`) and accepts
 //!   [`crate::DfoClient`] connections. Client handler threads validate and
-//!   enqueue [`JobSpec`]s; the executor loop picks jobs off the
-//!   [scheduler](crate::sched) (priority, aging — serially, one job at a
-//!   time, because two jobs may not interleave on one mesh), fans each
-//!   admitted spec to the peer ranks as a [`PeerCmd::Run`] over the
-//!   reserved control tag, runs its own rank, and streams status
-//!   transitions, [`JobReport`]s and typed errors back to the submitting
-//!   client.
+//!   enqueue [`JobSpec`]s; the scheduler loop admits jobs off the
+//!   [scheduler](crate::sched) (priority, aging, per-client quota) against
+//!   the **live** footprint account — up to `cfg.mem_budget` of learned
+//!   estimates and [`MAX_OVERLAP`] jobs at once — and hands each admitted
+//!   job to a worker thread. The worker fans the spec to the peer ranks as
+//!   a [`PeerCmd::Run`] over the reserved control tag, runs its own rank
+//!   under the job's tag namespace, and streams status transitions,
+//!   [`JobReport`]s and typed errors back to the submitting client.
 //! * **Peer ranks** sit in a follower loop: block on the next control
-//!   message from rank 0, enter the same SPMD job, loop. The control plane
-//!   keeps at most one outstanding message per peer, so it can never fill
-//!   its demux queue and stall engine traffic.
+//!   message from rank 0 and spawn a worker per [`PeerCmd::Run`], so the
+//!   peer enters every overlapping job that rank 0's workers fan out.
+//!
+//! Jobs may overlap because every job runs in its own tag namespace over
+//! the shared endpoint (see [`ResidentMesh`] — rank 0 assigns the job id
+//! and every rank enters the job under it), and because admission keeps the
+//! in-flight control fan-out within the demux head-of-line budget
+//! ([`MAX_OVERLAP`]). Control fan-outs are serialized under a mutex so a
+//! multi-frame control message is never interleaved with another on a
+//! peer's FIFO (peer, tag) queue.
 //!
 //! Job results travel **in-band**: every rank encodes its output slice,
 //! [`dfo_types::PhaseStats`] and measured scratch footprint as a
@@ -28,15 +37,25 @@
 //! in-process service uses, so repeat submissions of an
 //! `(algorithm, graph)` pair are admitted against learned estimates.
 //!
-//! ## Failure model
+//! ## Failure model: relaunch in place, honor retries
 //!
-//! Cooperative cancellation unwinds all ranks together and leaves the mesh
-//! healthy. Any other job failure poisons the mesh: the daemon reports the
-//! typed error to the submitting client, fails everything still queued,
-//! and exits — a supervisor may relaunch the whole mesh under a bumped
-//! epoch. The daemon deliberately ignores [`JobSpec::max_retries`]:
-//! retrying requires a fresh mesh, which is the supervisor's job, not the
-//! daemon's.
+//! Cooperative cancellation unwinds all ranks of that job together and
+//! leaves the mesh healthy — overlapping jobs never notice. Any other job
+//! failure poisons the mesh, taking every overlapping job down with a
+//! retryable `NetClosed`. The daemon then:
+//!
+//! 1. drains its workers (each failed job is either **requeued** — when its
+//!    error [`DfoError::is_retryable`] and it has attempts left under
+//!    [`JobSpec::max_retries`] — or failed to its client with the typed
+//!    error),
+//! 2. rebuilds the mesh **in place** under a bumped epoch (every rank
+//!    counts one relaunch per mesh death, so epochs agree), and
+//! 3. resumes the scheduler: requeued jobs re-run on the fresh mesh, with
+//!    attempts surfaced in [`JobStatus::retries`] / [`JobReport`] and the
+//!    `dfo_job_retries_total` counter.
+//!
+//! Relaunches are bounded by `cfg.max_restarts`; past the bound the daemon
+//! fails everything still queued and exits with the poisoning error.
 
 use crate::catalog::validate_name;
 use crate::estimator::FootprintEstimator;
@@ -54,9 +73,19 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Most jobs allowed in flight on the mesh at once. Each running job keeps
+/// at most one outstanding control fan-out per peer, so this bound keeps
+/// the control tag's demux queue ([`dfo_net::DEMUX_QUEUE_DEPTH`] frames per
+/// (peer, tag)) comfortably clear of head-of-line blocking even when every
+/// job's fan-out lands at once.
+pub const MAX_OVERLAP: usize = match dfo_net::DEMUX_QUEUE_DEPTH / 4 {
+    0 => 1,
+    n => n,
+};
 
 /// One opened graph: the cluster whose disks hold the preprocessed chunks,
 /// and its replicated plan.
@@ -66,7 +95,7 @@ struct GraphEntry {
 }
 
 /// The write half of one client connection, shared by the handler thread
-/// (replies) and the executor (job events). Send failures mark the sink
+/// (replies) and the job workers (job events). Send failures mark the sink
 /// dead and are otherwise ignored: a vanished client must never take the
 /// daemon down with it.
 struct ClientSink {
@@ -87,7 +116,7 @@ impl ClientSink {
 }
 
 /// One job tracked by the daemon, shared by the submitting connection's
-/// handler, the scheduler, and the executor.
+/// handler, the scheduler, and the worker running it.
 struct RemoteJob {
     id: u64,
     spec: JobSpec,
@@ -96,6 +125,9 @@ struct RemoteJob {
     /// the collective cancel check spreads this one's value to every rank.
     cancel: Arc<AtomicBool>,
     phase: Mutex<JobPhase>,
+    /// Attempts already consumed re-running this job after mesh deaths,
+    /// bounded by [`JobSpec::max_retries`].
+    retries: AtomicU32,
     /// Where this job's status transitions and terminal result stream to.
     sink: Arc<ClientSink>,
 }
@@ -108,7 +140,7 @@ impl RemoteJob {
             graph: self.spec.graph.clone(),
             algorithm: self.spec.algorithm.clone(),
             mem_estimate: self.estimate,
-            retries: 0,
+            retries: self.retries.load(Ordering::Relaxed),
             priority: self.spec.priority,
             client_id: self.spec.client_id.clone(),
         }
@@ -124,20 +156,29 @@ struct SchedState {
     queue: JobQueue,
     jobs: BTreeMap<u64, Arc<RemoteJob>>,
     next_id: u64,
+    /// Jobs currently handed to workers, and the estimate bytes / per-client
+    /// counts they hold against admission.
+    running_jobs: usize,
+    running_bytes: u64,
+    running_per_client: BTreeMap<String, usize>,
+    /// First error that killed the current mesh generation; set by the
+    /// worker that saw it, cleared by the relaunch.
+    mesh_failed: Option<DfoError>,
     shutdown: bool,
     /// The connection that requested shutdown, owed a `ShutdownOk`.
     shutdown_sink: Option<Arc<ClientSink>>,
 }
 
-/// Rank-0 daemon state shared between the accept/handler threads and the
-/// executor loop.
+/// Rank-0 daemon state shared between the accept/handler threads, the
+/// scheduler loop and the job workers.
 struct Shared {
     cfg: EngineConfig,
     catalog: BTreeMap<String, GraphEntry>,
     registry: Arc<Registry>,
     estimator: FootprintEstimator,
     sched: Mutex<SchedState>,
-    /// Signaled on submit, cancel and shutdown; the executor waits here.
+    /// Signaled on submit, cancel, shutdown and worker completion; the
+    /// scheduler waits here.
     work: Condvar,
 }
 
@@ -160,10 +201,11 @@ pub struct Daemon;
 
 impl Daemon {
     /// Runs one rank of the daemon mesh until a client requests shutdown
-    /// (clean `Ok`) or a job failure poisons the mesh (the poisoning
-    /// error). Graphs are discovered under `<base>/graphs/` — preprocess
-    /// them first with [`crate::Service::load_graph`] (or ship the
-    /// directories); the daemon never preprocesses.
+    /// (clean `Ok`) or the mesh dies past its `cfg.max_restarts` relaunch
+    /// budget (the poisoning error). Graphs are discovered under
+    /// `<base>/graphs/` — preprocess them first with
+    /// [`crate::Service::load_graph`] (or ship the directories); the daemon
+    /// never preprocesses.
     pub fn run(cfg: EngineConfig, rank: usize, base: impl Into<PathBuf>) -> Result<()> {
         cfg.validate().map_err(DfoError::Config)?;
         let base = base.into();
@@ -179,7 +221,7 @@ impl Daemon {
         if rank == 0 {
             run_rank0(cfg, catalog, registry, mesh)
         } else {
-            run_peer(catalog, mesh)
+            run_peer(&cfg, rank, &catalog, mesh)
         }
     }
 }
@@ -218,18 +260,20 @@ fn open_catalog(
     Ok(catalog)
 }
 
-/// Runs the SPMD body of one job on this rank over the resident mesh and
-/// gathers every rank's [`RankResult`] to rank 0 in-band.
+/// Runs the SPMD body of one job on this rank over the resident mesh,
+/// under the coordinator-assigned job id, and gathers every rank's
+/// [`RankResult`] to rank 0 in-band.
 fn run_spmd_job(
-    mesh: &mut ResidentMesh,
+    mesh: &ResidentMesh,
     entry: &GraphEntry,
     spec: &JobSpec,
+    job_id: u64,
     scope: &str,
     token: Arc<AtomicBool>,
 ) -> Result<Option<Vec<RankResult>>> {
     let nodes = mesh.nodes();
     let rank = mesh.rank();
-    mesh.run_job(&entry.cluster, scope, |ctx| {
+    mesh.run_job_as(job_id, &entry.cluster, scope, |ctx| {
         ctx.set_cancel_token(token);
         let algo = dfo_algos::find(&spec.algorithm).ok_or_else(|| {
             DfoError::Config(format!("algorithm {:?} is not registered", spec.algorithm))
@@ -252,58 +296,152 @@ fn run_spmd_job(
     })
 }
 
-/// Post-job cleanup on the healthy path (success or cooperative cancel):
-/// a mesh-wide barrier so no rank deletes scratch another rank still
-/// touches, then each rank removes its **own** scratch directory — correct
-/// whether the deployment shares a filesystem or not.
-fn finish_scope(mesh: &ResidentMesh, entry: &GraphEntry, scope: &str) -> Result<()> {
-    mesh.barrier()?;
-    let dir = entry.cluster.disks()[mesh.rank()].root().join(scope);
-    if dir.exists() {
-        std::fs::remove_dir_all(&dir)
-            .map_err(|e| DfoError::io(format!("removing scratch dir {}", dir.display()), e))?;
+/// Settles one job on the healthy path (success or cooperative cancel): a
+/// barrier in the job's namespace so no rank deletes scratch another rank
+/// still touches, then each rank removes its **own** scratch directory —
+/// correct whether the deployment shares a filesystem or not — and retires
+/// the job's namespace. An `Err` means the mesh died under the barrier (or
+/// local scratch I/O failed, which the caller treats the same way); the
+/// scratch directory is then removed best-effort with no barrier, which is
+/// race-free because a retry re-runs under a fresh per-attempt scope.
+fn settle_job(mesh: &ResidentMesh, entry: &GraphEntry, job_id: u64, scope: &str) -> Result<()> {
+    let res = mesh.job_barrier(job_id).and_then(|()| {
+        let dir = entry.cluster.disks()[mesh.rank()].root().join(scope);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| DfoError::io(format!("removing scratch dir {}", dir.display()), e))?;
+        }
+        Ok(())
+    });
+    mesh.end_job(job_id);
+    if res.is_err() {
+        discard_scratch(entry, mesh.rank(), scope);
     }
-    Ok(())
+    res
+}
+
+/// Best-effort local scratch removal on the mesh-dead path (no barrier is
+/// possible; see [`settle_job`] for why this is race-free).
+fn discard_scratch(entry: &GraphEntry, rank: usize, scope: &str) {
+    let dir = entry.cluster.disks()[rank].root().join(scope);
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 // ---------------------------------------------------------------------------
 // peer ranks: the follower loop
 
-fn run_peer(catalog: BTreeMap<String, GraphEntry>, mut mesh: ResidentMesh) -> Result<()> {
+/// Peer follower: one round per mesh generation, relaunching in place —
+/// with the epoch bumped once per mesh death, in lockstep with rank 0 —
+/// until the relaunch budget runs out or rank 0 coordinates a shutdown.
+fn run_peer(
+    cfg: &EngineConfig,
+    rank: usize,
+    catalog: &BTreeMap<String, GraphEntry>,
+    mesh: ResidentMesh,
+) -> Result<()> {
+    let mut mesh = mesh;
+    let mut relaunches: u32 = 0;
     loop {
-        let msg = mesh.ctrl_recv(0)?;
-        match PeerCmd::decode(&msg)? {
-            PeerCmd::Run { scope, spec, .. } => {
-                let entry = catalog.get(&spec.graph).ok_or_else(|| {
-                    DfoError::Protocol(format!(
-                        "coordinator fanned out unknown graph {:?}",
-                        spec.graph
-                    ))
-                })?;
-                // rank 0's token cancels everyone through the collective
-                // cancel agreement; this rank never flips its own
-                let token = Arc::new(AtomicBool::new(false));
-                match run_spmd_job(&mut mesh, entry, &spec, &scope, token) {
-                    Ok(_) | Err(DfoError::Cancelled(_)) => finish_scope(&mesh, entry, &scope)?,
-                    Err(e) => return Err(e), // mesh poisoned; daemon dies
+        match peer_round(catalog, &mesh) {
+            Ok(()) => return Ok(()), // coordinated shutdown
+            Err(e) => {
+                relaunches += 1;
+                if relaunches > cfg.max_restarts {
+                    return Err(e);
                 }
-            }
-            PeerCmd::Shutdown => {
-                mesh.barrier()?;
-                return Ok(());
+                let epoch = cfg.epoch + relaunches as u64;
+                eprintln!(
+                    "[dfo-daemon] rank {rank} mesh died ({e}); relaunching under epoch {epoch} \
+                     (relaunch {relaunches}/{})",
+                    cfg.max_restarts
+                );
+                drop(mesh); // release the listen port before rebinding
+                let mut relaunch_cfg = cfg.clone();
+                relaunch_cfg.epoch = epoch;
+                mesh = ResidentMesh::connect(&relaunch_cfg, rank)?;
             }
         }
     }
 }
 
+/// One peer mesh generation: receive control commands from rank 0 and run
+/// a worker thread per job, so jobs overlap on the peer exactly as rank 0
+/// overlaps them. Returns `Ok` on a coordinated shutdown; `Err` when the
+/// mesh died (every spawned worker is joined either way — the
+/// generation's threads never outlive it).
+fn peer_round(catalog: &BTreeMap<String, GraphEntry>, mesh: &ResidentMesh) -> Result<()> {
+    // the first *job* error this generation, preferred over the follower
+    // loop's own (usually derived NetClosed) error as the reported cause
+    let first_fail: Mutex<Option<DfoError>> = Mutex::new(None);
+    let out: Result<()> = std::thread::scope(|sc| {
+        loop {
+            let msg = mesh.ctrl_recv(0)?;
+            match PeerCmd::decode(&msg) {
+                Err(e) => {
+                    mesh.poison(); // make rank 0 observe the death too
+                    return Err(e);
+                }
+                Ok(PeerCmd::Shutdown) => return Ok(()),
+                Ok(PeerCmd::Run { job_id, scope, spec }) => {
+                    let Some(entry) = catalog.get(&spec.graph) else {
+                        mesh.poison();
+                        return Err(DfoError::Protocol(format!(
+                            "coordinator fanned out unknown graph {:?}",
+                            spec.graph
+                        )));
+                    };
+                    let fail = &first_fail;
+                    sc.spawn(move || {
+                        if let Err(e) = peer_job(mesh, entry, job_id, &scope, &spec) {
+                            // the mesh is dead; every rank must observe it
+                            mesh.poison();
+                            let mut f = fail.lock();
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    });
+    match out {
+        // workers are joined (scope exit); settle the coordinated shutdown
+        Ok(()) => mesh.barrier(),
+        Err(e) => Err(first_fail.into_inner().unwrap_or(e)),
+    }
+}
+
+/// One job on a peer rank: run the SPMD body under rank 0's job id and
+/// settle. `Err` means the mesh is dead.
+fn peer_job(
+    mesh: &ResidentMesh,
+    entry: &GraphEntry,
+    job_id: u64,
+    scope: &str,
+    spec: &JobSpec,
+) -> Result<()> {
+    // rank 0's token cancels everyone through the collective cancel
+    // agreement; this rank never flips its own
+    let token = Arc::new(AtomicBool::new(false));
+    match run_spmd_job(mesh, entry, spec, job_id, scope, token) {
+        Ok(_) | Err(DfoError::Cancelled(_)) => settle_job(mesh, entry, job_id, scope),
+        Err(e) => {
+            discard_scratch(entry, mesh.rank(), scope);
+            mesh.end_job(job_id);
+            Err(e)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
-// rank 0: client listener, handlers, executor
+// rank 0: client listener, handlers, scheduler, workers
 
 fn run_rank0(
     cfg: EngineConfig,
     catalog: BTreeMap<String, GraphEntry>,
     registry: Arc<Registry>,
-    mut mesh: ResidentMesh,
+    mesh: ResidentMesh,
 ) -> Result<()> {
     let control_addr = cfg.control_addr.clone().ok_or_else(|| {
         DfoError::Config(
@@ -336,6 +474,10 @@ fn run_rank0(
             queue: JobQueue::new(CLIENT_QUOTA),
             jobs: BTreeMap::new(),
             next_id: 0,
+            running_jobs: 0,
+            running_bytes: 0,
+            running_per_client: BTreeMap::new(),
+            mesh_failed: None,
             shutdown: false,
             shutdown_sink: None,
         }),
@@ -361,114 +503,285 @@ fn run_rank0(
         }
     });
 
-    let out = executor(&shared, &mut mesh);
+    let out = executor(&shared, mesh);
     let _ = accept.join();
     out
 }
 
-/// The serial executor: picks one job at a time off the scheduler and runs
-/// it over the resident mesh. Serial on purpose — engine stream tags
-/// restart per job and the collective sequence is mesh-global, so two jobs
-/// may not interleave on one mesh (see [`ResidentMesh`]); the scheduler
-/// *orders* the queue instead of overlapping it.
-fn executor(shared: &Arc<Shared>, mesh: &mut ResidentMesh) -> Result<()> {
+/// How one mesh generation of the rank-0 scheduler ended.
+enum GenEnd {
+    /// Clean coordinated shutdown: queue drained, nothing running.
+    Shutdown,
+    /// The mesh died; workers are drained and retryable jobs requeued.
+    MeshDead(DfoError),
+}
+
+/// The rank-0 executor: runs the concurrent scheduler one mesh generation
+/// at a time, relaunching the mesh in place — epoch bumped once per death,
+/// in lockstep with the peers — until shutdown or the `cfg.max_restarts`
+/// relaunch budget runs out. On the fatal path it fails everything still
+/// queued, flags shutdown (so the accept loop releases the port) and
+/// returns the poisoning error.
+fn executor(shared: &Arc<Shared>, mesh: ResidentMesh) -> Result<()> {
+    let mut mesh = mesh;
+    let mut relaunches: u32 = 0;
     loop {
-        // wait for an admissible job, a cancellation to reap, or shutdown
-        let job = {
-            let mut s = shared.sched.lock();
-            loop {
-                // withdraw cancelled queued jobs wherever they sit
-                let cancelled: Vec<u64> = s
-                    .jobs
-                    .values()
-                    .filter(|j| {
-                        j.cancel.load(Ordering::Relaxed) && *j.phase.lock() == JobPhase::Queued
-                    })
-                    .map(|j| j.id)
-                    .collect();
-                for id in cancelled {
-                    s.queue.remove(id);
-                    if let Some(j) = s.jobs.get(&id) {
-                        *j.phase.lock() = JobPhase::Cancelled;
-                        j.sink.send(&DaemonMsg::JobError {
-                            job_id: id,
-                            error: DfoError::Cancelled("job cancelled while queued".into()),
-                        });
-                    }
+        match run_generation(shared, &mesh) {
+            GenEnd::Shutdown => {
+                // coordinated shutdown: stop the peers, settle the mesh, ack
+                let cmd = PeerCmd::Shutdown.encode();
+                for peer in 1..mesh.nodes() {
+                    mesh.ctrl_send(peer, cmd.clone())?;
                 }
-                if s.shutdown && s.queue.is_empty() {
-                    break None;
+                mesh.barrier()?;
+                let sink = shared.sched.lock().shutdown_sink.clone();
+                if let Some(sink) = sink {
+                    sink.send(&DaemonMsg::ShutdownOk);
                 }
-                // serial executor: nothing is running while picking, so
-                // every pick is "alone" — priority and aging order the
-                // queue, the alone-rule admits even oversized footprints
-                let picked = s.queue.pick(&BTreeMap::new(), shared.cfg.mem_budget, true);
-                match picked {
-                    Some(e) => {
-                        shared.sched_gauges(s.queue.len(), 1);
-                        break Some(s.jobs.get(&e.id).expect("picked job is tracked").clone());
-                    }
-                    None => {
-                        shared.sched_gauges(s.queue.len(), 0);
-                        shared.work.wait(&mut s);
-                    }
+                return Ok(());
+            }
+            GenEnd::MeshDead(e) => {
+                relaunches += 1;
+                if relaunches > shared.cfg.max_restarts {
+                    return fatal(shared, e);
                 }
+                let epoch = shared.cfg.epoch + relaunches as u64;
+                eprintln!(
+                    "[dfo-daemon] rank 0 mesh died ({e}); relaunching under epoch {epoch} \
+                     (relaunch {relaunches}/{})",
+                    shared.cfg.max_restarts
+                );
+                shared
+                    .registry
+                    .counter("dfo_mesh_relaunches_total", "In-place mesh relaunches", &[])
+                    .inc();
+                drop(mesh); // release the listen port before rebinding
+                let mut relaunch_cfg = shared.cfg.clone();
+                relaunch_cfg.epoch = epoch;
+                mesh = match ResidentMesh::connect(&relaunch_cfg, 0) {
+                    Ok(m) => m,
+                    Err(re) => return fatal(shared, re),
+                };
+                shared
+                    .registry
+                    .gauge("dfo_mesh_epoch", "Epoch of the current mesh incarnation", &[])
+                    .set(epoch as f64);
             }
-        };
-
-        let Some(job) = job else {
-            // coordinated shutdown: stop the peers, settle the mesh, ack
-            let cmd = PeerCmd::Shutdown.encode();
-            for peer in 1..mesh.nodes() {
-                mesh.ctrl_send(peer, cmd.clone())?;
-            }
-            mesh.barrier()?;
-            let sink = shared.sched.lock().shutdown_sink.clone();
-            if let Some(sink) = sink {
-                sink.send(&DaemonMsg::ShutdownOk);
-            }
-            return Ok(());
-        };
-
-        let priority = job.spec.priority.to_string();
-        shared
-            .registry
-            .counter(
-                "dfo_sched_admitted_total",
-                "Jobs admitted by the scheduler, by priority",
-                &[("priority", priority.as_str())],
-            )
-            .inc();
-        if let Err(e) = run_job_rank0(shared, mesh, &job) {
-            // the mesh is poisoned: fail everything still queued and exit
-            fail_queued(shared, &e);
-            return Err(e);
         }
-        shared.sched_gauges(shared.sched.lock().queue.len(), 0);
     }
 }
 
-/// Runs one admitted job end to end on rank 0: fan-out, SPMD execution,
-/// learning, and the terminal client event. `Err` means the mesh is dead.
-fn run_job_rank0(
+/// The executor's give-up path: fail everything still queued, release the
+/// accept loop (and any pending shutdown requester), exit with the cause.
+fn fatal(shared: &Arc<Shared>, e: DfoError) -> Result<()> {
+    fail_queued(shared, &e);
+    let sink = {
+        let mut s = shared.sched.lock();
+        s.shutdown = true;
+        s.shutdown_sink.take()
+    };
+    if let Some(sink) = sink {
+        sink.send(&DaemonMsg::ShutdownOk);
+    }
+    Err(e)
+}
+
+/// One mesh generation of the concurrent scheduler: admit jobs against the
+/// live footprint account and hand each to a worker thread, until shutdown
+/// (queue drained, nothing running) or the mesh dies (workers drained,
+/// retryable jobs requeued by their workers). Worker threads never outlive
+/// the generation — the scope joins them before this returns.
+fn run_generation(shared: &Arc<Shared>, mesh: &ResidentMesh) -> GenEnd {
+    // serializes whole control fan-outs: a control message spans several
+    // frames and the demux queue is FIFO per (peer, tag)
+    let ctrl = Mutex::new(());
+    std::thread::scope(|sc| {
+        loop {
+            enum Next {
+                Job(Arc<RemoteJob>),
+                End(GenEnd),
+            }
+            let next = {
+                let mut s = shared.sched.lock();
+                loop {
+                    // withdraw cancelled queued jobs wherever they sit
+                    let cancelled: Vec<u64> = s
+                        .jobs
+                        .values()
+                        .filter(|j| {
+                            j.cancel.load(Ordering::Relaxed) && *j.phase.lock() == JobPhase::Queued
+                        })
+                        .map(|j| j.id)
+                        .collect();
+                    for id in cancelled {
+                        s.queue.remove(id);
+                        if let Some(j) = s.jobs.get(&id) {
+                            *j.phase.lock() = JobPhase::Cancelled;
+                            j.sink.send(&DaemonMsg::JobError {
+                                job_id: id,
+                                error: DfoError::Cancelled("job cancelled while queued".into()),
+                            });
+                        }
+                    }
+                    if s.mesh_failed.is_some() {
+                        // stop admitting; drain the workers, then relaunch
+                        if s.running_jobs == 0 {
+                            let e = s.mesh_failed.take().expect("checked above");
+                            break Next::End(GenEnd::MeshDead(e));
+                        }
+                    } else if s.shutdown && s.queue.is_empty() && s.running_jobs == 0 {
+                        break Next::End(GenEnd::Shutdown);
+                    } else if s.running_jobs < MAX_OVERLAP {
+                        let alone = s.running_jobs == 0;
+                        let budget_left = shared.cfg.mem_budget.saturating_sub(s.running_bytes);
+                        let st = &mut *s;
+                        if let Some(picked) =
+                            st.queue.pick(&st.running_per_client, budget_left, alone)
+                        {
+                            let job =
+                                s.jobs.get(&picked.id).expect("picked job is tracked").clone();
+                            s.running_jobs += 1;
+                            s.running_bytes += job.estimate;
+                            *s.running_per_client.entry(job.spec.client_id.clone()).or_insert(0) +=
+                                1;
+                            shared.sched_gauges(s.queue.len(), s.running_jobs);
+                            break Next::Job(job);
+                        }
+                    }
+                    shared.sched_gauges(s.queue.len(), s.running_jobs);
+                    shared.work.wait(&mut s);
+                }
+            };
+            match next {
+                Next::End(end) => break end,
+                Next::Job(job) => {
+                    let priority = job.spec.priority.to_string();
+                    shared
+                        .registry
+                        .counter(
+                            "dfo_sched_admitted_total",
+                            "Jobs admitted by the scheduler, by priority",
+                            &[("priority", priority.as_str())],
+                        )
+                        .inc();
+                    let ctrl = &ctrl;
+                    sc.spawn(move || worker(shared, mesh, ctrl, job));
+                }
+            }
+        }
+    })
+}
+
+/// One admitted job, end to end, on a worker thread: run it, settle the
+/// footprint account, and — when the mesh died under it — either requeue
+/// it (retryable error, attempts left, not cancelled) or fail it to its
+/// client with the typed, retryability-preserving error.
+fn worker(shared: &Arc<Shared>, mesh: &ResidentMesh, ctrl: &Mutex<()>, job: Arc<RemoteJob>) {
+    let res = run_one_job(shared, mesh, ctrl, &job);
+    let mut requeued = false;
+    let mut terminal: Option<DaemonMsg> = None;
+    {
+        let mut s = shared.sched.lock();
+        s.running_jobs -= 1;
+        s.running_bytes = s.running_bytes.saturating_sub(job.estimate);
+        if let Some(n) = s.running_per_client.get_mut(&job.spec.client_id) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                s.running_per_client.remove(&job.spec.client_id);
+            }
+        }
+        if let Err(e) = res {
+            // the mesh is dead; poison so every rank (and every overlapping
+            // job) observes it instead of hanging
+            mesh.poison();
+            let attempts = job.retries.load(Ordering::Relaxed);
+            let retry = e.is_retryable()
+                && attempts < job.spec.max_retries
+                && !job.cancel.load(Ordering::Relaxed);
+            if retry {
+                job.retries.store(attempts + 1, Ordering::Relaxed);
+                shared
+                    .registry
+                    .counter(
+                        "dfo_job_retries_total",
+                        "Job re-runs after mesh deaths, honoring max_retries",
+                        &[
+                            ("graph", job.spec.graph.as_str()),
+                            ("algorithm", job.spec.algorithm.as_str()),
+                        ],
+                    )
+                    .inc();
+                *job.phase.lock() = JobPhase::Queued;
+                s.queue.push(job.id, &job.spec.client_id, job.spec.priority, job.estimate);
+                requeued = true;
+                eprintln!(
+                    "[dfo-daemon] job {} died with retryable {e}; requeued (attempt {}/{})",
+                    job.id,
+                    attempts + 1,
+                    job.spec.max_retries
+                );
+            } else {
+                shared
+                    .registry
+                    .counter(
+                        "dfo_jobs_failed_total",
+                        "Jobs that errored or were cancelled",
+                        &[
+                            ("graph", job.spec.graph.as_str()),
+                            ("algorithm", job.spec.algorithm.as_str()),
+                        ],
+                    )
+                    .inc();
+                *job.phase.lock() = JobPhase::Failed;
+                terminal =
+                    Some(DaemonMsg::JobError { job_id: job.id, error: wire::clone_error(&e) });
+            }
+            if s.mesh_failed.is_none() {
+                s.mesh_failed = Some(e);
+            }
+        }
+        shared.sched_gauges(s.queue.len(), s.running_jobs);
+    }
+    // sink writes happen outside the scheduler lock
+    if requeued {
+        job.sink.send(&DaemonMsg::Status { status: job.status() });
+    }
+    if let Some(msg) = terminal {
+        job.sink.send(&msg);
+    }
+    shared.work.notify_all();
+}
+
+/// Runs one admitted job on rank 0: fan-out (serialized whole-message),
+/// SPMD execution under the job's tag namespace, learning, and the
+/// terminal client event on the healthy paths. `Err` means the mesh is
+/// dead and the job has **no** terminal event yet — the worker decides
+/// between requeue and failure.
+fn run_one_job(
     shared: &Arc<Shared>,
-    mesh: &mut ResidentMesh,
+    mesh: &ResidentMesh,
+    ctrl: &Mutex<()>,
     job: &Arc<RemoteJob>,
 ) -> Result<()> {
     let entry = shared.catalog.get(&job.spec.graph).expect("graph validated at submit");
-    let scope = format!("job{}", job.id);
+    // a per-attempt scope: a re-run after a mesh death must not collide
+    // with scratch the dead attempt may have left behind
+    let scope = format!("job{}a{}", job.id, job.retries.load(Ordering::Relaxed));
     let cmd = PeerCmd::Run { job_id: job.id, scope: scope.clone(), spec: job.spec.clone() };
     let encoded = cmd.encode();
-    for peer in 1..mesh.nodes() {
-        mesh.ctrl_send(peer, encoded.clone())?;
+    {
+        let _fanout = ctrl.lock();
+        for peer in 1..mesh.nodes() {
+            mesh.ctrl_send(peer, encoded.clone())?;
+        }
     }
     job.set_phase(JobPhase::Running);
     let started = Instant::now();
     let graph = job.spec.graph.as_str();
     let algorithm = job.spec.algorithm.as_str();
-    match run_spmd_job(mesh, entry, &job.spec, &scope, job.cancel.clone()) {
+    match run_spmd_job(mesh, entry, &job.spec, job.id, &scope, job.cancel.clone()) {
         Ok(results) => {
-            finish_scope(mesh, entry, &scope)?;
+            settle_job(mesh, entry, job.id, &scope)?;
             let results = results.expect("rank 0 gathers results");
             let mut outputs = Vec::with_capacity(results.len());
             let mut rank_stats = Vec::with_capacity(results.len());
@@ -508,7 +821,7 @@ fn run_job_rank0(
                 rank_stats,
                 totals,
                 cache_window: Vec::new(),
-                retries: 0,
+                retries: job.retries.load(Ordering::Relaxed),
                 elapsed: started.elapsed(),
             };
             *job.phase.lock() = JobPhase::Done;
@@ -516,8 +829,9 @@ fn run_job_rank0(
             Ok(())
         }
         Err(e @ DfoError::Cancelled(_)) => {
-            // cooperative cancel: every rank unwound together, mesh healthy
-            finish_scope(mesh, entry, &scope)?;
+            // cooperative cancel: every rank of this job unwound together,
+            // the mesh (and every overlapping job) is untouched
+            settle_job(mesh, entry, job.id, &scope)?;
             shared
                 .registry
                 .counter(
@@ -531,29 +845,24 @@ fn run_job_rank0(
             Ok(())
         }
         Err(e) => {
-            shared
-                .registry
-                .counter(
-                    "dfo_jobs_failed_total",
-                    "Jobs that errored or were cancelled",
-                    &[("graph", graph), ("algorithm", algorithm)],
-                )
-                .inc();
-            *job.phase.lock() = JobPhase::Failed;
-            job.sink.send(&DaemonMsg::JobError { job_id: job.id, error: wire::clone_error(&e) });
+            discard_scratch(entry, mesh.rank(), &scope);
+            mesh.end_job(job.id);
             Err(e)
         }
     }
 }
 
-/// Fails every still-queued job after the mesh died.
+/// Fails every still-queued job after the mesh died for good.
 fn fail_queued(shared: &Arc<Shared>, cause: &DfoError) {
-    let s = shared.sched.lock();
-    for j in s.jobs.values() {
-        if *j.phase.lock() == JobPhase::Queued {
+    let mut s = shared.sched.lock();
+    let queued: Vec<u64> =
+        s.jobs.values().filter(|j| *j.phase.lock() == JobPhase::Queued).map(|j| j.id).collect();
+    for id in queued {
+        s.queue.remove(id);
+        if let Some(j) = s.jobs.get(&id) {
             *j.phase.lock() = JobPhase::Failed;
             j.sink.send(&DaemonMsg::JobError {
-                job_id: j.id,
+                job_id: id,
                 error: DfoError::NetClosed(format!("daemon mesh died: {cause}")),
             });
         }
@@ -677,11 +986,12 @@ fn submit(shared: &Arc<Shared>, spec: JobSpec, sink: &Arc<ClientSink>) -> Result
             estimate,
             cancel: Arc::new(AtomicBool::new(false)),
             phase: Mutex::new(JobPhase::Queued),
+            retries: AtomicU32::new(0),
             sink: sink.clone(),
         });
         s.queue.push(id, &job.spec.client_id, job.spec.priority, estimate);
         s.jobs.insert(id, job.clone());
-        shared.sched_gauges(s.queue.len(), 0);
+        shared.sched_gauges(s.queue.len(), s.running_jobs);
         job
     };
     job.sink.send(&DaemonMsg::Status { status: job.status() });
